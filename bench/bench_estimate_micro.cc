@@ -1,0 +1,112 @@
+// google-benchmark micro benchmarks + accuracy ablation for cardinality
+// estimation: positional-histogram build and probe cost vs. grid size, and
+// (as counters) the estimation error against exact join counts — the
+// grid-size ablation DESIGN.md calls out.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "estimate/exact_estimator.h"
+#include "estimate/positional_histogram.h"
+#include "query/workload.h"
+#include "storage/catalog.h"
+
+namespace sjos {
+namespace {
+
+const Database& PersDb() {
+  static auto* db = new Database(std::move(
+      MakePaperDataset("Pers", DatasetScale{50000, 1})).value());
+  return *db;
+}
+
+void BM_HistogramBuild(benchmark::State& state) {
+  const Database& db = PersDb();
+  PositionalHistogramConfig config;
+  config.grid_size = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    PositionalHistogramEstimator est = PositionalHistogramEstimator::Build(
+        db.doc(), db.index(), db.stats(), config);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_HistogramBuild)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_HistogramProbe(benchmark::State& state) {
+  const Database& db = PersDb();
+  PositionalHistogramConfig config;
+  config.grid_size = static_cast<uint32_t>(state.range(0));
+  PositionalHistogramEstimator est = PositionalHistogramEstimator::Build(
+      db.doc(), db.index(), db.stats(), config);
+  TagId manager = db.doc().dict().Find("manager");
+  TagId name = db.doc().dict().Find("name");
+  for (auto _ : state) {
+    double v = est.EstimateEdgeJoin(manager, name, Axis::kDescendant);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_HistogramProbe)->Arg(16)->Arg(64)->Arg(256);
+
+/// Accuracy ablation: mean relative error over the Pers tag pairs,
+/// reported as a benchmark counter per grid size.
+void BM_HistogramAccuracy(benchmark::State& state) {
+  const Database& db = PersDb();
+  PositionalHistogramConfig config;
+  config.grid_size = static_cast<uint32_t>(state.range(0));
+  PositionalHistogramEstimator hist = PositionalHistogramEstimator::Build(
+      db.doc(), db.index(), db.stats(), config);
+  ExactEstimator exact(db.doc(), db.index());
+  const char* tags[] = {"manager", "employee", "department", "name"};
+  double ad_err = 0.0;
+  double pc_err = 0.0;
+  int ad_cases = 0;
+  int pc_cases = 0;
+  for (auto _ : state) {
+    ad_err = pc_err = 0.0;
+    ad_cases = pc_cases = 0;
+    for (const char* a : tags) {
+      for (const char* d : tags) {
+        TagId ta = db.doc().dict().Find(a);
+        TagId td = db.doc().dict().Find(d);
+        for (Axis axis : {Axis::kDescendant, Axis::kChild}) {
+          double e = exact.EstimateEdgeJoin(ta, td, axis);
+          if (e < 1.0) continue;
+          double h = hist.EstimateEdgeJoin(ta, td, axis);
+          double rel = std::abs(h - e) / e;
+          if (axis == Axis::kDescendant) {
+            ad_err += rel;
+            ++ad_cases;
+          } else {
+            pc_err += rel;
+            ++pc_cases;
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(ad_err + pc_err);
+  }
+  state.counters["ad_rel_error"] = ad_cases > 0 ? ad_err / ad_cases : 0.0;
+  state.counters["pc_rel_error"] = pc_cases > 0 ? pc_err / pc_cases : 0.0;
+}
+BENCHMARK(BM_HistogramAccuracy)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ExactCount(benchmark::State& state) {
+  const Database& db = PersDb();
+  TagId manager = db.doc().dict().Find("manager");
+  TagId name = db.doc().dict().Find("name");
+  for (auto _ : state) {
+    // Fresh estimator each round so the memo does not short-circuit.
+    ExactEstimator exact(db.doc(), db.index());
+    double v = exact.EstimateEdgeJoin(manager, name, Axis::kDescendant);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ExactCount);
+
+}  // namespace
+}  // namespace sjos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,7 @@
+// Figure 7: the T_e sweep at folding factor 100 — execution time dominates
+// optimization time, so beyond the T_e where the optimal plan is found the
+// total flattens; DPP is a safe default here (paper Sec. 4.4).
+
+#include "bench_fig_util.h"
+
+int main() { return sjos::bench::RunTeSweepFigure(7, /*fold=*/100); }

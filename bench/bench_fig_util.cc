@@ -1,0 +1,99 @@
+#include "bench_fig_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sjos {
+namespace bench {
+
+namespace {
+
+struct Bar {
+  std::string label;
+  double opt_ms;
+  double eval_ms;
+};
+
+void PrintAsciiBars(const std::vector<Bar>& bars) {
+  double max_total = 0.0;
+  for (const Bar& b : bars) max_total = std::max(max_total, b.opt_ms + b.eval_ms);
+  if (max_total <= 0.0) return;
+  constexpr int kWidth = 56;
+  std::printf("\n  total query evaluation time ('#' opt, '=' eval; full bar "
+              "= %.2f ms)\n", max_total);
+  for (const Bar& b : bars) {
+    int opt_chars = static_cast<int>(b.opt_ms / max_total * kWidth + 0.5);
+    int eval_chars =
+        static_cast<int>((b.opt_ms + b.eval_ms) / max_total * kWidth + 0.5) -
+        opt_chars;
+    std::printf("  %-12s |%s%s\n", b.label.c_str(),
+                std::string(static_cast<size_t>(std::max(opt_chars, 0)), '#')
+                    .c_str(),
+                std::string(static_cast<size_t>(std::max(eval_chars, 0)), '=')
+                    .c_str());
+  }
+}
+
+}  // namespace
+
+int RunTeSweepFigure(int figure_number, uint32_t fold, uint64_t base_nodes,
+                     const char* note) {
+  const std::string size_note =
+      base_nodes == 0
+          ? std::string()
+          : " (Pers scaled to " + std::to_string(base_nodes) + " nodes)";
+  std::printf(
+      "Figure %d: Comparison of Query Plan Evaluation Times for Query "
+      "Q.Pers.3.d, Folding Factor = %u%s\n"
+      "DPAP-EB is swept over T_e = 1..#nodes; DP, DPP, DPAP-LD and FP shown "
+      "for comparison.\n",
+      figure_number, fold, size_note.c_str());
+  if (note != nullptr) std::printf("%s\n", note);
+  std::printf("\n");
+
+  BenchQuery query = std::move(FindQuery("Q.Pers.3.d")).value();
+  DatasetScale scale;
+  scale.fold = fold;
+  scale.base_nodes = base_nodes;
+  DatasetHandle dataset("Pers", scale);
+  QueryEnv env(dataset, query.pattern);
+
+  std::vector<Bar> bars;
+  auto add = [&](const std::string& label, Optimizer* optimizer) {
+    Measurement m = MeasureOptimizer(env, optimizer);
+    bars.push_back(Bar{label, m.opt_ms, m.eval_ms});
+  };
+
+  auto dp = MakeDpOptimizer();
+  auto dpp = MakeDppOptimizer();
+  add("DP", dp.get());
+  add("DPP", dpp.get());
+  const uint32_t num_nodes = static_cast<uint32_t>(query.pattern.NumNodes());
+  for (uint32_t te = 1; te <= num_nodes; ++te) {
+    auto eb = MakeDpapEbOptimizer(te);
+    add("DPAP-EB(" + std::to_string(te) + ")", eb.get());
+  }
+  auto ld = MakeDpapLdOptimizer();
+  auto fp = MakeFpOptimizer();
+  add("DPAP-LD", ld.get());
+  add("FP", fp.get());
+
+  const std::vector<int> widths = {12, 10, 10, 10};
+  PrintRule(widths);
+  PrintRow(widths, {"algorithm", "opt(ms)", "eval(ms)", "total(ms)"});
+  PrintRule(widths);
+  for (const Bar& b : bars) {
+    PrintRow(widths,
+             {b.label, Ms(b.opt_ms), Ms(b.eval_ms), Ms(b.opt_ms + b.eval_ms)});
+  }
+  PrintRule(widths);
+  PrintAsciiBars(bars);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace sjos

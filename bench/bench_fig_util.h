@@ -1,0 +1,25 @@
+// Shared driver for Figures 7 and 8: the T_e sweep of DPAP-EB against the
+// other algorithms on Q.Pers.3.d at a given folding factor. Each bar of
+// the paper's stacked chart becomes one table row (optimization time +
+// plan execution time = total query evaluation time), plus an ASCII
+// rendering of the stacked bars.
+
+#ifndef SJOS_BENCH_BENCH_FIG_UTIL_H_
+#define SJOS_BENCH_BENCH_FIG_UTIL_H_
+
+#include <cstdint>
+
+namespace sjos {
+namespace bench {
+
+/// Runs the sweep and prints the figure. `figure_number` is 7 or 8;
+/// `fold` the Pers folding factor (100 and 1 in the paper).
+/// `base_nodes` overrides the unfolded Pers size (0 = the paper's 5K);
+/// `note` is printed under the title when non-null.
+int RunTeSweepFigure(int figure_number, uint32_t fold,
+                     uint64_t base_nodes = 0, const char* note = nullptr);
+
+}  // namespace bench
+}  // namespace sjos
+
+#endif  // SJOS_BENCH_BENCH_FIG_UTIL_H_

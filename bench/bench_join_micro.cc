@@ -1,0 +1,138 @@
+// google-benchmark micro benchmarks for the Stack-Tree join operators:
+// throughput of the Desc and Anc variants across input sizes, axes, and
+// nesting shapes, plus the sort operator. These calibrate the cost-model
+// factors (see DESIGN.md) and catch performance regressions in the join
+// kernels.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "exec/operators.h"
+#include "exec/stack_tree.h"
+#include "query/pattern_parser.h"
+#include "storage/catalog.h"
+#include "xml/generators/tree_gen.h"
+
+namespace sjos {
+namespace {
+
+/// Deep random tree with two tags; tag t0 elements nest recursively, so
+/// the t0-t1 join exercises non-trivial stack depths.
+const Database& TreeDb(uint64_t nodes) {
+  static auto* dbs = new std::map<uint64_t, std::unique_ptr<Database>>();
+  auto it = dbs->find(nodes);
+  if (it == dbs->end()) {
+    TreeGenConfig config;
+    config.target_nodes = nodes;
+    config.max_depth = 12;
+    config.num_tags = 2;
+    config.seed = 71;
+    it = dbs->emplace(nodes, std::make_unique<Database>(Database::Open(
+                                 GenerateTree(config).value())))
+             .first;
+  }
+  return *it->second;
+}
+
+TupleSet Candidates(const Database& db, const char* tag, PatternNodeId slot) {
+  TupleSet set({slot});
+  TagId id = db.doc().dict().Find(tag);
+  if (id != kInvalidTag) {
+    for (NodeId n : db.index().Postings(id)) set.AppendRow(&n);
+  }
+  set.set_ordered_by_slot(0);
+  return set;
+}
+
+void BM_StackTreeDesc(benchmark::State& state) {
+  const Database& db = TreeDb(static_cast<uint64_t>(state.range(0)));
+  TupleSet anc = Candidates(db, "t0", 0);
+  TupleSet desc = Candidates(db, "t1", 1);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    Result<TupleSet> out =
+        StackTreeJoin(db.doc(), anc, 0, desc, 0, Axis::kDescendant,
+                      /*output_by_ancestor=*/false);
+    benchmark::DoNotOptimize(out);
+    rows = out.value().size();
+  }
+  state.counters["out_rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(anc.size() + desc.size()));
+}
+BENCHMARK(BM_StackTreeDesc)->Arg(10000)->Arg(100000)->Arg(400000);
+
+void BM_StackTreeAnc(benchmark::State& state) {
+  const Database& db = TreeDb(static_cast<uint64_t>(state.range(0)));
+  TupleSet anc = Candidates(db, "t0", 0);
+  TupleSet desc = Candidates(db, "t1", 1);
+  for (auto _ : state) {
+    Result<TupleSet> out =
+        StackTreeJoin(db.doc(), anc, 0, desc, 0, Axis::kDescendant,
+                      /*output_by_ancestor=*/true);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(anc.size() + desc.size()));
+}
+BENCHMARK(BM_StackTreeAnc)->Arg(10000)->Arg(100000)->Arg(400000);
+
+void BM_StackTreeParentChild(benchmark::State& state) {
+  const Database& db = TreeDb(static_cast<uint64_t>(state.range(0)));
+  TupleSet anc = Candidates(db, "t0", 0);
+  TupleSet desc = Candidates(db, "t1", 1);
+  for (auto _ : state) {
+    Result<TupleSet> out = StackTreeJoin(db.doc(), anc, 0, desc, 0,
+                                         Axis::kChild, false);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(anc.size() + desc.size()));
+}
+BENCHMARK(BM_StackTreeParentChild)->Arg(10000)->Arg(100000);
+
+void BM_SelfJoinRecursiveTag(benchmark::State& state) {
+  const Database& db = TreeDb(static_cast<uint64_t>(state.range(0)));
+  TupleSet outer = Candidates(db, "t0", 0);
+  TupleSet inner = Candidates(db, "t0", 1);
+  for (auto _ : state) {
+    Result<TupleSet> out = StackTreeJoin(db.doc(), outer, 0, inner, 0,
+                                         Axis::kDescendant, false);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SelfJoinRecursiveTag)->Arg(10000)->Arg(100000);
+
+void BM_SortOperator(benchmark::State& state) {
+  const Database& db = TreeDb(100000);
+  TupleSet anc = Candidates(db, "t0", 0);
+  TupleSet desc = Candidates(db, "t1", 1);
+  TupleSet joined = std::move(StackTreeJoin(db.doc(), anc, 0, desc, 0,
+                                            Axis::kDescendant, false))
+                        .value();
+  for (auto _ : state) {
+    TupleSet copy = joined;
+    SortOperator(&copy, 0);  // re-sort by the ancestor column
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(joined.size()));
+}
+BENCHMARK(BM_SortOperator);
+
+void BM_IndexScan(benchmark::State& state) {
+  const Database& db = TreeDb(static_cast<uint64_t>(state.range(0)));
+  Pattern pattern = std::move(ParsePattern("t0")).value();
+  for (auto _ : state) {
+    TupleSet set = ScanCandidates(db, pattern, 0);
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_IndexScan)->Arg(100000)->Arg(400000);
+
+}  // namespace
+}  // namespace sjos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Extension bench: subtree navigation as an access path (the paper's first
+// future-work item, "cases where every node predicate is not evaluated
+// using an index").
+//
+// Two comparisons per query:
+//   1. DPP vs DPP+nav on the fully indexed pattern — does widening the
+//      plan space with navigation ever beat the paper's join-only space?
+//      (It does when a branch's candidate list is huge but the anchor's
+//      subtrees are tiny: navigating beats merging the big list.)
+//   2. The same pattern with its leaf nodes marked unindexed — the
+//      optimizer must route those edges through Navigate and still produce
+//      correct, reasonably fast plans.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "query/pattern_parser.h"
+
+using namespace sjos;
+using namespace sjos::bench;
+
+namespace {
+
+/// Marks every leaf pattern node unindexed.
+Pattern UnindexLeaves(const Pattern& pattern) {
+  Pattern out = pattern;
+  for (size_t i = 1; i < out.NumNodes(); ++i) {
+    PatternNodeId id = static_cast<PatternNodeId>(i);
+    if (out.ChildrenOf(id).empty()) out.SetUnindexed(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Navigation access path: DPP (join-only, the paper's space) vs "
+      "DPP+nav (navigation offered on every edge)\nand the unindexed-leaf "
+      "scenario where navigation is the only way in.\n\n");
+
+  const std::vector<int> widths = {14, 11, 11, 11, 11, 12, 12};
+  PrintRule(widths);
+  PrintRow(widths, {"Query", "DPP opt", "DPP eval", "+nav opt", "+nav eval",
+                    "leaves? opt", "leaves? eval"});
+  PrintRule(widths);
+
+  for (const BenchQuery& query : PaperWorkload()) {
+    if (query.dataset != "Pers") continue;  // folded Pers keeps this quick
+    DatasetScale scale;
+    scale.fold = 10;
+    DatasetHandle dataset(query.dataset, scale);
+
+    QueryEnv env(dataset, query.pattern);
+    auto dpp = MakeDppOptimizer();
+    auto dpp_nav = MakeDppNavOptimizer();
+    Measurement join_only = MeasureOptimizer(env, dpp.get());
+    Measurement with_nav = MeasureOptimizer(env, dpp_nav.get());
+
+    QueryEnv unindexed_env(dataset, UnindexLeaves(query.pattern));
+    auto dpp2 = MakeDppOptimizer();
+    Measurement unindexed = MeasureOptimizer(unindexed_env, dpp2.get());
+
+    PrintRow(widths, {query.id, Ms(join_only.opt_ms), Ms(join_only.eval_ms),
+                      Ms(with_nav.opt_ms), Ms(with_nav.eval_ms),
+                      Ms(unindexed.opt_ms), Ms(unindexed.eval_ms)});
+    std::printf("  DPP     : %s\n", join_only.signature.c_str());
+    std::printf("  DPP+nav : %s\n", with_nav.signature.c_str());
+    std::printf("  leaves? : %s\n", unindexed.signature.c_str());
+  }
+  PrintRule(widths);
+  return 0;
+}

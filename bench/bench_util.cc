@@ -1,0 +1,141 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "exec/executor.h"
+#include "plan/plan_printer.h"
+#include "plan/random_plans.h"
+
+namespace sjos {
+namespace bench {
+
+namespace {
+
+/// Repetition policy: repeat cheap operations until this much wall time
+/// has accumulated so mean timings are stable.
+constexpr double kMinOptTimingMs = 20.0;
+constexpr int kMaxOptReps = 512;
+constexpr double kMinEvalTimingMs = 50.0;
+constexpr int kMaxEvalReps = 64;
+
+}  // namespace
+
+DatasetHandle::DatasetHandle(const std::string& name, DatasetScale scale) {
+  Result<Database> db = MakePaperDataset(name, scale);
+  SJOS_CHECK(db.ok(), db.status().ToString().c_str());
+  db_ = std::make_unique<Database>(std::move(db).value());
+  estimator_ = std::make_unique<PositionalHistogramEstimator>(
+      PositionalHistogramEstimator::Build(db_->doc(), db_->index(),
+                                          db_->stats()));
+}
+
+QueryEnv::QueryEnv(const DatasetHandle& dataset, Pattern pattern)
+    : db_(&dataset.db()), pattern_(std::move(pattern)) {
+  Result<PatternEstimates> estimates =
+      PatternEstimates::Make(pattern_, db_->doc(), dataset.estimator());
+  SJOS_CHECK(estimates.ok(), estimates.status().ToString().c_str());
+  estimates_ = std::make_unique<PatternEstimates>(std::move(estimates).value());
+}
+
+void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
+                   uint64_t eval_row_budget, Measurement* m) {
+  ExecOptions options;
+  options.max_join_output_rows = eval_row_budget;
+  Executor exec(env.db(), options);
+  // One untimed warm-up run eliminates cold-cache noise on plans measured
+  // with a single rep; a capped warm-up is reported directly.
+  {
+    Timer warmup;
+    Result<ExecResult> result = exec.Execute(env.pattern(), plan);
+    if (!result.ok()) {
+      m->eval_capped = true;
+      m->eval_ms = warmup.ElapsedMs();
+      return;
+    }
+  }
+  Timer total;
+  int reps = 0;
+  double sum_ms = 0.0;
+  for (; reps < kMaxEvalReps; ++reps) {
+    Result<ExecResult> result = exec.Execute(env.pattern(), plan);
+    if (!result.ok()) {
+      // Row budget exceeded: report the time spent before the abort.
+      m->eval_capped = true;
+      m->eval_ms = total.ElapsedMs();
+      return;
+    }
+    sum_ms += result.value().stats.wall_ms;
+    m->result_rows = result.value().stats.result_rows;
+    if (sum_ms >= kMinEvalTimingMs) {
+      ++reps;
+      break;
+    }
+  }
+  m->eval_ms = sum_ms / reps;
+}
+
+Measurement MeasureOptimizer(const QueryEnv& env, Optimizer* optimizer,
+                             uint64_t eval_row_budget) {
+  Measurement m;
+  m.algo = optimizer->name();
+
+  Result<OptimizeResult> first = optimizer->Optimize(env.ctx());
+  SJOS_CHECK(first.ok(), first.status().ToString().c_str());
+  OptimizeResult chosen = std::move(first).value();
+
+  // Stabilize the optimization timing with repeated runs.
+  Timer timer;
+  int reps = 0;
+  for (; reps < kMaxOptReps && timer.ElapsedMs() < kMinOptTimingMs; ++reps) {
+    Result<OptimizeResult> r = optimizer->Optimize(env.ctx());
+    SJOS_CHECK(r.ok(), "optimizer rerun failed");
+  }
+  m.opt_ms = reps > 0 ? timer.ElapsedMs() / reps : chosen.stats.opt_time_ms;
+
+  m.plans_considered = chosen.stats.plans_considered;
+  m.modelled_cost = chosen.modelled_cost;
+  m.signature = PlanSignature(chosen.plan, env.pattern());
+  TimeExecution(env, chosen.plan, eval_row_budget, &m);
+  return m;
+}
+
+Measurement MeasureBadPlan(const QueryEnv& env, size_t samples, uint64_t seed,
+                           uint64_t eval_row_budget) {
+  Measurement m;
+  m.algo = "Bad";
+  Result<WorstPlanResult> worst = WorstOfRandomPlans(
+      env.pattern(), env.estimates(), env.cost_model(), samples, seed);
+  SJOS_CHECK(worst.ok(), worst.status().ToString().c_str());
+  m.modelled_cost = worst.value().modelled_cost;
+  m.signature = PlanSignature(worst.value().plan, env.pattern());
+  TimeExecution(env, worst.value().plan, eval_row_budget, &m);
+  return m;
+}
+
+void PrintRule(const std::vector<int>& widths) {
+  for (int w : widths) {
+    std::fputc('+', stdout);
+    for (int i = 0; i < w + 2; ++i) std::fputc('-', stdout);
+  }
+  std::fputs("+\n", stdout);
+}
+
+void PrintRow(const std::vector<int>& widths,
+              const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < cells.size() ? cells[i] : std::string();
+    std::printf("| %*s ", widths[i], cell.c_str());
+  }
+  std::fputs("|\n", stdout);
+}
+
+std::string Ms(double ms) {
+  if (ms >= 100.0) return StrFormat("%.0f", ms);
+  if (ms >= 1.0) return StrFormat("%.2f", ms);
+  return StrFormat("%.3f", ms);
+}
+
+}  // namespace bench
+}  // namespace sjos

@@ -1,0 +1,125 @@
+// Optimizer comparison tool: run ANY pattern query against ANY of the
+// bundled data sets (or an XML file) and compare what all five algorithms
+// of the paper choose — plans, modelled costs, search statistics, and
+// actual execution time. The interactive counterpart of the Table 1 bench.
+//
+// Usage:
+//   optimizer_compare <pattern> [dataset] [nodes] [fold]
+//   optimizer_compare <pattern> --file <path.xml>
+//
+//   pattern   e.g. 'manager[//employee[/name]][//department]'
+//   dataset   Pers | DBLP | Mbench | XMark   (default Pers)
+//   nodes     unfolded size (default: the paper's size for that set)
+//   fold      replication factor (default 1)
+//
+// Example:
+//   optimizer_compare 'site[//open_auction[/bidder]]' XMark 100000
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/optimizer.h"
+#include "estimate/positional_histogram.h"
+#include "exec/executor.h"
+#include "plan/plan_printer.h"
+#include "plan/plan_props.h"
+#include "query/pattern_parser.h"
+#include "query/workload.h"
+#include "storage/catalog.h"
+#include "xml/fold.h"
+#include "xml/generators/xmark_gen.h"
+#include "xml/parser.h"
+
+using namespace sjos;
+
+namespace {
+
+Result<Database> LoadTarget(int argc, char** argv) {
+  if (argc > 3 && std::strcmp(argv[2], "--file") == 0) {
+    Result<Document> doc = ParseXmlFile(argv[3]);
+    if (!doc.ok()) return doc.status();
+    return Database::Open(std::move(doc).value(), argv[3]);
+  }
+  std::string dataset = argc > 2 ? argv[2] : "Pers";
+  DatasetScale scale;
+  scale.base_nodes = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+  scale.fold =
+      argc > 4 ? static_cast<uint32_t>(std::strtoul(argv[4], nullptr, 10)) : 1;
+  if (dataset == "XMark") {
+    XmarkGenConfig config;
+    config.target_nodes = scale.base_nodes ? scale.base_nodes : 100000;
+    Result<Document> doc = GenerateXmark(config);
+    if (!doc.ok()) return doc.status();
+    if (scale.fold > 1) {
+      Result<Document> folded = FoldDocument(doc.value(), scale.fold);
+      if (!folded.ok()) return folded.status();
+      return Database::Open(std::move(folded).value(), "XMark");
+    }
+    return Database::Open(std::move(doc).value(), "XMark");
+  }
+  return MakePaperDataset(dataset, scale);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: optimizer_compare <pattern> [dataset] [nodes] "
+                 "[fold]\n       optimizer_compare <pattern> --file <xml>\n");
+    return 2;
+  }
+  Result<Pattern> pattern = ParsePattern(argv[1]);
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "bad pattern: %s\n",
+                 pattern.status().ToString().c_str());
+    return 2;
+  }
+  Result<Database> db = LoadTarget(argc, argv);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("database '%s': %zu nodes\n", db.value().name().c_str(),
+              db.value().doc().NumNodes());
+  std::printf("pattern: %s\n\n", pattern.value().ToString().c_str());
+
+  PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
+      db.value().doc(), db.value().index(), db.value().stats());
+  Result<PatternEstimates> estimates =
+      PatternEstimates::Make(pattern.value(), db.value().doc(), estimator);
+  if (!estimates.ok()) {
+    std::fprintf(stderr, "%s\n", estimates.status().ToString().c_str());
+    return 1;
+  }
+  CostModel cost_model;
+  OptimizeContext ctx{&pattern.value(), &estimates.value(), &cost_model};
+  Executor executor(db.value());
+
+  std::printf("%-9s %10s %8s %12s %10s %9s  %s\n", "algo", "opt(ms)", "plans",
+              "model-cost", "eval(ms)", "rows", "plan");
+  for (const auto& optimizer :
+       MakePaperOptimizers(pattern.value().NumEdges())) {
+    Result<OptimizeResult> r = optimizer->Optimize(ctx);
+    if (!r.ok()) {
+      std::printf("%-9s %s\n", optimizer->name(),
+                  r.status().ToString().c_str());
+      continue;
+    }
+    Result<ExecResult> exec = executor.Execute(pattern.value(), r.value().plan);
+    if (!exec.ok()) {
+      std::printf("%-9s execution failed: %s\n", optimizer->name(),
+                  exec.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-9s %10.3f %8llu %12.0f %10.2f %9llu  %s\n",
+                optimizer->name(), r.value().stats.opt_time_ms,
+                static_cast<unsigned long long>(
+                    r.value().stats.plans_considered),
+                r.value().modelled_cost, exec.value().stats.wall_ms,
+                static_cast<unsigned long long>(exec.value().stats.result_rows),
+                PlanSignature(r.value().plan, pattern.value()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,262 @@
+// sjos_shell: a small interactive query shell over the library — load or
+// generate a document, inspect statistics, and run pattern or XPath
+// queries with any of the five optimizers (or the holistic twig join).
+//
+// Commands (one per line; '#' starts a comment):
+//   gen <Pers|DBLP|Mbench|XMark> [nodes] [fold]   generate a data set
+//   load <path.xml>                               parse an XML file
+//   stats                                         document statistics
+//   algo <dp|dpp|dpap-eb|dpap-ld|fp>              choose the optimizer
+//   query <pattern>                               run a pattern query
+//   xpath <xpath>                                 run an XPath query
+//   twig <pattern>                                run the holistic twig join
+//   plan <pattern>                                show the plan, don't run
+//   quit
+//
+// Also usable non-interactively:  echo 'gen Pers\nquery manager[//name]' |
+//   ./build/examples/sjos_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/str_util.h"
+#include "core/optimizer.h"
+#include "estimate/positional_histogram.h"
+#include "exec/executor.h"
+#include "exec/twig_join.h"
+#include "plan/plan_printer.h"
+#include "query/pattern_parser.h"
+#include "query/workload.h"
+#include "query/xpath.h"
+#include "storage/catalog.h"
+#include "xml/generators/xmark_gen.h"
+#include "xml/parser.h"
+
+using namespace sjos;
+
+namespace {
+
+class Shell {
+ public:
+  int Run() {
+    std::printf("sjos shell — type 'help' for commands\n");
+    std::string line;
+    while (NextLine(&line)) {
+      std::istringstream words(line);
+      std::string command;
+      if (!(words >> command)) continue;
+      if (command[0] == '#') continue;
+      if (command == "quit" || command == "exit") break;
+      Dispatch(command, &words, line);
+    }
+    return 0;
+  }
+
+ private:
+  static bool NextLine(std::string* line) {
+    std::printf("> ");
+    std::fflush(stdout);
+    return static_cast<bool>(std::getline(std::cin, *line));
+  }
+
+  void Dispatch(const std::string& command, std::istringstream* words,
+                const std::string& line) {
+    if (command == "help") {
+      Help();
+    } else if (command == "gen") {
+      Generate(words);
+    } else if (command == "load") {
+      Load(words);
+    } else if (command == "stats") {
+      Stats();
+    } else if (command == "algo") {
+      ChooseAlgo(words);
+    } else if (command == "query" || command == "plan" || command == "twig") {
+      RunQuery(command, Rest(line, command));
+    } else if (command == "xpath") {
+      RunXPath(Rest(line, command));
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", command.c_str());
+    }
+  }
+
+  static std::string Rest(const std::string& line, const std::string& command) {
+    std::string rest = line.substr(line.find(command) + command.size());
+    return std::string(Trim(rest));
+  }
+
+  void Help() {
+    std::printf(
+        "  gen <Pers|DBLP|Mbench|XMark> [nodes] [fold]\n"
+        "  load <path.xml>\n"
+        "  stats\n"
+        "  algo <dp|dpp|dpap-eb|dpap-ld|fp>   (current: %s)\n"
+        "  query <pattern>     e.g. query manager[//employee[/name]]\n"
+        "  xpath <xpath>       e.g. xpath //manager[.//employee]/name\n"
+        "  twig <pattern>      holistic twig join, no optimizer\n"
+        "  plan <pattern>      explain without executing\n"
+        "  quit\n",
+        optimizer_->name());
+  }
+
+  void Generate(std::istringstream* words) {
+    std::string name;
+    uint64_t nodes = 0;
+    uint32_t fold = 1;
+    *words >> name >> nodes >> fold;
+    if (fold == 0) fold = 1;
+    Result<Database> db = Status::InvalidArgument("unreached");
+    if (name == "XMark") {
+      XmarkGenConfig config;
+      if (nodes > 0) config.target_nodes = nodes;
+      Result<Document> doc = GenerateXmark(config);
+      db = doc.ok() ? Result<Database>(
+                          Database::Open(std::move(doc).value(), "XMark"))
+                    : Result<Database>(doc.status());
+    } else {
+      DatasetScale scale;
+      scale.base_nodes = nodes;
+      scale.fold = fold;
+      db = MakePaperDataset(name, scale);
+    }
+    if (!db.ok()) {
+      std::printf("error: %s\n", db.status().ToString().c_str());
+      return;
+    }
+    Open(std::move(db).value());
+  }
+
+  void Load(std::istringstream* words) {
+    std::string path;
+    *words >> path;
+    Result<Document> doc = ParseXmlFile(path);
+    if (!doc.ok()) {
+      std::printf("error: %s\n", doc.status().ToString().c_str());
+      return;
+    }
+    Open(Database::Open(std::move(doc).value(), path));
+  }
+
+  void Open(Database db) {
+    db_ = std::make_unique<Database>(std::move(db));
+    estimator_ = std::make_unique<PositionalHistogramEstimator>(
+        PositionalHistogramEstimator::Build(db_->doc(), db_->index(),
+                                            db_->stats()));
+    std::printf("opened '%s': %zu nodes, %zu tags\n", db_->name().c_str(),
+                db_->doc().NumNodes(), db_->doc().dict().size());
+  }
+
+  void Stats() {
+    if (!Ready()) return;
+    std::printf("%s", db_->stats().ToString(db_->doc()).c_str());
+  }
+
+  void ChooseAlgo(std::istringstream* words) {
+    std::string name;
+    *words >> name;
+    if (name == "dp") {
+      optimizer_ = MakeDpOptimizer();
+    } else if (name == "dpp") {
+      optimizer_ = MakeDppOptimizer();
+    } else if (name == "dpap-eb") {
+      optimizer_ = MakeDpapEbOptimizer(8);
+    } else if (name == "dpap-ld") {
+      optimizer_ = MakeDpapLdOptimizer();
+    } else if (name == "fp") {
+      optimizer_ = MakeFpOptimizer();
+    } else {
+      std::printf("unknown algorithm '%s'\n", name.c_str());
+      return;
+    }
+    std::printf("optimizer: %s\n", optimizer_->name());
+  }
+
+  bool Ready() {
+    if (db_ == nullptr) {
+      std::printf("no document loaded — use 'gen' or 'load' first\n");
+      return false;
+    }
+    return true;
+  }
+
+  void RunQuery(const std::string& mode, const std::string& text) {
+    if (!Ready()) return;
+    Result<Pattern> pattern = ParsePattern(text);
+    if (!pattern.ok()) {
+      std::printf("error: %s\n", pattern.status().ToString().c_str());
+      return;
+    }
+    Execute(mode, pattern.value());
+  }
+
+  void RunXPath(const std::string& text) {
+    if (!Ready()) return;
+    Result<XPathQuery> query = ParseXPath(text);
+    if (!query.ok()) {
+      std::printf("error: %s\n", query.status().ToString().c_str());
+      return;
+    }
+    std::printf("pattern: %s (result node #%d)\n",
+                query.value().pattern.ToString().c_str(),
+                query.value().result_node);
+    Execute("query", query.value().pattern);
+  }
+
+  void Execute(const std::string& mode, const Pattern& pattern) {
+    if (mode == "twig") {
+      TwigJoinStats stats;
+      Result<TupleSet> result = TwigJoin(*db_, pattern, &stats);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return;
+      }
+      std::printf("%zu matches in %.3f ms (%zu paths, %llu path rows)\n",
+                  result.value().size(), stats.wall_ms, stats.num_paths,
+                  static_cast<unsigned long long>(stats.path_solutions));
+      return;
+    }
+    Result<PatternEstimates> estimates =
+        PatternEstimates::Make(pattern, db_->doc(), *estimator_);
+    if (!estimates.ok()) {
+      std::printf("error: %s\n", estimates.status().ToString().c_str());
+      return;
+    }
+    OptimizeContext ctx{&pattern, &estimates.value(), &cost_model_};
+    Result<OptimizeResult> plan = optimizer_->Optimize(ctx);
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s plan (%.3f ms, %llu alternatives):\n%s",
+                optimizer_->name(), plan.value().stats.opt_time_ms,
+                static_cast<unsigned long long>(
+                    plan.value().stats.plans_considered),
+                PrintPlanWithEstimates(plan.value().plan, pattern,
+                                       estimates.value(), cost_model_)
+                    .c_str());
+    if (mode == "plan") return;
+    Executor executor(*db_);
+    Result<ExecResult> result = executor.Execute(pattern, plan.value().plan);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%llu matches in %.3f ms\n",
+                static_cast<unsigned long long>(result.value().stats.result_rows),
+                result.value().stats.wall_ms);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<PositionalHistogramEstimator> estimator_;
+  CostModel cost_model_;
+  std::unique_ptr<Optimizer> optimizer_ = MakeDppOptimizer();
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Run();
+}

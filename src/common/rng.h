@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for data generators and the
+// random-plan baseline. A fixed seed must reproduce identical documents and
+// plans across runs and platforms, so we implement our own small PRNG
+// (xoshiro256**) instead of relying on std::mt19937 distribution details.
+
+#ifndef SJOS_COMMON_RNG_H_
+#define SJOS_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sjos {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with convenience samplers.
+/// Not thread-safe; each thread/generator owns its own instance.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed yields the same sequence everywhere.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool NextBool(double p);
+
+  /// Zipf-distributed rank in [0, n) with skew `theta` (0 = uniform).
+  /// Used by generators to give tags realistic frequency skew.
+  uint64_t NextZipf(uint64_t n, double theta);
+
+  /// Fisher-Yates shuffle of `items` indices; used by the random-plan baseline.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+// Small string helpers shared by the parser, printers, and benches.
+
+#ifndef SJOS_COMMON_STR_UTIL_H_
+#define SJOS_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sjos {
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats like printf into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders `v` with `decimals` digits after the point (fixed notation).
+std::string FormatDouble(double v, int decimals);
+
+}  // namespace sjos
+
+#endif  // SJOS_COMMON_STR_UTIL_H_

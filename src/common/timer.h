@@ -1,0 +1,40 @@
+// Wall-clock timing for optimization/execution measurements in the benches.
+
+#ifndef SJOS_COMMON_TIMER_H_
+#define SJOS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sjos {
+
+/// Monotonic stopwatch. Construction starts it; ElapsedMicros()/ElapsedMs()
+/// read without stopping, Restart() resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedMs() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_COMMON_TIMER_H_

@@ -1,0 +1,43 @@
+// Shared best-first search engine behind DPP (Sec. 3.2) and the DPAP
+// variants (Sec. 3.3). The engine implements the paper's three rules:
+//
+//   * Expanding Rule — always expand the un-expanded status with lowest
+//     Cost + ubCost (priority list).
+//   * Pruning Rule — a status is dead once its Cost reaches the cost of
+//     the best complete plan found (MinCost); dead statuses are dropped.
+//     A status is also dropped when a cheaper path to the same status key
+//     is already known.
+//   * Lookahead Rule — (optional) never generate dead-end statuses.
+//
+// DPAP-EB layers an expansion bound T_e per level; DPAP-LD restricts move
+// generation to left-deep statuses. DPP' (Table 2) is DPP with lookahead
+// disabled.
+
+#ifndef SJOS_CORE_BEST_FIRST_H_
+#define SJOS_CORE_BEST_FIRST_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/optimizer.h"
+
+namespace sjos {
+
+/// Knobs distinguishing DPP / DPP' / DPAP-EB / DPAP-LD.
+struct BestFirstOptions {
+  bool lookahead = true;        // Lookahead Rule on generation
+  uint32_t expansion_bound = 0; // T_e; 0 = unlimited (DPP)
+  bool left_deep_only = false;  // DPAP-LD's growing-node restriction
+  bool navigation_everywhere = false;  // offer subtree navigation on every
+                                       // edge (extension; see move_gen.h)
+};
+
+/// Runs the search; returns the chosen plan + stats. Fails when the
+/// restricted space contains no complete plan (possible only under
+/// aggressive restrictions combined with tiny expansion bounds).
+Result<OptimizeResult> BestFirstOptimize(const OptimizeContext& ctx,
+                                         const BestFirstOptions& options);
+
+}  // namespace sjos
+
+#endif  // SJOS_CORE_BEST_FIRST_H_

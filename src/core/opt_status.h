@@ -1,0 +1,126 @@
+// Optimization statuses (Sec. 3.1.1, Defs. 1-6): an intermediate stage of
+// query evaluation. A status partitions the pattern's nodes into connected
+// clusters ("status nodes"); each cluster is a sub-pattern already joined,
+// and records which pattern node its intermediate result is physically
+// ordered by. Edges whose endpoints lie in different clusters are still
+// un-joined (E_S); joining one of them is a *move* (Def. 4).
+//
+// Statuses are canonicalized by labelling each cluster with its smallest
+// member node, which yields a compact 128-bit key for the dynamic
+// programming tables (patterns are limited to 16 nodes, far above anything
+// in the paper).
+
+#ifndef SJOS_CORE_OPT_STATUS_H_
+#define SJOS_CORE_OPT_STATUS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "estimate/composite.h"
+#include "query/pattern.h"
+
+namespace sjos {
+
+/// Hard cap on pattern size for the status-based optimizers (4-bit node
+/// ids in status keys).
+inline constexpr size_t kMaxPatternNodes = 16;
+
+/// 128-bit canonical identity of a status. Equal keys = same partition and
+/// same per-cluster orderings (Def. 2 + the ordering annotation).
+struct StatusKey {
+  uint64_t rep_bits = 0;    // 4 bits per node: cluster representative
+  uint64_t order_bits = 0;  // 4 bits per node: its cluster's order node
+
+  bool operator==(const StatusKey& other) const = default;
+};
+
+struct StatusKeyHash {
+  size_t operator()(const StatusKey& key) const {
+    uint64_t h = key.rep_bits * 0x9E3779B97F4A7C15ULL;
+    h ^= key.order_bits + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One optimization status.
+class OptStatus {
+ public:
+  /// The start status S_0: every pattern node its own cluster, each
+  /// ordered by itself (index scans return document order).
+  static OptStatus Start(const Pattern& pattern);
+
+  size_t num_nodes() const { return n_; }
+
+  /// Cluster representative (smallest member) of the cluster holding
+  /// `node`.
+  PatternNodeId RepOf(PatternNodeId node) const {
+    return rep_[static_cast<size_t>(node)];
+  }
+
+  /// The pattern node the cluster holding `node` is ordered by.
+  PatternNodeId OrderOf(PatternNodeId node) const {
+    return order_[static_cast<size_t>(node)];
+  }
+
+  /// Mask of pattern nodes in the cluster holding `node`.
+  NodeMask ClusterMaskOf(PatternNodeId node) const;
+
+  /// Fills `masks[i]` with the cluster mask of node i for every node, in
+  /// one O(n) pass — the hot-path variant of ClusterMaskOf for move
+  /// enumeration and ubCost.
+  void AllClusterMasks(std::array<NodeMask, kMaxPatternNodes>* masks) const;
+
+  /// Bitmask over pattern edge indices already joined.
+  uint64_t joined_edges() const { return joined_edges_; }
+
+  bool EdgeJoined(size_t edge_index) const {
+    return (joined_edges_ >> edge_index) & 1;
+  }
+
+  /// Number of moves taken so far == popcount(joined_edges) == level
+  /// (Def. 5).
+  int Level() const;
+
+  /// True when a single cluster remains (final status S_f).
+  bool IsFinal(size_t num_edges) const {
+    return Level() == static_cast<int>(num_edges);
+  }
+
+  /// The status after joining edge (anc, desc): clusters merge, the merged
+  /// cluster is ordered by `new_order` (the algorithm's output order).
+  OptStatus AfterJoin(PatternNodeId anc, PatternNodeId desc,
+                      size_t edge_index, PatternNodeId new_order) const;
+
+  StatusKey Key() const;
+
+  /// Debug rendering: clusters with their order nodes, e.g.
+  /// "{0,1|ord 0}{2|ord 2}".
+  std::string ToString() const;
+
+ private:
+  uint8_t n_ = 0;
+  uint64_t joined_edges_ = 0;
+  std::array<uint8_t, kMaxPatternNodes> rep_{};
+  std::array<uint8_t, kMaxPatternNodes> order_{};
+};
+
+/// A move (Def. 4): evaluate pattern edge `edge_index` with the chosen
+/// algorithm, optionally sorting ONE input cluster first. `cost` is the
+/// move's modelled cost (join + any sort). `navigate` marks the third
+/// access path: instead of a structural join, scan each anchor tuple's
+/// subtree for the edge's descendant node (the only way to reach
+/// unindexed nodes; preserves the cluster's current ordering).
+struct Move {
+  uint8_t edge_index = 0;
+  bool stack_tree_anc = false;  // true: STA (output by ancestor); false: STD
+  bool navigate = false;        // subtree navigation instead of a join
+  PatternNodeId sort_node = kNoPatternNode;  // input re-sorted, if any
+  double cost = 0.0;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_CORE_OPT_STATUS_H_

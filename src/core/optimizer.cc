@@ -1,0 +1,25 @@
+#include "core/optimizer.h"
+
+#include "common/str_util.h"
+
+namespace sjos {
+
+std::string OptimizerStats::ToString() const {
+  return StrFormat(
+      "plans=%llu statuses(gen=%llu, expanded=%llu) time=%.3fms",
+      static_cast<unsigned long long>(plans_considered),
+      static_cast<unsigned long long>(statuses_generated),
+      static_cast<unsigned long long>(statuses_expanded), opt_time_ms);
+}
+
+std::vector<std::unique_ptr<Optimizer>> MakePaperOptimizers(size_t num_edges) {
+  std::vector<std::unique_ptr<Optimizer>> out;
+  out.push_back(MakeDpOptimizer());
+  out.push_back(MakeDppOptimizer());
+  out.push_back(MakeDpapEbOptimizer(static_cast<uint32_t>(num_edges)));
+  out.push_back(MakeDpapLdOptimizer());
+  out.push_back(MakeFpOptimizer());
+  return out;
+}
+
+}  // namespace sjos

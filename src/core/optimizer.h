@@ -1,0 +1,79 @@
+// The optimizer interface shared by the five algorithms of Sec. 3, plus
+// the statistics each run reports (optimization time and the number of
+// alternative plans considered — the currency of Table 2).
+
+#ifndef SJOS_CORE_OPTIMIZER_H_
+#define SJOS_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "estimate/composite.h"
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "query/pattern.h"
+
+namespace sjos {
+
+/// Everything an optimizer needs for one query.
+struct OptimizeContext {
+  const Pattern* pattern = nullptr;
+  const PatternEstimates* estimates = nullptr;
+  const CostModel* cost_model = nullptr;
+};
+
+/// Per-run search statistics.
+struct OptimizerStats {
+  uint64_t plans_considered = 0;    // alternatives costed during search
+  uint64_t statuses_generated = 0;  // statuses created (incl. duplicates)
+  uint64_t statuses_expanded = 0;   // statuses whose moves were enumerated
+  double opt_time_ms = 0.0;         // wall-clock optimization time
+
+  std::string ToString() const;
+};
+
+/// The outcome of one optimization.
+struct OptimizeResult {
+  PhysicalPlan plan;
+  /// Cost accumulated over the chosen move sequence (joins + sorts; index
+  /// scans excluded, being identical across plans).
+  double search_cost = 0.0;
+  /// Full modelled cost of the built plan, index scans included.
+  double modelled_cost = 0.0;
+  OptimizerStats stats;
+};
+
+/// Abstract join-order optimizer.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Finds an evaluation plan for the context's pattern. Fails on invalid
+  /// patterns, patterns over kMaxPatternNodes, or (for restricted search
+  /// spaces) when no plan within the space exists.
+  virtual Result<OptimizeResult> Optimize(const OptimizeContext& ctx) = 0;
+
+  /// Algorithm name as used in the paper's tables ("DP", "DPP", ...).
+  virtual const char* name() const = 0;
+};
+
+/// Factory helpers for the paper's line-up.
+std::unique_ptr<Optimizer> MakeDpOptimizer();
+std::unique_ptr<Optimizer> MakeDppOptimizer(bool lookahead = true);
+/// DPP with subtree navigation offered on every edge (extension beyond
+/// the paper's join-only plan space; see bench_nav for the ablation).
+std::unique_ptr<Optimizer> MakeDppNavOptimizer();
+std::unique_ptr<Optimizer> MakeDpapEbOptimizer(uint32_t expansion_bound);
+std::unique_ptr<Optimizer> MakeDpapLdOptimizer();
+std::unique_ptr<Optimizer> MakeFpOptimizer();
+
+/// All five algorithms with the paper's Table 1 settings (DPAP-EB bound =
+/// number of pattern edges, chosen per Sec. 4.2).
+std::vector<std::unique_ptr<Optimizer>> MakePaperOptimizers(size_t num_edges);
+
+}  // namespace sjos
+
+#endif  // SJOS_CORE_OPTIMIZER_H_

@@ -1,0 +1,26 @@
+// Turns a chosen move sequence (the output of the status-based optimizers)
+// into an executable PhysicalPlan, appending the final order-fixing sort
+// when the pattern demands an explicit result order, and packages the
+// OptimizeResult with both the search cost and the full modelled cost.
+
+#ifndef SJOS_CORE_PLAN_BUILDER_H_
+#define SJOS_CORE_PLAN_BUILDER_H_
+
+#include <vector>
+
+#include "core/move_gen.h"
+#include "core/optimizer.h"
+
+namespace sjos {
+
+/// Materializes `moves` (in application order, starting from the start
+/// status) as a plan and fills an OptimizeResult. `search_cost` is the
+/// accumulated move cost including any final order fix.
+Result<OptimizeResult> BuildResultFromMoves(const OptimizeContext& ctx,
+                                            const MoveGenerator& gen,
+                                            const std::vector<Move>& moves,
+                                            double search_cost);
+
+}  // namespace sjos
+
+#endif  // SJOS_CORE_PLAN_BUILDER_H_

@@ -1,0 +1,19 @@
+#include "estimate/estimator.h"
+
+namespace sjos {
+
+double CardinalityEstimator::PredicateSelectivity(
+    TagId /*tag*/, const ValuePredicate& predicate) const {
+  // Coarse textbook defaults when no value statistics are available.
+  switch (predicate.kind) {
+    case ValuePredicate::Kind::kNone:
+      return 1.0;
+    case ValuePredicate::Kind::kEquals:
+      return 0.1;
+    case ValuePredicate::Kind::kContains:
+      return 0.25;
+  }
+  return 1.0;
+}
+
+}  // namespace sjos

@@ -1,0 +1,45 @@
+// Cardinality estimation interface. The optimizer costs every candidate
+// move from (a) candidate-list sizes per pattern node and (b) estimated
+// structural-join result sizes per pattern edge; Sec. 4 of the paper uses
+// the positional histograms of [Wu/Patel/Jagadish, EDBT 2002] for (b).
+// The interface is estimator-agnostic so tests can swap in exact counts.
+
+#ifndef SJOS_ESTIMATE_ESTIMATOR_H_
+#define SJOS_ESTIMATE_ESTIMATOR_H_
+
+#include "query/pattern.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Estimates structural-join cardinalities between tag candidate lists.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Number of elements with `tag`.
+  virtual double TagCardinality(TagId tag) const = 0;
+
+  /// Estimated number of (ancestor, descendant) pairs between elements of
+  /// `ancestor_tag` and `descendant_tag` under `axis`.
+  virtual double EstimateEdgeJoin(TagId ancestor_tag, TagId descendant_tag,
+                                  Axis axis) const = 0;
+
+  /// Mean number of descendants of a `tag` element — the per-anchor scan
+  /// cost of evaluating an edge by subtree navigation instead of a
+  /// structural join.
+  virtual double AvgSubtreeSize(TagId tag) const = 0;
+
+  /// Fraction of `tag` elements whose text satisfies `predicate`, in
+  /// [0, 1]. The default is a coarse heuristic; concrete estimators
+  /// override with statistics (or exact counts).
+  virtual double PredicateSelectivity(TagId tag,
+                                      const ValuePredicate& predicate) const;
+
+  /// Name for diagnostics ("positional-histogram", "exact").
+  virtual const char* name() const = 0;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_ESTIMATE_ESTIMATOR_H_

@@ -1,0 +1,46 @@
+// Exact binary-join cardinalities, computed by a counting variant of the
+// Stack-Tree merge over the actual posting lists. Used as the estimation
+// oracle in tests (positional-histogram accuracy bounds) and available to
+// the optimizer for calibration runs. Results are memoized per
+// (ancestor tag, descendant tag, axis).
+
+#ifndef SJOS_ESTIMATE_EXACT_ESTIMATOR_H_
+#define SJOS_ESTIMATE_EXACT_ESTIMATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "estimate/estimator.h"
+#include "storage/tag_index.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Counts true structural-join sizes over the document. Not thread-safe
+/// (memo table); build one per thread if needed.
+class ExactEstimator : public CardinalityEstimator {
+ public:
+  ExactEstimator(const Document& doc, const TagIndex& index)
+      : doc_(doc), index_(index) {}
+
+  double TagCardinality(TagId tag) const override;
+  double EstimateEdgeJoin(TagId ancestor_tag, TagId descendant_tag,
+                          Axis axis) const override;
+  /// Exact: scans the tag's posting list and counts matching texts.
+  double PredicateSelectivity(TagId tag,
+                              const ValuePredicate& predicate) const override;
+  double AvgSubtreeSize(TagId tag) const override;
+  const char* name() const override { return "exact"; }
+
+ private:
+  uint64_t CountJoin(TagId a, TagId d, Axis axis) const;
+
+  const Document& doc_;
+  const TagIndex& index_;
+  mutable std::unordered_map<uint64_t, uint64_t> memo_;
+  mutable std::unordered_map<std::string, double> predicate_memo_;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_ESTIMATE_EXACT_ESTIMATOR_H_

@@ -1,0 +1,206 @@
+#include "estimate/positional_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace sjos {
+
+namespace {
+
+/// Expected number of starts from `marginal` (bucketed with `width`)
+/// falling inside the half-open interval (a_start, a_end], assuming
+/// uniformity within buckets.
+double StartsInInterval(const std::vector<uint64_t>& marginal, double width,
+                        double a_start, double a_end) {
+  if (a_end <= a_start || marginal.empty()) return 0.0;
+  const uint32_t g = static_cast<uint32_t>(marginal.size());
+  uint32_t k_lo =
+      static_cast<uint32_t>(std::min<double>(a_start / width, g - 1));
+  uint32_t k_hi = static_cast<uint32_t>(std::min<double>(a_end / width, g - 1));
+  double total = 0.0;
+  for (uint32_t k = k_lo; k <= k_hi; ++k) {
+    uint64_t cnt = marginal[k];
+    if (cnt == 0) continue;
+    double b_lo = static_cast<double>(k) * width;
+    double b_hi = b_lo + width;
+    double overlap =
+        std::max(0.0, std::min(a_end, b_hi) - std::max(a_start, b_lo));
+    total += static_cast<double>(cnt) * (overlap / width);
+  }
+  return total;
+}
+
+}  // namespace
+
+PositionalGrid::PositionalGrid(uint32_t grid_size, uint64_t domain)
+    : grid_size_(grid_size),
+      domain_(std::max<uint64_t>(domain, 1)),
+      cells_(static_cast<size_t>(grid_size) * grid_size, 0),
+      span_sums_(static_cast<size_t>(grid_size) * grid_size, 0),
+      start_marginal_(grid_size, 0) {}
+
+void PositionalGrid::Add(NodeId start, NodeId end) {
+  SJOS_CHECK(grid_size_ > 0, "PositionalGrid not initialized");
+  auto bucket = [&](uint64_t pos) -> uint32_t {
+    uint64_t b = pos * grid_size_ / domain_;
+    return static_cast<uint32_t>(std::min<uint64_t>(b, grid_size_ - 1));
+  };
+  uint32_t i = bucket(start);
+  uint32_t j = bucket(end);
+  const size_t cell = static_cast<size_t>(i) * grid_size_ + j;
+  ++cells_[cell];
+  span_sums_[cell] += end - start;
+  ++start_marginal_[i];
+  ++total_;
+}
+
+double PositionalGrid::CellAvgSpan(uint32_t i, uint32_t j) const {
+  const size_t cell = static_cast<size_t>(i) * grid_size_ + j;
+  if (cells_[cell] == 0) return 0.0;
+  return static_cast<double>(span_sums_[cell]) /
+         static_cast<double>(cells_[cell]);
+}
+
+double PositionalGrid::BucketWidth() const {
+  return static_cast<double>(domain_) / static_cast<double>(grid_size_);
+}
+
+double PositionalGrid::BucketCenter(uint32_t b) const {
+  return (static_cast<double>(b) + 0.5) * BucketWidth();
+}
+
+PositionalHistogramEstimator PositionalHistogramEstimator::Build(
+    const Document& doc, const TagIndex& index, const DocumentStats& stats,
+    const PositionalHistogramConfig& config) {
+  PositionalHistogramEstimator est;
+  const uint64_t domain = std::max<uint64_t>(doc.NumNodes(), 1);
+  const size_t num_levels = static_cast<size_t>(stats.max_level()) + 1;
+  const size_t num_tags = doc.dict().size();
+  est.bucket_width_ =
+      static_cast<double>(domain) / static_cast<double>(config.grid_size);
+  est.level_grids_.resize(num_tags);
+  est.start_marginals_.assign(num_tags,
+                              std::vector<uint64_t>(config.grid_size, 0));
+  est.totals_.assign(num_tags, 0);
+  est.text_counts_.assign(num_tags, 0);
+  est.span_totals_.assign(num_tags, 0);
+  est.distinct_values_.assign(num_tags, 0);
+  est.num_tags_ = num_tags;
+  est.pc_counts_.assign(num_tags * num_tags, 0);
+  for (NodeId id = 1; id < doc.NumNodes(); ++id) {
+    est.pc_counts_[static_cast<size_t>(doc.TagOf(doc.ParentOf(id))) *
+                       num_tags +
+                   doc.TagOf(id)]++;
+  }
+  constexpr size_t kDistinctCap = 4096;
+  std::unordered_set<std::string_view> distinct;
+  for (TagId t = 0; t < num_tags; ++t) {
+    distinct.clear();
+    for (NodeId id : index.Postings(t)) {
+      std::string_view text = doc.TextOf(id);
+      if (text.empty()) continue;
+      ++est.text_counts_[t];
+      if (distinct.size() < kDistinctCap) distinct.insert(text);
+    }
+    est.distinct_values_[t] = static_cast<uint32_t>(distinct.size());
+  }
+  for (TagId t = 0; t < num_tags; ++t) {
+    // Allocate level grids lazily per level actually populated: start with
+    // empty placeholders and construct on first touch.
+    auto& grids = est.level_grids_[t];
+    grids.resize(num_levels);
+    for (NodeId id : index.Postings(t)) {
+      const uint16_t level = doc.LevelOf(id);
+      PositionalGrid& grid = grids[level];
+      if (grid.grid_size() == 0) {
+        grid = PositionalGrid(config.grid_size, domain);
+      }
+      grid.Add(id, doc.EndOf(id));
+      est.span_totals_[t] += doc.EndOf(id) - id;
+      uint64_t b = static_cast<uint64_t>(id) * config.grid_size / domain;
+      b = std::min<uint64_t>(b, config.grid_size - 1);
+      ++est.start_marginals_[t][b];
+      ++est.totals_[t];
+    }
+  }
+  return est;
+}
+
+double PositionalHistogramEstimator::TagCardinality(TagId tag) const {
+  if (tag >= totals_.size()) return 0.0;
+  return static_cast<double>(totals_[tag]);
+}
+
+double PositionalHistogramEstimator::AvgSubtreeSize(TagId tag) const {
+  if (tag >= totals_.size() || totals_[tag] == 0) return 0.0;
+  return static_cast<double>(span_totals_[tag]) /
+         static_cast<double>(totals_[tag]);
+}
+
+double PositionalHistogramEstimator::PredicateSelectivity(
+    TagId tag, const ValuePredicate& predicate) const {
+  if (predicate.Empty()) return 1.0;
+  if (tag >= totals_.size() || totals_[tag] == 0) return 0.0;
+  const double text_fraction = static_cast<double>(text_counts_[tag]) /
+                               static_cast<double>(totals_[tag]);
+  switch (predicate.kind) {
+    case ValuePredicate::Kind::kNone:
+      return 1.0;
+    case ValuePredicate::Kind::kEquals:
+      return text_fraction /
+             std::max<double>(1.0, static_cast<double>(distinct_values_[tag]));
+    case ValuePredicate::Kind::kContains:
+      // A substring predicate matches a value class, not a single value;
+      // damp towards the text fraction.
+      return 0.25 * text_fraction;
+  }
+  return 1.0;
+}
+
+double PositionalHistogramEstimator::EstimateFromGrids(
+    TagId a, const std::vector<uint64_t>& d_starts, double width) const {
+  double estimate = 0.0;
+  for (const PositionalGrid& grid : level_grids_[a]) {
+    if (grid.grid_size() == 0 || grid.total() == 0) continue;
+    const uint32_t g = grid.grid_size();
+    for (uint32_t i = 0; i < g; ++i) {
+      if (grid.StartMarginal(i) == 0) continue;
+      for (uint32_t j = i; j < g; ++j) {
+        uint64_t cnt = grid.CellCount(i, j);
+        if (cnt == 0) continue;
+        // Model the cell's elements as intervals anchored at the
+        // start-bucket center with the cell's true mean span.
+        const double a_start = grid.BucketCenter(i);
+        const double a_end = a_start + grid.CellAvgSpan(i, j);
+        estimate += static_cast<double>(cnt) *
+                    StartsInInterval(d_starts, width, a_start, a_end);
+      }
+    }
+  }
+  return estimate;
+}
+
+double PositionalHistogramEstimator::EstimateEdgeJoin(TagId ancestor_tag,
+                                                      TagId descendant_tag,
+                                                      Axis axis) const {
+  if (ancestor_tag >= level_grids_.size() ||
+      descendant_tag >= level_grids_.size()) {
+    return 0.0;
+  }
+  if (totals_[ancestor_tag] == 0 || totals_[descendant_tag] == 0) return 0.0;
+
+  if (axis == Axis::kDescendant) {
+    return EstimateFromGrids(ancestor_tag, start_marginals_[descendant_tag],
+                             bucket_width_);
+  }
+  // Parent-child: exact from the tag-pair count matrix.
+  return static_cast<double>(
+      pc_counts_[static_cast<size_t>(ancestor_tag) * num_tags_ +
+                 descendant_tag]);
+}
+
+}  // namespace sjos

@@ -1,0 +1,82 @@
+#include "exec/executor.h"
+
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "exec/operators.h"
+#include "exec/stack_tree.h"
+
+namespace sjos {
+
+Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
+                                    const PhysicalPlan& plan, int index,
+                                    ExecStats* stats) {
+  const PlanNode& node = plan.At(index);
+  switch (node.op) {
+    case PlanOp::kIndexScan: {
+      TupleSet set = ScanCandidates(db_, pattern, node.scan_node);
+      stats->rows_scanned += set.size();
+      return set;
+    }
+    case PlanOp::kSort: {
+      Result<TupleSet> input = Evaluate(pattern, plan, node.left, stats);
+      if (!input.ok()) return input;
+      TupleSet set = std::move(input).value();
+      if (!SortOperator(&set, node.sort_by)) {
+        return Status::Internal(
+            StrFormat("sort by pattern node %d not in input", node.sort_by));
+      }
+      stats->rows_sorted += set.size();
+      ++stats->num_sorts;
+      return set;
+    }
+    case PlanOp::kNavigate: {
+      Result<TupleSet> input = Evaluate(pattern, plan, node.left, stats);
+      if (!input.ok()) return input;
+      Result<TupleSet> out =
+          NavigateOperator(db_, pattern, input.value(), node.anc_node,
+                           node.desc_node, node.axis, &stats->nodes_navigated);
+      if (!out.ok()) return out;
+      ++stats->num_navigates;
+      return out;
+    }
+    case PlanOp::kStackTreeAnc:
+    case PlanOp::kStackTreeDesc: {
+      Result<TupleSet> left = Evaluate(pattern, plan, node.left, stats);
+      if (!left.ok()) return left;
+      Result<TupleSet> right = Evaluate(pattern, plan, node.right, stats);
+      if (!right.ok()) return right;
+      int anc_slot = left.value().SlotOf(node.anc_node);
+      int desc_slot = right.value().SlotOf(node.desc_node);
+      if (anc_slot < 0 || desc_slot < 0) {
+        return Status::Internal("join endpoints missing from inputs");
+      }
+      JoinStats join_stats;
+      Result<TupleSet> out = StackTreeJoin(
+          db_.doc(), left.value(), static_cast<size_t>(anc_slot),
+          right.value(), static_cast<size_t>(desc_slot), node.axis,
+          /*output_by_ancestor=*/node.op == PlanOp::kStackTreeAnc,
+          &join_stats, options_.max_join_output_rows);
+      if (!out.ok()) return out;
+      stats->join_output_rows += join_stats.output_rows;
+      stats->element_pairs += join_stats.element_pairs;
+      ++stats->num_joins;
+      return out;
+    }
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+Result<ExecResult> Executor::Execute(const Pattern& pattern,
+                                     const PhysicalPlan& plan) {
+  if (plan.Empty()) return Status::InvalidArgument("empty plan");
+  ExecResult result;
+  Timer timer;
+  Result<TupleSet> tuples = Evaluate(pattern, plan, plan.root(), &result.stats);
+  if (!tuples.ok()) return tuples.status();
+  result.tuples = std::move(tuples).value();
+  result.stats.wall_ms = timer.ElapsedMs();
+  result.stats.result_rows = result.tuples.size();
+  return result;
+}
+
+}  // namespace sjos

@@ -1,0 +1,68 @@
+// Plan execution. Operators exchange materialized TupleSets; "fully
+// pipelined" plans differ physically by containing no Sort operator, which
+// is the blocking cost the paper's Sec. 4.3 identifies as dominant. The
+// executor reports wall time plus operator-level counters so benches can
+// decompose where time went.
+
+#ifndef SJOS_EXEC_EXECUTOR_H_
+#define SJOS_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "exec/tuple_set.h"
+#include "plan/plan.h"
+#include "query/pattern.h"
+#include "storage/catalog.h"
+
+namespace sjos {
+
+/// Counters from one plan execution.
+struct ExecStats {
+  double wall_ms = 0.0;
+  uint64_t result_rows = 0;
+  uint64_t rows_scanned = 0;       // index-scan output
+  uint64_t rows_sorted = 0;        // total rows passing through Sort ops
+  uint64_t join_output_rows = 0;   // total join outputs (all joins)
+  uint64_t element_pairs = 0;      // matched element pairs (all joins)
+  uint64_t nodes_navigated = 0;    // subtree nodes visited by Navigate ops
+  size_t num_sorts = 0;
+  size_t num_joins = 0;
+  size_t num_navigates = 0;
+};
+
+/// A finished execution: the result bindings plus counters.
+struct ExecResult {
+  TupleSet tuples;
+  ExecStats stats;
+};
+
+/// Execution knobs.
+struct ExecOptions {
+  /// Abort any single join whose output exceeds this many rows
+  /// (0 = unlimited). Guards deliberately bad plans on huge documents.
+  uint64_t max_join_output_rows = 0;
+};
+
+/// Executes plans against one database.
+class Executor {
+ public:
+  explicit Executor(const Database& db, ExecOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Runs `plan` for `pattern`. The plan must be valid (ValidatePlan);
+  /// execution itself re-checks input ordering at each join and fails
+  /// loudly on violations rather than producing wrong answers.
+  Result<ExecResult> Execute(const Pattern& pattern, const PhysicalPlan& plan);
+
+ private:
+  Result<TupleSet> Evaluate(const Pattern& pattern, const PhysicalPlan& plan,
+                            int index, ExecStats* stats);
+
+  const Database& db_;
+  ExecOptions options_;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_EXEC_EXECUTOR_H_

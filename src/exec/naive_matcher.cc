@@ -1,0 +1,58 @@
+#include "exec/naive_matcher.h"
+
+#include <algorithm>
+
+namespace sjos {
+
+namespace {
+
+/// Depth-first assignment of pattern nodes 0..n-1 (parents before children
+/// by Pattern's construction invariant).
+void Extend(const Document& doc, const Pattern& pattern, size_t next,
+            std::vector<NodeId>* binding,
+            std::vector<std::vector<NodeId>>* out) {
+  if (next == pattern.NumNodes()) {
+    out->push_back(*binding);
+    return;
+  }
+  const PatternNode& pnode = pattern.node(static_cast<PatternNodeId>(next));
+  const NodeId anchor = (*binding)[static_cast<size_t>(pnode.parent)];
+  const NodeId end = doc.EndOf(anchor);
+  for (NodeId cand = anchor + 1; cand <= end; ++cand) {
+    if (doc.TagNameOf(cand) != pnode.tag) continue;
+    if (pnode.axis == Axis::kChild &&
+        doc.LevelOf(cand) != doc.LevelOf(anchor) + 1) {
+      continue;
+    }
+    if (!pnode.predicate.Empty() &&
+        !pnode.predicate.Matches(doc.TextOf(cand))) {
+      continue;
+    }
+    (*binding)[next] = cand;
+    Extend(doc, pattern, next + 1, binding, out);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<NodeId>>> NaiveMatch(const Document& doc,
+                                                    const Pattern& pattern) {
+  SJOS_RETURN_IF_ERROR(pattern.Validate());
+  std::vector<std::vector<NodeId>> out;
+  if (doc.Empty()) return out;
+  const PatternNode& root = pattern.node(0);
+  std::vector<NodeId> binding(pattern.NumNodes());
+  const NodeId n = static_cast<NodeId>(doc.NumNodes());
+  for (NodeId cand = 0; cand < n; ++cand) {
+    if (doc.TagNameOf(cand) != root.tag) continue;
+    if (!root.predicate.Empty() && !root.predicate.Matches(doc.TextOf(cand))) {
+      continue;
+    }
+    binding[0] = cand;
+    Extend(doc, pattern, 1, &binding, &out);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sjos

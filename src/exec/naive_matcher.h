@@ -1,0 +1,24 @@
+// Navigational pattern matching by brute-force tree walking — the
+// correctness oracle for the join-based executor (and the "scan the
+// sub-tree under each node" strawman of Example 2.2). Exponentially slower
+// than structural joins on big documents; tests use it on small ones.
+
+#ifndef SJOS_EXEC_NAIVE_MATCHER_H_
+#define SJOS_EXEC_NAIVE_MATCHER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/pattern.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Finds all matches of `pattern` in `doc` by navigation. Each returned row
+/// binds pattern node i to row[i]; rows are sorted lexicographically.
+Result<std::vector<std::vector<NodeId>>> NaiveMatch(const Document& doc,
+                                                    const Pattern& pattern);
+
+}  // namespace sjos
+
+#endif  // SJOS_EXEC_NAIVE_MATCHER_H_

@@ -1,0 +1,74 @@
+#include "exec/operators.h"
+
+namespace sjos {
+
+TupleSet ScanCandidates(const Database& db, const Pattern& pattern,
+                        PatternNodeId node) {
+  TupleSet set({node});
+  const PatternNode& pnode = pattern.node(node);
+  TagId tag = db.doc().dict().Find(pnode.tag);
+  if (tag != kInvalidTag) {
+    for (NodeId id : db.index().Postings(tag)) {
+      if (!pnode.predicate.Empty() &&
+          !pnode.predicate.Matches(db.doc().TextOf(id))) {
+        continue;
+      }
+      set.AppendRow(&id);
+    }
+  }
+  set.set_ordered_by_slot(0);
+  return set;
+}
+
+Result<TupleSet> NavigateOperator(const Database& db, const Pattern& pattern,
+                                  const TupleSet& input, PatternNodeId anchor,
+                                  PatternNodeId target, Axis axis,
+                                  uint64_t* nodes_visited) {
+  const int anchor_slot = input.SlotOf(anchor);
+  if (anchor_slot < 0) {
+    return Status::InvalidArgument("navigate anchor missing from input");
+  }
+  if (input.SlotOf(target) >= 0) {
+    return Status::InvalidArgument("navigate target already bound");
+  }
+  const PatternNode& tnode = pattern.node(target);
+  const Document& doc = db.doc();
+  const TagId tag = doc.dict().Find(tnode.tag);
+
+  std::vector<PatternNodeId> slots = input.slots();
+  slots.push_back(target);
+  TupleSet out(std::move(slots));
+  out.set_ordered_by_slot(input.ordered_by_slot());
+  if (tag == kInvalidTag) return out;
+
+  const size_t arity = input.arity();
+  std::vector<NodeId> row(arity + 1);
+  for (size_t r = 0; r < input.size(); ++r) {
+    const NodeId a = input.At(r, static_cast<size_t>(anchor_slot));
+    const NodeId end = doc.EndOf(a);
+    if (nodes_visited != nullptr) *nodes_visited += end - a;
+    for (NodeId cand = a + 1; cand <= end; ++cand) {
+      if (doc.TagOf(cand) != tag) continue;
+      if (axis == Axis::kChild && doc.LevelOf(cand) != doc.LevelOf(a) + 1) {
+        continue;
+      }
+      if (!tnode.predicate.Empty() &&
+          !tnode.predicate.Matches(doc.TextOf(cand))) {
+        continue;
+      }
+      for (size_t c = 0; c < arity; ++c) row[c] = input.At(r, c);
+      row[arity] = cand;
+      out.AppendRow(row.data());
+    }
+  }
+  return out;
+}
+
+bool SortOperator(TupleSet* set, PatternNodeId by_node) {
+  int slot = set->SlotOf(by_node);
+  if (slot < 0) return false;
+  set->SortBySlot(static_cast<size_t>(slot));
+  return true;
+}
+
+}  // namespace sjos

@@ -1,0 +1,36 @@
+// Leaf/unary physical operators: index scan and sort. The join operator
+// lives in stack_tree.h; the executor composes all of them over a plan.
+
+#ifndef SJOS_EXEC_OPERATORS_H_
+#define SJOS_EXEC_OPERATORS_H_
+
+#include "exec/tuple_set.h"
+#include "query/pattern.h"
+#include "storage/catalog.h"
+
+namespace sjos {
+
+/// Index access (Sec. 2.2.2): materializes the candidate list of pattern
+/// node `node` — every element whose tag matches — as a one-column tuple
+/// set in document order. A tag absent from the document yields an empty
+/// set.
+TupleSet ScanCandidates(const Database& db, const Pattern& pattern,
+                        PatternNodeId node);
+
+/// Sort operator: reorders `set` by the column bound to pattern node
+/// `by_node`. Returns false if the set does not cover that node.
+bool SortOperator(TupleSet* set, PatternNodeId by_node);
+
+/// Navigation operator (Example 2.2's subtree scan): for every input
+/// tuple, scans the subtree of its `anchor` binding and emits one output
+/// tuple per element matching pattern node `target` (tag + predicate +
+/// axis). Output preserves the input's physical order. `nodes_visited`
+/// (optional) accumulates the scan effort.
+Result<TupleSet> NavigateOperator(const Database& db, const Pattern& pattern,
+                                  const TupleSet& input, PatternNodeId anchor,
+                                  PatternNodeId target, Axis axis,
+                                  uint64_t* nodes_visited = nullptr);
+
+}  // namespace sjos
+
+#endif  // SJOS_EXEC_OPERATORS_H_

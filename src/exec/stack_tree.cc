@@ -1,0 +1,192 @@
+#include "exec/stack_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sjos {
+
+namespace {
+
+/// A run of input rows sharing one join element.
+struct Group {
+  NodeId elem;
+  uint32_t row_begin;
+  uint32_t row_end;  // exclusive
+};
+
+std::vector<Group> BuildGroups(const TupleSet& set, size_t slot) {
+  std::vector<Group> groups;
+  const size_t n = set.size();
+  size_t i = 0;
+  while (i < n) {
+    NodeId elem = set.At(i, slot);
+    size_t j = i + 1;
+    while (j < n && set.At(j, slot) == elem) ++j;
+    groups.push_back(Group{elem, static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(j)});
+    i = j;
+  }
+  return groups;
+}
+
+/// A matched (ancestor group, descendant group) element pair.
+struct GroupPair {
+  uint32_t ag;
+  uint32_t dg;
+};
+
+/// Expands a pair's row cross product into `out`, stopping at
+/// `max_output_rows` (0 = unlimited). Returns false when the budget was
+/// hit — a single pair of large groups can exceed it on its own, so the
+/// check must sit inside the expansion loop.
+bool EmitPair(const TupleSet& anc, const TupleSet& desc,
+              const std::vector<Group>& anc_groups,
+              const std::vector<Group>& desc_groups, const GroupPair& pair,
+              uint64_t max_output_rows, TupleSet* out, JoinStats* stats) {
+  const Group& ga = anc_groups[pair.ag];
+  const Group& gd = desc_groups[pair.dg];
+  const size_t la = anc.arity();
+  const size_t ld = desc.arity();
+  for (uint32_t ar = ga.row_begin; ar < ga.row_end; ++ar) {
+    for (uint32_t dr = gd.row_begin; dr < gd.row_end; ++dr) {
+      if (max_output_rows != 0 && out->size() >= max_output_rows) {
+        return false;
+      }
+      out->AppendConcat(anc.Row(ar), la, desc.Row(dr), ld);
+      if (stats != nullptr) ++stats->output_rows;
+    }
+  }
+  return true;
+}
+
+/// True if ancestor element `a` matches descendant element `d` under `axis`.
+bool Matches(const Document& doc, NodeId a, NodeId d, Axis axis) {
+  if (a >= d) return false;  // proper containment needs a.start < d.start
+  if (axis == Axis::kChild) {
+    return doc.LevelOf(a) + 1 == doc.LevelOf(d);
+  }
+  return true;  // containment established by the caller's stack discipline
+}
+
+}  // namespace
+
+Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
+                               size_t anc_slot, const TupleSet& desc,
+                               size_t desc_slot, Axis axis,
+                               bool output_by_ancestor, JoinStats* stats,
+                               uint64_t max_output_rows) {
+  if (anc_slot >= anc.arity() || desc_slot >= desc.arity()) {
+    return Status::InvalidArgument("join slot out of range");
+  }
+  for (PatternNodeId s : anc.slots()) {
+    if (desc.SlotOf(s) >= 0) {
+      return Status::InvalidArgument("join input schemas overlap");
+    }
+  }
+  if (!anc.IsSortedBySlot(anc_slot)) {
+    return Status::InvalidArgument("ancestor input not sorted by join column");
+  }
+  if (!desc.IsSortedBySlot(desc_slot)) {
+    return Status::InvalidArgument("descendant input not sorted by join column");
+  }
+
+  std::vector<PatternNodeId> out_slots = anc.slots();
+  out_slots.insert(out_slots.end(), desc.slots().begin(), desc.slots().end());
+  TupleSet out(std::move(out_slots));
+  out.set_ordered_by_slot(
+      output_by_ancestor ? static_cast<int>(anc_slot)
+                         : static_cast<int>(anc.arity() + desc_slot));
+
+  const std::vector<Group> anc_groups = BuildGroups(anc, anc_slot);
+  const std::vector<Group> desc_groups = BuildGroups(desc, desc_slot);
+  if (anc_groups.empty() || desc_groups.empty()) return out;
+
+  // Row-budget enforcement; EmitPair checks per row, so even one huge
+  // group cross product cannot outrun the budget.
+  bool overflow = false;
+  auto emit = [&](const GroupPair& pair) {
+    if (overflow) return;
+    if (!EmitPair(anc, desc, anc_groups, desc_groups, pair, max_output_rows,
+                  &out, stats)) {
+      overflow = true;
+    }
+  };
+
+  // Per-stack-entry pair buffers, used only by the Anc variant.
+  struct StackEntry {
+    uint32_t ag;
+    std::vector<GroupPair> self;
+    std::vector<GroupPair> inherit;
+  };
+  std::vector<StackEntry> stack;
+
+  auto entry_end = [&](const StackEntry& e) {
+    return doc.EndOf(anc_groups[e.ag].elem);
+  };
+
+  // Releases a popped entry's pairs: to the output if it was the bottom,
+  // otherwise into the new top's inherit list (keeps ancestor order).
+  auto pop_entry = [&] {
+    StackEntry popped = std::move(stack.back());
+    stack.pop_back();
+    if (!output_by_ancestor) return;  // Desc variant emits eagerly
+    if (stack.empty()) {
+      for (const GroupPair& p : popped.self) {
+        if (overflow) return;
+        emit(p);
+      }
+      for (const GroupPair& p : popped.inherit) {
+        if (overflow) return;
+        emit(p);
+      }
+    } else {
+      StackEntry& top = stack.back();
+      top.inherit.insert(top.inherit.end(), popped.self.begin(),
+                         popped.self.end());
+      top.inherit.insert(top.inherit.end(), popped.inherit.begin(),
+                         popped.inherit.end());
+    }
+  };
+
+  size_t ai = 0;
+  for (uint32_t dg = 0; dg < desc_groups.size() && !overflow; ++dg) {
+    const NodeId d = desc_groups[dg].elem;
+    // Stack every ancestor candidate that starts before d.
+    while (ai < anc_groups.size() && anc_groups[ai].elem < d) {
+      const NodeId a = anc_groups[ai].elem;
+      while (!stack.empty() && entry_end(stack.back()) < a) pop_entry();
+      stack.push_back(StackEntry{static_cast<uint32_t>(ai), {}, {}});
+      if (stats != nullptr) {
+        ++stats->stack_pushes;
+        stats->max_stack_depth =
+            std::max<uint64_t>(stats->max_stack_depth, stack.size());
+      }
+      ++ai;
+    }
+    // Retire entries that closed before d.
+    while (!stack.empty() && entry_end(stack.back()) < d) pop_entry();
+    // Every remaining entry contains d (start < d <= end). Match pairs.
+    for (size_t k = 0; k < stack.size(); ++k) {
+      const NodeId a = anc_groups[stack[k].ag].elem;
+      if (!Matches(doc, a, d, axis)) continue;
+      if (stats != nullptr) ++stats->element_pairs;
+      GroupPair pair{stack[k].ag, dg};
+      if (output_by_ancestor) {
+        stack[k].self.push_back(pair);
+      } else {
+        if (overflow) break;
+        emit(pair);
+      }
+    }
+  }
+  // Drain the stack so buffered Anc pairs are released bottom-up.
+  while (!stack.empty() && !overflow) pop_entry();
+
+  if (overflow) {
+    return Status::OutOfRange(
+        "structural join output exceeded the configured row budget");
+  }
+  return out;
+}
+
+}  // namespace sjos

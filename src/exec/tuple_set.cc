@@ -1,0 +1,74 @@
+#include "exec/tuple_set.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sjos {
+
+TupleSet::TupleSet(std::vector<PatternNodeId> slots)
+    : slots_(std::move(slots)) {}
+
+int TupleSet::SlotOf(PatternNodeId node) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] == node) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void TupleSet::AppendRow(const NodeId* row) {
+  data_.insert(data_.end(), row, row + arity());
+}
+
+void TupleSet::AppendConcat(const NodeId* left, size_t left_n,
+                            const NodeId* right, size_t right_n) {
+  data_.insert(data_.end(), left, left + left_n);
+  data_.insert(data_.end(), right, right + right_n);
+}
+
+void TupleSet::SortBySlot(size_t slot) {
+  const size_t n = size();
+  const size_t a = arity();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    return data_[x * a + slot] < data_[y * a + slot];
+  });
+  std::vector<NodeId> sorted;
+  sorted.reserve(data_.size());
+  for (uint32_t row : order) {
+    const NodeId* src = &data_[row * a];
+    sorted.insert(sorted.end(), src, src + a);
+  }
+  data_ = std::move(sorted);
+  ordered_by_slot_ = static_cast<int>(slot);
+}
+
+bool TupleSet::IsSortedBySlot(size_t slot) const {
+  const size_t n = size();
+  const size_t a = arity();
+  for (size_t i = 1; i < n; ++i) {
+    if (data_[(i - 1) * a + slot] > data_[i * a + slot]) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<NodeId>> TupleSet::Canonical() const {
+  // Column order: ascending pattern node id.
+  std::vector<size_t> col_order(slots_.size());
+  std::iota(col_order.begin(), col_order.end(), 0);
+  std::sort(col_order.begin(), col_order.end(),
+            [&](size_t x, size_t y) { return slots_[x] < slots_[y]; });
+  std::vector<std::vector<NodeId>> rows;
+  rows.reserve(size());
+  for (size_t r = 0; r < size(); ++r) {
+    std::vector<NodeId> row(slots_.size());
+    for (size_t c = 0; c < slots_.size(); ++c) {
+      row[c] = At(r, col_order[c]);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace sjos

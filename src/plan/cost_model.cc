@@ -1,0 +1,19 @@
+#include "plan/cost_model.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace sjos {
+
+std::string CostFactors::ToString() const {
+  return StrFormat("f_I=%.3f f_s=%.3f f_IO=%.3f f_st=%.3f f_out=%.3f",
+                   f_index, f_sort, f_io, f_stack, f_out);
+}
+
+double CostModel::Sort(double n) const {
+  if (n <= 1.0) return factors_.f_sort_setup;
+  return factors_.f_sort_setup + factors_.f_sort * n * std::log2(n);
+}
+
+}  // namespace sjos

@@ -1,0 +1,73 @@
+#include "plan/plan.h"
+
+namespace sjos {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kIndexScan:
+      return "IndexScan";
+    case PlanOp::kStackTreeAnc:
+      return "StackTreeAnc";
+    case PlanOp::kStackTreeDesc:
+      return "StackTreeDesc";
+    case PlanOp::kSort:
+      return "Sort";
+    case PlanOp::kNavigate:
+      return "Navigate";
+  }
+  return "?";
+}
+
+int PhysicalPlan::AddIndexScan(PatternNodeId node) {
+  PlanNode n;
+  n.op = PlanOp::kIndexScan;
+  n.scan_node = node;
+  nodes_.push_back(n);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int PhysicalPlan::AddJoin(PlanOp op, PatternNodeId anc, PatternNodeId desc,
+                          Axis axis, int left, int right) {
+  SJOS_CHECK(op == PlanOp::kStackTreeAnc || op == PlanOp::kStackTreeDesc,
+             "AddJoin requires a join op");
+  SJOS_CHECK(left >= 0 && right >= 0 &&
+                 static_cast<size_t>(left) < nodes_.size() &&
+                 static_cast<size_t>(right) < nodes_.size(),
+             "AddJoin children out of range");
+  PlanNode n;
+  n.op = op;
+  n.anc_node = anc;
+  n.desc_node = desc;
+  n.axis = axis;
+  n.left = left;
+  n.right = right;
+  nodes_.push_back(n);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int PhysicalPlan::AddNavigate(PatternNodeId anc, PatternNodeId desc,
+                              Axis axis, int input) {
+  SJOS_CHECK(input >= 0 && static_cast<size_t>(input) < nodes_.size(),
+             "AddNavigate input out of range");
+  PlanNode n;
+  n.op = PlanOp::kNavigate;
+  n.anc_node = anc;
+  n.desc_node = desc;
+  n.axis = axis;
+  n.left = input;
+  nodes_.push_back(n);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int PhysicalPlan::AddSort(PatternNodeId sort_by, int input) {
+  SJOS_CHECK(input >= 0 && static_cast<size_t>(input) < nodes_.size(),
+             "AddSort input out of range");
+  PlanNode n;
+  n.op = PlanOp::kSort;
+  n.sort_by = sort_by;
+  n.left = input;
+  nodes_.push_back(n);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+}  // namespace sjos

@@ -1,0 +1,91 @@
+// Physical evaluation plans (Sec. 2.3): rooted trees of physical operators.
+// Four operators exist — index scan, the two Stack-Tree joins, and sort.
+// Plans are stored as flat node arrays owned by PhysicalPlan; operator
+// inputs are referenced by index.
+//
+// Conventions:
+//   * A join's LEFT child produces the ancestor-side input, the RIGHT
+//     child the descendant-side input.
+//   * Stack-Tree-Anc output is ordered by the ancestor pattern node,
+//     Stack-Tree-Desc output by the descendant pattern node (Sec. 2.2.1).
+//   * Every join input must arrive ordered by that input's join node; plan
+//     construction inserts Sort operators to guarantee this, and
+//     ValidatePlan() checks it.
+
+#ifndef SJOS_PLAN_PLAN_H_
+#define SJOS_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/pattern.h"
+
+namespace sjos {
+
+/// Physical operator kinds.
+enum class PlanOp : uint8_t {
+  kIndexScan,      // leaf: candidate list of one pattern node
+  kStackTreeAnc,   // structural join, output ordered by ancestor
+  kStackTreeDesc,  // structural join, output ordered by descendant
+  kSort,           // re-order input by a chosen pattern node
+  kNavigate,       // unary: per input tuple, scan the anchor's subtree for
+                   // matches of a new pattern node (Example 2.2's subtree
+                   // scan as a physical operator; the only way to reach
+                   // unindexed nodes). Preserves the input's ordering.
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// One operator in a plan. Which fields are meaningful depends on `op`.
+struct PlanNode {
+  PlanOp op = PlanOp::kIndexScan;
+
+  // kIndexScan: which pattern node's candidates to scan.
+  PatternNodeId scan_node = kNoPatternNode;
+
+  // kStackTreeAnc / kStackTreeDesc / kNavigate: the pattern edge evaluated
+  // (for kNavigate, anc_node is the anchor already bound by the input and
+  // desc_node the node being navigated to).
+  PatternNodeId anc_node = kNoPatternNode;
+  PatternNodeId desc_node = kNoPatternNode;
+  Axis axis = Axis::kChild;
+
+  // kSort: pattern node to order the input by.
+  PatternNodeId sort_by = kNoPatternNode;
+
+  // Children (indices into PhysicalPlan). Scans have none, sorts have
+  // `left`, joins have both.
+  int left = -1;
+  int right = -1;
+};
+
+/// A complete (or partial) physical plan.
+class PhysicalPlan {
+ public:
+  PhysicalPlan() = default;
+
+  int AddIndexScan(PatternNodeId node);
+  int AddJoin(PlanOp op, PatternNodeId anc, PatternNodeId desc, Axis axis,
+              int left, int right);
+  int AddSort(PatternNodeId sort_by, int input);
+  /// Navigation from `anc` (covered by `input`) to the new node `desc`.
+  int AddNavigate(PatternNodeId anc, PatternNodeId desc, Axis axis, int input);
+
+  void SetRoot(int root) { root_ = root; }
+  int root() const { return root_; }
+
+  size_t NumOps() const { return nodes_.size(); }
+  const PlanNode& At(int i) const { return nodes_[static_cast<size_t>(i)]; }
+
+  bool Empty() const { return nodes_.empty() || root_ < 0; }
+
+ private:
+  std::vector<PlanNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_PLAN_PLAN_H_

@@ -1,0 +1,120 @@
+#include "plan/plan_printer.h"
+
+#include "common/str_util.h"
+#include "plan/plan_props.h"
+
+namespace sjos {
+
+namespace {
+
+std::string NodeLabel(const Pattern& pattern, PatternNodeId id) {
+  if (id == kNoPatternNode) return "?";
+  return StrFormat("#%d(%s)", id, pattern.node(id).tag.c_str());
+}
+
+void PrintNode(const PhysicalPlan& plan, const Pattern& pattern,
+               const PlanProps* props, int index, int depth,
+               std::string* out) {
+  const PlanNode& node = plan.At(index);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (node.op) {
+    case PlanOp::kIndexScan:
+      *out += StrFormat("IndexScan %s", NodeLabel(pattern, node.scan_node).c_str());
+      break;
+    case PlanOp::kSort:
+      *out += StrFormat("Sort by %s", NodeLabel(pattern, node.sort_by).c_str());
+      break;
+    case PlanOp::kNavigate:
+      *out += StrFormat("Navigate %s %s %s", NodeLabel(pattern, node.anc_node).c_str(),
+                        AxisToken(node.axis),
+                        NodeLabel(pattern, node.desc_node).c_str());
+      break;
+    case PlanOp::kStackTreeAnc:
+    case PlanOp::kStackTreeDesc:
+      *out += StrFormat("%s %s %s %s", PlanOpName(node.op),
+                        NodeLabel(pattern, node.anc_node).c_str(),
+                        AxisToken(node.axis),
+                        NodeLabel(pattern, node.desc_node).c_str());
+      break;
+  }
+  if (props != nullptr) {
+    const OpProps& op = props->ops[static_cast<size_t>(index)];
+    *out += StrFormat("  [rows~%.0f cost~%.0f ordered-by %s]", op.est_rows,
+                      op.est_cost, NodeLabel(pattern, op.ordered_by).c_str());
+  }
+  *out += '\n';
+  if (node.left >= 0) PrintNode(plan, pattern, props, node.left, depth + 1, out);
+  if (node.right >= 0) {
+    PrintNode(plan, pattern, props, node.right, depth + 1, out);
+  }
+}
+
+void SignatureOf(const PhysicalPlan& plan, const Pattern& pattern, int index,
+                 std::string* out) {
+  const PlanNode& node = plan.At(index);
+  switch (node.op) {
+    case PlanOp::kIndexScan:
+      *out += pattern.node(node.scan_node).tag;
+      *out += StrFormat("#%d", node.scan_node);
+      break;
+    case PlanOp::kSort:
+      *out += "sort_";
+      *out += pattern.node(node.sort_by).tag;
+      *out += '(';
+      SignatureOf(plan, pattern, node.left, out);
+      *out += ')';
+      break;
+    case PlanOp::kNavigate:
+      *out += '(';
+      SignatureOf(plan, pattern, node.left, out);
+      *out += " NAV ";
+      *out += pattern.node(node.desc_node).tag;
+      *out += StrFormat("#%d", node.desc_node);
+      *out += ')';
+      break;
+    case PlanOp::kStackTreeAnc:
+    case PlanOp::kStackTreeDesc:
+      *out += '(';
+      SignatureOf(plan, pattern, node.left, out);
+      *out += node.op == PlanOp::kStackTreeAnc ? " STA " : " STD ";
+      SignatureOf(plan, pattern, node.right, out);
+      *out += ')';
+      break;
+  }
+}
+
+}  // namespace
+
+std::string PrintPlan(const PhysicalPlan& plan, const Pattern& pattern) {
+  if (plan.Empty()) return "<empty plan>\n";
+  std::string out;
+  PrintNode(plan, pattern, nullptr, plan.root(), 0, &out);
+  return out;
+}
+
+std::string PrintPlanWithEstimates(const PhysicalPlan& plan,
+                                   const Pattern& pattern,
+                                   const PatternEstimates& estimates,
+                                   const CostModel& cost_model) {
+  if (plan.Empty()) return "<empty plan>\n";
+  Result<PlanProps> props = ComputePlanProps(plan, pattern, estimates, cost_model);
+  std::string out;
+  if (!props.ok()) {
+    out = "<invalid plan: " + props.status().ToString() + ">\n";
+    PrintNode(plan, pattern, nullptr, plan.root(), 0, &out);
+    return out;
+  }
+  PrintNode(plan, pattern, &props.value(), plan.root(), 0, &out);
+  out += StrFormat("total modelled cost: %.1f%s\n", props.value().total_cost,
+                   props.value().fully_pipelined ? " (fully pipelined)" : "");
+  return out;
+}
+
+std::string PlanSignature(const PhysicalPlan& plan, const Pattern& pattern) {
+  if (plan.Empty()) return "<empty>";
+  std::string out;
+  SignatureOf(plan, pattern, plan.root(), &out);
+  return out;
+}
+
+}  // namespace sjos

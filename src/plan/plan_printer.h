@@ -1,0 +1,33 @@
+// Text rendering of physical plans, in the spirit of the paper's Fig. 2
+// plan drawings: an indented operator tree annotated with join nodes, axes,
+// output ordering, and (when estimates are supplied) rows/cost.
+
+#ifndef SJOS_PLAN_PLAN_PRINTER_H_
+#define SJOS_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "estimate/composite.h"
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "query/pattern.h"
+
+namespace sjos {
+
+/// Renders `plan` as an indented tree. Pattern node ids are shown with
+/// their tags, e.g. "#1(employee)".
+std::string PrintPlan(const PhysicalPlan& plan, const Pattern& pattern);
+
+/// Same, with per-operator estimated rows and cumulative cost columns.
+std::string PrintPlanWithEstimates(const PhysicalPlan& plan,
+                                   const Pattern& pattern,
+                                   const PatternEstimates& estimates,
+                                   const CostModel& cost_model);
+
+/// One-line summary: join order as a parenthesized expression, e.g.
+/// "((A STD B) STA (D STD E))". Useful in bench output tables.
+std::string PlanSignature(const PhysicalPlan& plan, const Pattern& pattern);
+
+}  // namespace sjos
+
+#endif  // SJOS_PLAN_PLAN_PRINTER_H_

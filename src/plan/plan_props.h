@@ -1,0 +1,54 @@
+// Derived plan properties: which pattern nodes each operator covers, the
+// physical order of its output, validity (join inputs correctly ordered,
+// each pattern node scanned exactly once, every edge joined exactly once),
+// shape classification (left-deep vs bushy, fully-pipelined vs blocking),
+// and modelled cost.
+
+#ifndef SJOS_PLAN_PLAN_PROPS_H_
+#define SJOS_PLAN_PLAN_PROPS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "estimate/composite.h"
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "query/pattern.h"
+
+namespace sjos {
+
+/// Per-operator derived properties.
+struct OpProps {
+  NodeMask covered = 0;                       // pattern nodes produced
+  PatternNodeId ordered_by = kNoPatternNode;  // physical output order
+  double est_rows = 0.0;                      // estimated output tuples
+  double est_cost = 0.0;                      // cumulative modelled cost
+};
+
+/// Whole-plan summary.
+struct PlanProps {
+  std::vector<OpProps> ops;  // indexed like the plan's nodes
+  double total_cost = 0.0;
+  bool fully_pipelined = false;  // no Sort operator anywhere
+  bool left_deep = false;        // every join's right input is a leaf scan
+  size_t num_sorts = 0;
+  size_t num_joins = 0;
+};
+
+/// Checks structural validity of `plan` against `pattern`:
+///   * the root covers all pattern nodes,
+///   * each pattern node is scanned exactly once,
+///   * every join evaluates a distinct pattern edge whose endpoints come
+///     one from each input,
+///   * both join inputs are ordered by their respective join nodes.
+Status ValidatePlan(const PhysicalPlan& plan, const Pattern& pattern);
+
+/// Computes properties + modelled cost. Fails where ValidatePlan would.
+Result<PlanProps> ComputePlanProps(const PhysicalPlan& plan,
+                                   const Pattern& pattern,
+                                   const PatternEstimates& estimates,
+                                   const CostModel& cost_model);
+
+}  // namespace sjos
+
+#endif  // SJOS_PLAN_PLAN_PROPS_H_

@@ -1,0 +1,40 @@
+// Random valid-plan generation: the paper's "Bad Plan" baseline
+// (Sec. 4.2.1 randomly generates a number of plans and reports the worst,
+// to quantify the impact of optimization). Plans are built by joining the
+// pattern's edges in a random order with random algorithm choices,
+// inserting sorts wherever an input is mis-ordered, so every generated
+// plan is valid.
+
+#ifndef SJOS_PLAN_RANDOM_PLANS_H_
+#define SJOS_PLAN_RANDOM_PLANS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "estimate/composite.h"
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "query/pattern.h"
+
+namespace sjos {
+
+/// Generates one uniformly random valid plan for `pattern`.
+Result<PhysicalPlan> RandomPlan(const Pattern& pattern, Rng* rng);
+
+/// Generates `samples` random plans and returns the one with the highest
+/// modelled cost ("worst of k"), along with that cost, using the supplied
+/// estimates and cost model.
+struct WorstPlanResult {
+  PhysicalPlan plan;
+  double modelled_cost = 0.0;
+};
+
+Result<WorstPlanResult> WorstOfRandomPlans(const Pattern& pattern,
+                                           const PatternEstimates& estimates,
+                                           const CostModel& cost_model,
+                                           size_t samples, uint64_t seed);
+
+}  // namespace sjos
+
+#endif  // SJOS_PLAN_RANDOM_PLANS_H_

@@ -1,0 +1,130 @@
+// Query pattern trees (Sec. 2.1): a rooted, node-labelled tree whose node
+// labels are tag-name predicates and whose edges are parent-child ('/') or
+// ancestor-descendant ('//', the paper's '*' edge label). Evaluating a
+// query = finding all total mappings of the pattern into the document that
+// respect both labels and edge relationships.
+
+#ifndef SJOS_QUERY_PATTERN_H_
+#define SJOS_QUERY_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sjos {
+
+/// Edge relationship between a pattern node and its pattern parent.
+enum class Axis : uint8_t {
+  kChild,       // '/'  — parent-child
+  kDescendant,  // '//' — ancestor-descendant (the paper's '*' edge)
+};
+
+/// Index of a node within a Pattern (0 = pattern root).
+using PatternNodeId = int;
+
+inline constexpr PatternNodeId kNoPatternNode = -1;
+
+/// Optional value predicate on a pattern node (Sec. 2.1 allows node labels
+/// to be boolean compositions of predicates; we support tag tests combined
+/// with one text predicate).
+struct ValuePredicate {
+  enum class Kind : uint8_t {
+    kNone,      // tag test only
+    kEquals,    // element text == value
+    kContains,  // element text contains value as a substring
+  };
+  Kind kind = Kind::kNone;
+  std::string value;
+
+  bool Empty() const { return kind == Kind::kNone; }
+  /// True if `text` satisfies the predicate.
+  bool Matches(std::string_view text) const;
+  /// "='v'" / "~'v'" / "".
+  std::string ToString() const;
+
+  bool operator==(const ValuePredicate&) const = default;
+};
+
+/// One pattern node: its tag predicate, optional value predicate, and the
+/// edge to its parent. `indexed` marks whether a candidate list can be
+/// obtained through the tag index (Sec. 2.2.1 assumes yes; the paper's
+/// future work — "cases where every node predicate is not evaluated using
+/// an index" — is modelled by indexed = false, which forces the optimizer
+/// to reach the node by subtree navigation instead of a structural join).
+struct PatternNode {
+  std::string tag;
+  PatternNodeId parent = kNoPatternNode;
+  Axis axis = Axis::kChild;  // meaningless for the root
+  ValuePredicate predicate;
+  bool indexed = true;
+};
+
+/// A query pattern tree. Nodes are added root-first; the structure is
+/// immutable once handed to the optimizer.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Creates the root. Must be called first, exactly once.
+  PatternNodeId AddRoot(std::string tag);
+
+  /// Adds a child of `parent` connected with `axis`. Returns its id.
+  PatternNodeId AddChild(PatternNodeId parent, std::string tag, Axis axis);
+
+  /// Attaches a value predicate to node `id`.
+  void SetPredicate(PatternNodeId id, ValuePredicate predicate);
+
+  /// Marks node `id` as having no usable index (only non-root nodes may
+  /// be unindexed; Validate enforces this).
+  void SetUnindexed(PatternNodeId id);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return nodes_.empty() ? 0 : nodes_.size() - 1; }
+
+  const PatternNode& node(PatternNodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  /// Children of `id` in insertion order.
+  std::vector<PatternNodeId> ChildrenOf(PatternNodeId id) const;
+
+  /// All tree neighbors of `id` (parent + children). Used by the FP
+  /// optimizer's re-rooting.
+  std::vector<PatternNodeId> NeighborsOf(PatternNodeId id) const;
+
+  /// Edge list; edge i connects node i+1 to its parent.
+  struct Edge {
+    PatternNodeId parent;
+    PatternNodeId child;
+    Axis axis;
+  };
+  std::vector<Edge> Edges() const;
+
+  /// Optional node the final result must be ordered by; kNoPatternNode
+  /// means any order is acceptable.
+  PatternNodeId order_by() const { return order_by_; }
+  void set_order_by(PatternNodeId id) { order_by_ = id; }
+
+  /// Structural checks: exactly one root, parents precede children, tags
+  /// non-empty, order_by in range.
+  Status Validate() const;
+
+  /// Compact text form, e.g. "manager[//employee[/name]][//department]".
+  std::string ToString() const;
+
+  bool operator==(const Pattern& other) const;
+
+ private:
+  void AppendNodeString(PatternNodeId id, std::string* out) const;
+
+  std::vector<PatternNode> nodes_;
+  PatternNodeId order_by_ = kNoPatternNode;
+};
+
+const char* AxisToken(Axis axis);  // "/" or "//"
+
+}  // namespace sjos
+
+#endif  // SJOS_QUERY_PATTERN_H_

@@ -1,0 +1,166 @@
+#include "query/pattern_parser.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace sjos {
+
+namespace {
+
+class PatternScanner {
+ public:
+  explicit PatternScanner(std::string_view text) : in_(text) {}
+
+  Result<Pattern> Parse() {
+    SkipWs();
+    std::string_view tag = ScanTag();
+    if (tag.empty()) return Fail("expected root tag");
+    PatternNodeId root = pattern_.AddRoot(std::string(tag));
+    ParseIndexMarker(root);
+    ParsePredicate(root);
+    if (!error_.ok()) return error_;
+    ParseBranches(root);
+    if (!error_.ok()) return error_;
+    SkipWs();
+    if (!Eof() && Peek() == '!') {
+      ++pos_;
+      std::string_view order_tag = ScanTag();
+      if (order_tag.empty()) return Fail("expected tag after '!'");
+      PatternNodeId target = FindFirstWithTag(order_tag);
+      if (target == kNoPatternNode) {
+        return Fail(StrFormat("order-by tag '%s' not in pattern",
+                              std::string(order_tag).c_str()));
+      }
+      pattern_.set_order_by(target);
+    }
+    SkipWs();
+    if (!Eof()) return Fail("trailing characters");
+    SJOS_RETURN_IF_ERROR(pattern_.Validate());
+    return std::move(pattern_);
+  }
+
+ private:
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  void SkipWs() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  Status Fail(const std::string& why) {
+    if (error_.ok()) {
+      error_ = Status::ParseError(StrFormat("%s (at offset %zu in pattern)",
+                                            why.c_str(), pos_));
+    }
+    return error_;
+  }
+
+  std::string_view ScanTag() {
+    SkipWs();
+    size_t begin = pos_;
+    while (!Eof()) {
+      char c = Peek();
+      bool first = pos_ == begin;
+      bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '@' ||
+                (!first && (std::isdigit(static_cast<unsigned char>(c)) ||
+                            c == '.' || c == ':' || c == '-'));
+      if (!ok) break;
+      ++pos_;
+    }
+    return in_.substr(begin, pos_ - begin);
+  }
+
+  void ParseBranches(PatternNodeId parent) {
+    for (;;) {
+      SkipWs();
+      if (Eof() || Peek() != '[') return;
+      ++pos_;  // '['
+      SkipWs();
+      Axis axis = Axis::kChild;
+      if (!Eof() && Peek() == '/') {
+        ++pos_;
+        if (!Eof() && Peek() == '/') {
+          ++pos_;
+          axis = Axis::kDescendant;
+        }
+      } else {
+        Fail("expected '/' or '//' after '['");
+        return;
+      }
+      std::string_view tag = ScanTag();
+      if (tag.empty()) {
+        Fail("expected tag after axis");
+        return;
+      }
+      PatternNodeId child = pattern_.AddChild(parent, std::string(tag), axis);
+      ParseIndexMarker(child);
+      ParsePredicate(child);
+      if (!error_.ok()) return;
+      ParseBranches(child);
+      if (!error_.ok()) return;
+      SkipWs();
+      if (Eof() || Peek() != ']') {
+        Fail("expected ']'");
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  /// Optional '?' after a tag: the node has no usable index.
+  void ParseIndexMarker(PatternNodeId node) {
+    if (!Eof() && Peek() == '?') {
+      ++pos_;
+      pattern_.SetUnindexed(node);
+    }
+  }
+
+  /// Optional "='value'" or "~'value'" after a tag.
+  void ParsePredicate(PatternNodeId node) {
+    SkipWs();
+    if (Eof() || (Peek() != '=' && Peek() != '~')) return;
+    ValuePredicate predicate;
+    predicate.kind = Peek() == '=' ? ValuePredicate::Kind::kEquals
+                                   : ValuePredicate::Kind::kContains;
+    ++pos_;
+    SkipWs();
+    if (Eof() || Peek() != '\'') {
+      Fail("expected quoted value after predicate operator");
+      return;
+    }
+    ++pos_;
+    size_t begin = pos_;
+    size_t end = in_.find('\'', pos_);
+    if (end == std::string_view::npos) {
+      Fail("unterminated predicate value");
+      return;
+    }
+    predicate.value = std::string(in_.substr(begin, end - begin));
+    pos_ = end + 1;
+    pattern_.SetPredicate(node, std::move(predicate));
+  }
+
+  PatternNodeId FindFirstWithTag(std::string_view tag) const {
+    for (size_t i = 0; i < pattern_.NumNodes(); ++i) {
+      if (pattern_.node(static_cast<PatternNodeId>(i)).tag == tag) {
+        return static_cast<PatternNodeId>(i);
+      }
+    }
+    return kNoPatternNode;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  Pattern pattern_;
+  Status error_;
+};
+
+}  // namespace
+
+Result<Pattern> ParsePattern(std::string_view text) {
+  PatternScanner scanner(text);
+  return scanner.Parse();
+}
+
+}  // namespace sjos

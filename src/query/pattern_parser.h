@@ -1,0 +1,37 @@
+// Text syntax for pattern trees. Grammar (whitespace ignored):
+//
+//   pattern  :=  node branch* order?
+//   node     :=  tag index-marker? predicate?
+//   index-marker := '?'               (no usable index; the optimizer must
+//                                      reach this node via navigation)
+//   branch   :=  '[' axis node branch* ']'
+//   axis     :=  '//' | '/'            ('//' = ancestor-descendant)
+//   tag      :=  [A-Za-z_@][A-Za-z0-9_@.:-]*
+//   predicate:=  '=' quoted | '~' quoted   (text equality / substring)
+//   quoted   :=  '\'' [^']* '\''
+//   order    :=  '!' tag               (result must be ordered by the first
+//                                       pattern node with this tag)
+//
+// Examples:
+//   manager[//employee[/name]][//manager[/department[/name]]]
+//   eNest[//eNest[/eOccasional]]
+//   manager[//name='ann'][//department[/name~'sale']]
+//   dblp[//inproceedings[/author]]!author
+
+#ifndef SJOS_QUERY_PATTERN_PARSER_H_
+#define SJOS_QUERY_PATTERN_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/pattern.h"
+
+namespace sjos {
+
+/// Parses `text` into a Pattern. Returns ParseError with position on bad
+/// input.
+Result<Pattern> ParsePattern(std::string_view text);
+
+}  // namespace sjos
+
+#endif  // SJOS_QUERY_PATTERN_PARSER_H_

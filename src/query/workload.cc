@@ -1,0 +1,91 @@
+#include "query/workload.h"
+
+#include "common/str_util.h"
+#include "query/pattern_parser.h"
+#include "xml/fold.h"
+#include "xml/generators/dblp_gen.h"
+#include "xml/generators/mbench_gen.h"
+#include "xml/generators/pers_gen.h"
+
+namespace sjos {
+
+namespace {
+
+BenchQuery MakeQuery(const char* id, const char* dataset, char shape,
+                     const char* text) {
+  Result<Pattern> pattern = ParsePattern(text);
+  SJOS_CHECK(pattern.ok(), "workload pattern failed to parse");
+  return BenchQuery{id, dataset, shape, text, std::move(pattern).value()};
+}
+
+std::vector<BenchQuery> BuildWorkload() {
+  std::vector<BenchQuery> queries;
+  // shape a: chain of 3.
+  queries.push_back(MakeQuery("Q.Mbench.1.a", "Mbench", 'a',
+                              "eNest[//eNest[/eOccasional]]"));
+  // shape b: root, two branches, one of depth 2.
+  queries.push_back(MakeQuery("Q.Mbench.2.b", "Mbench", 'b',
+                              "eNest[//eNest[/eOccasional]][/@aSixtyFour]"));
+  queries.push_back(MakeQuery("Q.DBLP.1.b", "DBLP", 'b',
+                              "inproceedings[/title[/i]][/author]"));
+  // shape c: root with two depth-2 branches.
+  queries.push_back(MakeQuery("Q.DBLP.2.c", "DBLP", 'c',
+                              "article[/title[/i]][/cite[/@label]]"));
+  queries.push_back(MakeQuery("Q.Pers.1.a", "Pers", 'a',
+                              "manager[//employee[/name]]"));
+  queries.push_back(MakeQuery(
+      "Q.Pers.2.c", "Pers", 'c',
+      "manager[//employee[/name]][//department[/name]]"));
+  // shape d: the running example of Fig. 1.
+  queries.push_back(MakeQuery(
+      "Q.Pers.3.d", "Pers", 'd',
+      "manager[//employee[/name]][//manager[/department[/name]]]"));
+  queries.push_back(MakeQuery(
+      "Q.Pers.4.d", "Pers", 'd',
+      "manager[//department[/name]][//manager[/employee[/name]]]"));
+  return queries;
+}
+
+}  // namespace
+
+const std::vector<BenchQuery>& PaperWorkload() {
+  static const std::vector<BenchQuery>* const kWorkload =
+      new std::vector<BenchQuery>(BuildWorkload());
+  return *kWorkload;
+}
+
+Result<BenchQuery> FindQuery(const std::string& id) {
+  for (const BenchQuery& q : PaperWorkload()) {
+    if (q.id == id) return q;
+  }
+  return Status::NotFound("no such workload query: " + id);
+}
+
+Result<Database> MakePaperDataset(const std::string& name, DatasetScale scale) {
+  Result<Document> doc = Status::InvalidArgument("unreached");
+  if (name == "Mbench") {
+    MbenchGenConfig config;
+    config.target_nodes = scale.base_nodes ? scale.base_nodes : 740000;
+    doc = GenerateMbench(config);
+  } else if (name == "DBLP") {
+    DblpGenConfig config;
+    config.target_nodes = scale.base_nodes ? scale.base_nodes : 500000;
+    doc = GenerateDblp(config);
+  } else if (name == "Pers") {
+    PersGenConfig config;
+    config.target_nodes = scale.base_nodes ? scale.base_nodes : 5000;
+    doc = GeneratePers(config);
+  } else {
+    return Status::InvalidArgument("unknown data set: " + name);
+  }
+  if (!doc.ok()) return doc.status();
+  if (scale.fold > 1) {
+    Result<Document> folded = FoldDocument(doc.value(), scale.fold);
+    if (!folded.ok()) return folded.status();
+    return Database::Open(std::move(folded).value(),
+                          StrFormat("%s.x%u", name.c_str(), scale.fold));
+  }
+  return Database::Open(std::move(doc).value(), name);
+}
+
+}  // namespace sjos

@@ -1,0 +1,55 @@
+// The paper's experimental workload (Sec. 4.1): the four pattern shapes of
+// Fig. 6 and the eight benchmark queries Q.<DataSet>.<Num>.<Pattern>, plus
+// factories for the three data sets at a configurable scale.
+//
+// Fig. 6 shows the shapes but the paper does not print the exact tag
+// bindings; we bind tags that give the same qualitative selectivity mix
+// (recursive tags, high-frequency leaf tags, and mixed '/' vs '//' edges)
+// and document the choice here:
+//
+//   shape a (3 nodes, chain)      : A — B — C
+//   shape b (4 nodes)             : A — {B — D, C}
+//   shape c (5 nodes)             : A — {B — D, C — E}
+//   shape d (6 nodes, Fig. 1)     : A — {B — C, D — E — F}
+
+#ifndef SJOS_QUERY_WORKLOAD_H_
+#define SJOS_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/pattern.h"
+#include "storage/catalog.h"
+
+namespace sjos {
+
+/// One benchmark query.
+struct BenchQuery {
+  std::string id;       // e.g. "Q.Pers.3.d"
+  std::string dataset;  // "Mbench", "DBLP", or "Pers"
+  char shape;           // 'a'..'d'
+  std::string pattern_text;
+  Pattern pattern;
+};
+
+/// The eight queries of Table 1, in the paper's order.
+const std::vector<BenchQuery>& PaperWorkload();
+
+/// Look up one query by id ("Q.Pers.3.d").
+Result<BenchQuery> FindQuery(const std::string& id);
+
+/// Scale for dataset construction. `base_nodes` is the unfolded data-set
+/// size; `fold` replicates it per Sec. 4.3.
+struct DatasetScale {
+  uint64_t base_nodes = 0;  // 0 = the paper's default size for that set
+  uint32_t fold = 1;
+};
+
+/// Builds one of the paper's data sets by name ("Mbench", "DBLP", "Pers").
+/// Paper default sizes: Mbench 740K nodes, DBLP 500K, Pers 5K.
+Result<Database> MakePaperDataset(const std::string& name, DatasetScale scale);
+
+}  // namespace sjos
+
+#endif  // SJOS_QUERY_WORKLOAD_H_

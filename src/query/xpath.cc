@@ -1,0 +1,259 @@
+#include "query/xpath.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace sjos {
+
+namespace {
+
+class XPathScanner {
+ public:
+  explicit XPathScanner(std::string_view text) : in_(text) {}
+
+  Result<XPathQuery> Parse() {
+    SkipWs();
+    Axis axis;
+    if (!ScanAxis(&axis)) {
+      return Fail("XPath must start with '/' or '//'");
+    }
+    // The leading axis determines nothing structurally for the first step
+    // (the pattern root is matched anywhere); '/tag' additionally promises
+    // tag is the document root, which the tag test subsumes.
+    PatternNodeId last = ParseStep(kNoPatternNode, Axis::kDescendant);
+    if (!error_.ok()) return error_;
+    while (!Eof() && Peek() == '/') {
+      if (!ScanAxis(&axis)) return Fail("expected '/' or '//'");
+      last = ParseStep(last, axis);
+      if (!error_.ok()) return error_;
+    }
+    SkipWs();
+    if (!Eof()) return Fail("trailing characters");
+    SJOS_RETURN_IF_ERROR(query_.pattern.Validate());
+    query_.result_node = last;
+    return std::move(query_);
+  }
+
+ private:
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  void SkipWs() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  Status Fail(const std::string& why) {
+    if (error_.ok()) {
+      error_ = Status::ParseError(
+          StrFormat("%s (at offset %zu in XPath)", why.c_str(), pos_));
+    }
+    return error_;
+  }
+
+  Status Unsupported(const std::string& what) {
+    if (error_.ok()) {
+      error_ = Status::Unsupported(what + " is outside the XPath subset");
+    }
+    return error_;
+  }
+
+  /// Consumes '/' or '//' and reports which.
+  bool ScanAxis(Axis* axis) {
+    SkipWs();
+    if (Eof() || Peek() != '/') return false;
+    ++pos_;
+    if (!Eof() && Peek() == '/') {
+      ++pos_;
+      *axis = Axis::kDescendant;
+    } else {
+      *axis = Axis::kChild;
+    }
+    return true;
+  }
+
+  std::string_view ScanName() {
+    SkipWs();
+    size_t begin = pos_;
+    while (!Eof()) {
+      char c = Peek();
+      bool first = pos_ == begin;
+      bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '@' ||
+                (!first && (std::isdigit(static_cast<unsigned char>(c)) ||
+                            c == '.' || c == ':' || c == '-'));
+      if (!ok) break;
+      ++pos_;
+    }
+    return in_.substr(begin, pos_ - begin);
+  }
+
+  /// Parses one step (tag + qualifiers); returns its pattern node.
+  PatternNodeId ParseStep(PatternNodeId parent, Axis axis) {
+    std::string_view tag = ScanName();
+    if (tag.empty()) {
+      if (!Eof() && Peek() == '*') {
+        Unsupported("the '*' wildcard step");
+      } else {
+        Fail("expected step name");
+      }
+      return kNoPatternNode;
+    }
+    PatternNodeId node =
+        parent == kNoPatternNode
+            ? query_.pattern.AddRoot(std::string(tag))
+            : query_.pattern.AddChild(parent, std::string(tag), axis);
+    SkipWs();
+    while (!Eof() && Peek() == '[') {
+      ParseQualifier(node);
+      if (!error_.ok()) return node;
+      SkipWs();
+    }
+    return node;
+  }
+
+  /// Parses one "[...]" qualifier of `node`.
+  void ParseQualifier(PatternNodeId node) {
+    ++pos_;  // '['
+    SkipWs();
+    if (Eof()) {
+      Fail("unterminated qualifier");
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Unsupported("positional qualifiers");
+      return;
+    }
+
+    PatternNodeId target = node;
+    // Optional leading '.' (self) before a relative path or value test.
+    bool saw_dot = false;
+    if (Peek() == '.' && !StartsWith(in_.substr(pos_), "..")) {
+      // Distinguish ".//x" / "." followed by '=' from "contains(".
+      ++pos_;
+      saw_dot = true;
+      SkipWs();
+    }
+    if (!saw_dot && StartsWith(in_.substr(pos_), "contains(")) {
+      ParseContains(target);
+      if (!error_.ok()) return;
+    } else if (!saw_dot && StartsWith(in_.substr(pos_), "text()")) {
+      pos_ += 6;
+      ParseValueTest(target);
+      if (!error_.ok()) return;
+    } else if (saw_dot && (Eof() || Peek() == '=')) {
+      ParseValueTest(target);
+      if (!error_.ok()) return;
+    } else {
+      // Relative path: steps descending from `node`.
+      if (Eof() || (Peek() != '/' &&
+                    !std::isalpha(static_cast<unsigned char>(Peek())) &&
+                    Peek() != '_' && Peek() != '@')) {
+        Fail("expected relative path or value test in qualifier");
+        return;
+      }
+      Axis axis = Axis::kChild;  // bare "name" means child::name
+      if (Peek() == '/') {
+        if (!ScanAxis(&axis)) {
+          Fail("expected axis");
+          return;
+        }
+      }
+      target = ParseStep(node, axis);
+      if (!error_.ok()) return;
+      while (!Eof() && Peek() == '/') {
+        if (!ScanAxis(&axis)) {
+          Fail("expected axis");
+          return;
+        }
+        target = ParseStep(target, axis);
+        if (!error_.ok()) return;
+      }
+      SkipWs();
+      // Optional trailing value test applies to the path's last step.
+      if (!Eof() && Peek() == '=') {
+        ParseValueTest(target);
+        if (!error_.ok()) return;
+      }
+    }
+    SkipWs();
+    if (Eof() || Peek() != ']') {
+      Fail("expected ']'");
+      return;
+    }
+    ++pos_;
+  }
+
+  /// Parses "= quoted" and attaches an equality predicate to `target`.
+  void ParseValueTest(PatternNodeId target) {
+    SkipWs();
+    if (Eof() || Peek() != '=') {
+      Fail("expected '=' in value test");
+      return;
+    }
+    ++pos_;
+    std::string value;
+    if (!ScanQuoted(&value)) return;
+    query_.pattern.SetPredicate(
+        target, ValuePredicate{ValuePredicate::Kind::kEquals, value});
+  }
+
+  /// Parses "contains(., quoted)" and attaches a substring predicate.
+  void ParseContains(PatternNodeId target) {
+    pos_ += 9;  // "contains("
+    SkipWs();
+    if (Eof() || Peek() != '.') {
+      Unsupported("contains() on anything but '.'");
+      return;
+    }
+    ++pos_;
+    SkipWs();
+    if (Eof() || Peek() != ',') {
+      Fail("expected ',' in contains()");
+      return;
+    }
+    ++pos_;
+    std::string value;
+    if (!ScanQuoted(&value)) return;
+    SkipWs();
+    if (Eof() || Peek() != ')') {
+      Fail("expected ')' closing contains()");
+      return;
+    }
+    ++pos_;
+    query_.pattern.SetPredicate(
+        target, ValuePredicate{ValuePredicate::Kind::kContains, value});
+  }
+
+  bool ScanQuoted(std::string* out) {
+    SkipWs();
+    if (Eof() || (Peek() != '\'' && Peek() != '"')) {
+      Fail("expected quoted string");
+      return false;
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t begin = pos_;
+    size_t end = in_.find(quote, pos_);
+    if (end == std::string_view::npos) {
+      Fail("unterminated string literal");
+      return false;
+    }
+    *out = std::string(in_.substr(begin, end - begin));
+    pos_ = end + 1;
+    return true;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  XPathQuery query_;
+  Status error_;
+};
+
+}  // namespace
+
+Result<XPathQuery> ParseXPath(std::string_view text) {
+  XPathScanner scanner(text);
+  return scanner.Parse();
+}
+
+}  // namespace sjos

@@ -1,0 +1,54 @@
+// XPath frontend: translates the navigational subset of XPath that maps
+// onto tree pattern matching (Sec. 2.1: "XPath expressions used to bind
+// variables in XQuery ... can be expressed as the matching of a query
+// pattern tree") into a Pattern.
+//
+// Supported grammar:
+//
+//   xpath      := ('/' | '//') step ( ('/' | '//') step )*
+//   step       := tag qualifier*
+//   qualifier  := '[' rel-path ']'                 (existential branch)
+//               | '[' value-test ']'               (text predicate)
+//               | '[' rel-path value-test ']'      (predicate on branch leaf)
+//   rel-path   := '.'? ('/' | '//') step ( ('/' | '//') step )*
+//   value-test := ( '.' | 'text()' ) '=' quoted
+//               | 'contains(.,' quoted ')'
+//   quoted     := '"' [^"]* '"' | '\'' [^']* '\''
+//
+// Examples:
+//   //manager[.//employee/name]//department
+//   /site//open_auction[bidder/increase]
+//   //article[title/i][.='x']            (value test on the article text)
+//   //employee[name='bo']
+//
+// The initial '//' anchors the first step anywhere in the document; an
+// initial '/' requires it to be the document root — expressed by making
+// the first step the pattern root either way (patterns are matched
+// anywhere; a leading single '/' additionally requires the root element
+// tag to match, which the pattern root's tag test handles for root-tagged
+// queries and is otherwise rejected as unsupported).
+
+#ifndef SJOS_QUERY_XPATH_H_
+#define SJOS_QUERY_XPATH_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/pattern.h"
+
+namespace sjos {
+
+/// A translated XPath query: the pattern plus which pattern node the XPath
+/// expression selects (its bindings are the XPath result sequence).
+struct XPathQuery {
+  Pattern pattern;
+  PatternNodeId result_node = kNoPatternNode;
+};
+
+/// Parses the XPath subset above. Fails with ParseError on syntax errors
+/// and Unsupported on XPath features outside the subset.
+Result<XPathQuery> ParseXPath(std::string_view text);
+
+}  // namespace sjos
+
+#endif  // SJOS_QUERY_XPATH_H_

@@ -1,0 +1,20 @@
+#include "storage/catalog.h"
+
+namespace sjos {
+
+Database Database::Open(Document doc, std::string name) {
+  Database db;
+  db.name_ = std::move(name);
+  db.doc_ = std::make_unique<Document>(std::move(doc));
+  db.index_ = TagIndex::Build(*db.doc_);
+  db.stats_ = DocumentStats::Collect(*db.doc_, db.index_);
+  return db;
+}
+
+uint64_t Database::CardinalityOf(std::string_view tag_name) const {
+  TagId tag = doc_->dict().Find(tag_name);
+  if (tag == kInvalidTag) return 0;
+  return index_.Cardinality(tag);
+}
+
+}  // namespace sjos

@@ -1,0 +1,41 @@
+// Database: one loaded document plus its access structures (tag index,
+// statistics). This is the unit the optimizer and executor operate against —
+// the moral equivalent of a Timber database instance.
+
+#ifndef SJOS_STORAGE_CATALOG_H_
+#define SJOS_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/stats.h"
+#include "storage/tag_index.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Owns a document and its derived access structures.
+class Database {
+ public:
+  /// Takes ownership of `doc`, builds the tag index and statistics.
+  static Database Open(Document doc, std::string name = "db");
+
+  const std::string& name() const { return name_; }
+  const Document& doc() const { return *doc_; }
+  const TagIndex& index() const { return index_; }
+  const DocumentStats& stats() const { return stats_; }
+
+  /// Cardinality of a tag by name; 0 for unknown tags.
+  uint64_t CardinalityOf(std::string_view tag_name) const;
+
+ private:
+  std::string name_;
+  std::unique_ptr<Document> doc_;
+  TagIndex index_;
+  DocumentStats stats_;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_STORAGE_CATALOG_H_

@@ -1,0 +1,51 @@
+// Per-document structural statistics used by the cardinality estimators and
+// reported by the examples: per-tag counts, level distributions, depth.
+
+#ifndef SJOS_STORAGE_STATS_H_
+#define SJOS_STORAGE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/tag_index.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Level histogram of one tag: counts_[lv] = number of elements with that
+/// tag at depth lv.
+struct TagLevelHistogram {
+  std::vector<uint64_t> counts;
+
+  uint64_t Total() const;
+  /// Fraction of this tag's elements at depth lv (0 when the tag is absent).
+  double FractionAtLevel(size_t lv) const;
+};
+
+/// Collected once per document; O(#nodes) to build.
+class DocumentStats {
+ public:
+  static DocumentStats Collect(const Document& doc, const TagIndex& index);
+
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint16_t max_level() const { return max_level_; }
+  double avg_level() const { return avg_level_; }
+
+  uint64_t TagCount(TagId tag) const;
+  const TagLevelHistogram& LevelsOf(TagId tag) const;
+
+  /// Human-readable summary (tag cardinalities, depth) for examples/tools.
+  std::string ToString(const Document& doc, size_t max_tags = 16) const;
+
+ private:
+  uint64_t num_nodes_ = 0;
+  uint16_t max_level_ = 0;
+  double avg_level_ = 0;
+  std::vector<uint64_t> tag_counts_;
+  std::vector<TagLevelHistogram> tag_levels_;
+  TagLevelHistogram empty_;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_STORAGE_STATS_H_

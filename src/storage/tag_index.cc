@@ -1,0 +1,26 @@
+#include "storage/tag_index.h"
+
+namespace sjos {
+
+TagIndex TagIndex::Build(const Document& doc) {
+  TagIndex index;
+  index.postings_.resize(doc.dict().size());
+  // Pre-size the lists to avoid repeated growth on large documents.
+  std::vector<size_t> counts(doc.dict().size(), 0);
+  const NodeId n = static_cast<NodeId>(doc.NumNodes());
+  for (NodeId id = 0; id < n; ++id) ++counts[doc.TagOf(id)];
+  for (TagId t = 0; t < counts.size(); ++t) {
+    index.postings_[t].reserve(counts[t]);
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    index.postings_[doc.TagOf(id)].push_back(id);
+  }
+  return index;
+}
+
+std::span<const NodeId> TagIndex::Postings(TagId tag) const {
+  if (tag >= postings_.size()) return {};
+  return postings_[tag];
+}
+
+}  // namespace sjos

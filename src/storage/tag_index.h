@@ -1,0 +1,39 @@
+// Tag index: the "index access" access method of Sec. 2.2. For every tag,
+// the index holds the list of elements with that tag in document order
+// (i.e., sorted by pre-order start position) — exactly the input format the
+// Stack-Tree join algorithms require.
+
+#ifndef SJOS_STORAGE_TAG_INDEX_H_
+#define SJOS_STORAGE_TAG_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Immutable per-tag posting lists over one document.
+class TagIndex {
+ public:
+  /// Scans `doc` once and builds posting lists for every tag.
+  static TagIndex Build(const Document& doc);
+
+  /// Elements with tag `tag`, in document order. Empty span for a tag with
+  /// no elements (including kInvalidTag).
+  std::span<const NodeId> Postings(TagId tag) const;
+
+  /// Number of elements with tag `tag`.
+  size_t Cardinality(TagId tag) const { return Postings(tag).size(); }
+
+  /// Number of distinct tags indexed.
+  size_t NumTags() const { return postings_.size(); }
+
+ private:
+  std::vector<std::vector<NodeId>> postings_;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_STORAGE_TAG_INDEX_H_

@@ -1,0 +1,61 @@
+#include "xml/builder.h"
+
+namespace sjos {
+
+DocumentBuilder::DocumentBuilder() = default;
+
+NodeId DocumentBuilder::OpenElement(std::string_view name) {
+  if (!error_.ok()) return kInvalidNode;
+  if (stack_.empty() && saw_root_) {
+    error_ = Status::InvalidArgument("second root element opened");
+    return kInvalidNode;
+  }
+  NodeId id = static_cast<NodeId>(doc_.tags_.size());
+  doc_.tags_.push_back(doc_.dict_.Intern(name));
+  doc_.ends_.push_back(id);  // fixed up on close
+  doc_.levels_.push_back(static_cast<uint16_t>(stack_.size()));
+  doc_.parents_.push_back(stack_.empty() ? kInvalidNode : stack_.back());
+  doc_.text_index_.push_back(0);
+  stack_.push_back(id);
+  saw_root_ = true;
+  return id;
+}
+
+void DocumentBuilder::Text(std::string_view text) {
+  if (!error_.ok()) return;
+  if (stack_.empty()) {
+    error_ = Status::InvalidArgument("text outside any element");
+    return;
+  }
+  NodeId id = stack_.back();
+  uint32_t& idx = doc_.text_index_[id];
+  if (idx == 0) {
+    doc_.texts_.emplace_back(text);
+    idx = static_cast<uint32_t>(doc_.texts_.size());
+  } else {
+    doc_.texts_[idx - 1] += text;
+  }
+}
+
+void DocumentBuilder::CloseElement() {
+  if (!error_.ok()) return;
+  if (stack_.empty()) {
+    error_ = Status::InvalidArgument("CloseElement with no open element");
+    return;
+  }
+  NodeId id = stack_.back();
+  stack_.pop_back();
+  doc_.ends_[id] = static_cast<NodeId>(doc_.tags_.size() - 1);
+}
+
+Result<Document> DocumentBuilder::Build() && {
+  if (!error_.ok()) return error_;
+  if (!saw_root_) return Status::InvalidArgument("document has no root");
+  if (!stack_.empty()) {
+    return Status::InvalidArgument("unclosed elements at Build()");
+  }
+  SJOS_RETURN_IF_ERROR(doc_.Validate());
+  return std::move(doc_);
+}
+
+}  // namespace sjos

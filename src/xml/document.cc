@@ -1,0 +1,74 @@
+#include "xml/document.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace sjos {
+
+std::string_view Document::TextOf(NodeId id) const {
+  uint32_t idx = text_index_[id];
+  if (idx == 0) return {};
+  return texts_[idx - 1];
+}
+
+std::vector<NodeId> Document::ChildrenOf(NodeId id) const {
+  std::vector<NodeId> out;
+  NodeId child = id + 1;
+  const NodeId end = ends_[id];
+  while (child <= end && child < NumNodes()) {
+    out.push_back(child);
+    child = ends_[child] + 1;
+  }
+  return out;
+}
+
+uint16_t Document::MaxLevel() const {
+  uint16_t mx = 0;
+  for (uint16_t lv : levels_) mx = std::max(mx, lv);
+  return mx;
+}
+
+Status Document::Validate() const {
+  const size_t n = NumNodes();
+  if (n == 0) return Status::OK();
+  if (ends_.size() != n || levels_.size() != n || parents_.size() != n ||
+      text_index_.size() != n) {
+    return Status::Internal("document column sizes disagree");
+  }
+  if (levels_[0] != 0 || parents_[0] != kInvalidNode) {
+    return Status::Internal("root must have level 0 and no parent");
+  }
+  if (ends_[0] != n - 1) {
+    return Status::Internal("root interval must span the whole document");
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (ends_[id] < id || ends_[id] >= n) {
+      return Status::Internal(StrFormat("node %u has bad end %u", id, ends_[id]));
+    }
+    if (id > 0) {
+      NodeId p = parents_[id];
+      if (p == kInvalidNode || p >= id) {
+        return Status::Internal(StrFormat("node %u has bad parent", id));
+      }
+      if (levels_[id] != levels_[p] + 1) {
+        return Status::Internal(StrFormat("node %u level != parent level + 1", id));
+      }
+      if (!(p < id && id <= ends_[p])) {
+        return Status::Internal(
+            StrFormat("node %u not inside parent interval", id));
+      }
+      // Sibling/parent nesting: the node's interval must be inside the
+      // parent's interval.
+      if (ends_[id] > ends_[p]) {
+        return Status::Internal(StrFormat("node %u escapes parent interval", id));
+      }
+    }
+    if (tags_[id] >= dict_.size()) {
+      return Status::Internal(StrFormat("node %u has unknown tag", id));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sjos

@@ -1,0 +1,92 @@
+// In-memory XML document: a rooted, node-labelled, ordered tree stored in
+// struct-of-arrays form in document (pre-order) order. This is the database
+// instance T = (V_T, E_T) of the paper's Sec. 2.1; tag indexes and all join
+// operators work off the (start, end, level) numbering exposed here.
+
+#ifndef SJOS_XML_DOCUMENT_H_
+#define SJOS_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace sjos {
+
+/// Immutable (post-construction) XML tree. Built via DocumentBuilder.
+///
+/// Node indices are pre-order ranks: node 0 is the root, and a node's
+/// descendants occupy the contiguous index range (id, EndOf(id)].
+class Document {
+ public:
+  Document() = default;
+
+  // Movable, not copyable (documents can hold millions of nodes).
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  size_t NumNodes() const { return tags_.size(); }
+  bool Empty() const { return tags_.empty(); }
+
+  NodeId Root() const { return 0; }
+
+  TagId TagOf(NodeId id) const { return tags_[id]; }
+  const std::string& TagNameOf(NodeId id) const {
+    return dict_.Name(tags_[id]);
+  }
+  NodeId EndOf(NodeId id) const { return ends_[id]; }
+  uint16_t LevelOf(NodeId id) const { return levels_[id]; }
+  NodeId ParentOf(NodeId id) const { return parents_[id]; }
+
+  /// The full positional record of node `id`.
+  NodePos PosOf(NodeId id) const { return {id, ends_[id], levels_[id]}; }
+
+  /// True if `a` is a proper ancestor of `d`.
+  bool IsAncestor(NodeId a, NodeId d) const {
+    return a < d && d <= ends_[a];
+  }
+
+  /// True if `a` is the parent of `d`.
+  bool IsParent(NodeId a, NodeId d) const {
+    return IsAncestor(a, d) && levels_[d] == levels_[a] + 1;
+  }
+
+  /// Text value of node `id`; empty if the node carries no text.
+  std::string_view TextOf(NodeId id) const;
+
+  /// Children of `id` in document order (materialized on each call).
+  std::vector<NodeId> ChildrenOf(NodeId id) const;
+
+  /// Maximum depth of any node (root = 0); 0 for an empty document.
+  uint16_t MaxLevel() const;
+
+  const TagDictionary& dict() const { return dict_; }
+  TagDictionary& mutable_dict() { return dict_; }
+
+  /// Structural sanity check: pre-order invariants on ends/levels/parents.
+  /// Returns the first violated invariant, or OK. Used by tests and after
+  /// folding/parsing.
+  Status Validate() const;
+
+ private:
+  friend class DocumentBuilder;
+  friend Result<Document> FoldDocument(const Document& doc, uint32_t factor);
+
+  std::vector<TagId> tags_;
+  std::vector<NodeId> ends_;
+  std::vector<uint16_t> levels_;
+  std::vector<NodeId> parents_;
+  // Sparse text storage: texts_[text_index_[id] - 1]; 0 means "no text".
+  std::vector<uint32_t> text_index_;
+  std::vector<std::string> texts_;
+  TagDictionary dict_;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_XML_DOCUMENT_H_

@@ -1,0 +1,21 @@
+// Document folding: the data-scaling method of the paper's Sec. 4.3.
+// "To produce larger data sets, we replicated each data set by a 'folding
+// factor', generating data sets that are 10, 100 and 500 times larger."
+
+#ifndef SJOS_XML_FOLD_H_
+#define SJOS_XML_FOLD_H_
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Returns a new document whose root has `factor` back-to-back copies of
+/// the original root's children. The root element itself is not replicated,
+/// so tag-frequency ratios and structural selectivities below the root are
+/// preserved while cardinalities scale by `factor`.
+Result<Document> FoldDocument(const Document& doc, uint32_t factor);
+
+}  // namespace sjos
+
+#endif  // SJOS_XML_FOLD_H_

@@ -1,0 +1,49 @@
+// DBLP-like bibliography generator (Sec. 4.1: "the popular DBLP data set",
+// ~500K nodes). Shape: a very wide, shallow tree — one root with hundreds of
+// thousands of publication children, each a small record of author/title/
+// year/venue leaves. The structural character that matters to the
+// experiments (huge sibling lists, no recursion, small per-record depth)
+// is preserved.
+
+#ifndef SJOS_XML_GENERATORS_DBLP_GEN_H_
+#define SJOS_XML_GENERATORS_DBLP_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Knobs for GenerateDblp.
+struct DblpGenConfig {
+  /// Approximate number of nodes to generate.
+  uint64_t target_nodes = 500000;
+  /// Fraction of records that are <inproceedings> (rest are <article>,
+  /// with a few <book> and <phdthesis>).
+  double inproceedings_fraction = 0.55;
+  double article_fraction = 0.40;
+  /// Expected number of authors per record.
+  double authors_per_record = 2.4;
+  /// Probability a record carries a <cite> list (with cite children).
+  double cite_prob = 0.15;
+  /// Probability a title contains <i> markup (real DBLP titles embed
+  /// <i>/<sub>/<sup> elements) — the structure the depth-3 queries use.
+  double title_markup_prob = 0.25;
+  /// RNG seed.
+  uint64_t seed = 11;
+};
+
+/// Generates a DBLP-like document:
+///
+///   <dblp>
+///     <inproceedings key="..."><author/>+ <title/> <year/> <booktitle/>
+///       <pages/> [<cite/>*] </inproceedings>
+///     <article ...><author/>+ <title/> <year/> <journal/> ...</article>
+///     ...
+///   </dblp>
+Result<Document> GenerateDblp(const DblpGenConfig& config);
+
+}  // namespace sjos
+
+#endif  // SJOS_XML_GENERATORS_DBLP_GEN_H_

@@ -1,0 +1,37 @@
+// Mbench: the Michigan benchmark data set (Runapongsa et al.; Sec. 4.1 uses
+// a 740K-node instance). The benchmark's structural signature is a deep,
+// recursive tree of <eNest> elements — a 16-level hierarchy with controlled
+// per-level fan-outs — sprinkled with occasional <eOccasional> elements and
+// positional attributes (aLevel, aUnique, aSixtyFour). This generator
+// reproduces that signature with a scalable node budget.
+
+#ifndef SJOS_XML_GENERATORS_MBENCH_GEN_H_
+#define SJOS_XML_GENERATORS_MBENCH_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Knobs for GenerateMbench.
+struct MbenchGenConfig {
+  /// Approximate number of nodes to generate.
+  uint64_t target_nodes = 740000;
+  /// Depth of the eNest recursion (the real benchmark uses 16).
+  uint32_t levels = 16;
+  /// Probability an eNest node carries an <eOccasional> child.
+  double occasional_prob = 1.0 / 6.0;
+  /// Materialize the aLevel / aSixtyFour attributes (as @-children).
+  bool with_attributes = true;
+  /// RNG seed.
+  uint64_t seed = 23;
+};
+
+/// Generates an Mbench-like document rooted at <eNest> (level 1).
+Result<Document> GenerateMbench(const MbenchGenConfig& config);
+
+}  // namespace sjos
+
+#endif  // SJOS_XML_GENERATORS_MBENCH_GEN_H_

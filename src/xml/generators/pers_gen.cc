@@ -1,0 +1,113 @@
+#include "xml/generators/pers_gen.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "xml/builder.h"
+
+namespace sjos {
+
+namespace {
+
+const char* const kFirstNames[] = {"alice", "bob",  "carol", "dave",
+                                   "erin",  "frank", "grace", "heidi"};
+const char* const kDeptNames[] = {"sales", "engineering", "finance",
+                                  "support", "research"};
+
+/// Samples a count with mean `mean` (geometric-ish small-integer draw).
+uint64_t SampleCount(Rng* rng, double mean) {
+  if (mean <= 0) return 0;
+  uint64_t base = static_cast<uint64_t>(mean);
+  double frac = mean - static_cast<double>(base);
+  uint64_t count = base + (rng->NextBool(frac) ? 1 : 0);
+  // +/- 1 jitter to avoid lockstep shapes.
+  if (count > 0 && rng->NextBool(0.25)) --count;
+  if (rng->NextBool(0.25)) ++count;
+  return count;
+}
+
+class PersGrower {
+ public:
+  PersGrower(const PersGenConfig& config, Rng* rng, DocumentBuilder* builder,
+             uint64_t budget)
+      : config_(config), rng_(rng), builder_(builder), budget_(budget) {}
+
+  bool HasBudget() const { return budget_ > 0; }
+
+  /// Emits one element, charging the node budget.
+  bool Open(const char* tag) {
+    if (budget_ == 0) return false;
+    builder_->OpenElement(tag);
+    --budget_;
+    return true;
+  }
+
+  void EmitName() {
+    if (!Open("name")) return;
+    builder_->Text(kFirstNames[rng_->NextBelow(std::size(kFirstNames))]);
+    builder_->CloseElement();
+  }
+
+  void EmitEmployee() {
+    if (!Open("employee")) return;
+    EmitName();
+    if (rng_->NextBool(config_.employee_title_prob) && Open("title")) {
+      builder_->Text("senior");
+      builder_->CloseElement();
+    }
+    builder_->CloseElement();
+  }
+
+  void EmitDepartment() {
+    if (!Open("department")) return;
+    if (Open("name")) {
+      builder_->Text(kDeptNames[rng_->NextBelow(std::size(kDeptNames))]);
+      builder_->CloseElement();
+    }
+    builder_->CloseElement();
+  }
+
+  void EmitManager(uint32_t depth) {
+    if (!Open("manager")) return;
+    EmitName();
+    uint64_t employees = SampleCount(rng_, config_.employees_per_manager);
+    for (uint64_t i = 0; i < employees && HasBudget(); ++i) EmitEmployee();
+    uint64_t departments = SampleCount(rng_, config_.departments_per_manager);
+    for (uint64_t i = 0; i < departments && HasBudget(); ++i) EmitDepartment();
+    if (depth < config_.max_manager_depth) {
+      // Sub-manager count decays with depth so the hierarchy terminates
+      // even with a large node budget.
+      double mean = config_.submanagers_per_manager /
+                    (1.0 + 0.35 * static_cast<double>(depth));
+      uint64_t submanagers = SampleCount(rng_, mean);
+      for (uint64_t i = 0; i < submanagers && HasBudget(); ++i) {
+        EmitManager(depth + 1);
+      }
+    }
+    builder_->CloseElement();
+  }
+
+ private:
+  const PersGenConfig& config_;
+  Rng* rng_;
+  DocumentBuilder* builder_;
+  uint64_t budget_;
+};
+
+}  // namespace
+
+Result<Document> GeneratePers(const PersGenConfig& config) {
+  if (config.target_nodes < 2) {
+    return Status::InvalidArgument("target_nodes must be >= 2");
+  }
+  Rng rng(config.seed);
+  DocumentBuilder builder;
+  builder.OpenElement("company");
+  PersGrower grower(config, &rng, &builder, config.target_nodes - 1);
+  while (grower.HasBudget()) {
+    grower.EmitManager(/*depth=*/1);
+  }
+  builder.CloseElement();
+  return std::move(builder).Build();
+}
+
+}  // namespace sjos

@@ -1,0 +1,46 @@
+// Pers: the synthetic personnel data set (after the AT&T data set used in
+// the Stack-Tree paper and in Sec. 4.1 of Wu/Patel/Jagadish). A recursive
+// management hierarchy: managers supervise employees, departments, and
+// other managers; every entity has a name. The recursion is what makes the
+// paper's running example (Fig. 1: manager//employee, manager//manager,
+// manager/department) selective in interesting ways.
+
+#ifndef SJOS_XML_GENERATORS_PERS_GEN_H_
+#define SJOS_XML_GENERATORS_PERS_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Knobs for GeneratePers. Defaults approximate the paper's 5K-node set.
+struct PersGenConfig {
+  /// Approximate number of nodes (elements) to generate.
+  uint64_t target_nodes = 5000;
+  /// Maximum depth of the manager-under-manager recursion.
+  uint32_t max_manager_depth = 6;
+  /// Expected direct sub-managers per manager (decays with depth).
+  double submanagers_per_manager = 1.6;
+  /// Expected employees directly under each manager.
+  double employees_per_manager = 3.0;
+  /// Expected departments directly under each manager.
+  double departments_per_manager = 1.2;
+  /// Probability that an employee records a title element.
+  double employee_title_prob = 0.3;
+  /// RNG seed.
+  uint64_t seed = 7;
+};
+
+/// Generates a Pers document:
+///
+///   <company>
+///     <manager><name/> <employee><name/></employee>* <department><name/>
+///       </department>* <manager>...recursive...</manager>* </manager>*
+///   </company>
+Result<Document> GeneratePers(const PersGenConfig& config);
+
+}  // namespace sjos
+
+#endif  // SJOS_XML_GENERATORS_PERS_GEN_H_

@@ -1,0 +1,44 @@
+// Generic configurable random-tree generator. The domain generators (Pers,
+// DBLP, Mbench, XMark) produce the paper's data-set shapes; this one is for
+// tests and micro-benchmarks that need arbitrary structural character
+// (depth, fan-out, tag skew) under one knob set.
+
+#ifndef SJOS_XML_GENERATORS_TREE_GEN_H_
+#define SJOS_XML_GENERATORS_TREE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Knobs for GenerateTree.
+struct TreeGenConfig {
+  /// Approximate number of nodes to generate (the generator stops opening
+  /// new elements once the budget is reached; the result can overshoot by
+  /// at most `max_depth`).
+  uint64_t target_nodes = 1000;
+  /// Maximum tree depth (root = depth 0).
+  uint32_t max_depth = 8;
+  /// Fan-out is sampled uniformly from [min_fanout, max_fanout] per node.
+  uint32_t min_fanout = 1;
+  uint32_t max_fanout = 4;
+  /// Tag vocabulary: tags are "t0".."t{num_tags-1}" sampled with Zipf skew
+  /// `tag_skew` (0 = uniform).
+  uint32_t num_tags = 8;
+  double tag_skew = 0.8;
+  /// Root element tag.
+  std::string root_tag = "root";
+  /// RNG seed; same seed + config = identical document.
+  uint64_t seed = 42;
+};
+
+/// Generates a random document per `config`.
+Result<Document> GenerateTree(const TreeGenConfig& config);
+
+}  // namespace sjos
+
+#endif  // SJOS_XML_GENERATORS_TREE_GEN_H_

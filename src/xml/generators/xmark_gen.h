@@ -1,0 +1,36 @@
+// XMark-like auction-site generator. XMark is the standard public XML
+// benchmark (the repro brief notes its data is public); we synthesize its
+// well-known shape — site/regions/item, people/person, open_auctions with
+// nested bidder lists and recursive <description>/<parlist> text markup —
+// so queries mixing wide sibling lists with moderate recursion can be run.
+
+#ifndef SJOS_XML_GENERATORS_XMARK_GEN_H_
+#define SJOS_XML_GENERATORS_XMARK_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Knobs for GenerateXmark.
+struct XmarkGenConfig {
+  /// Approximate number of nodes to generate.
+  uint64_t target_nodes = 100000;
+  /// Relative share of the node budget per section.
+  double items_share = 0.45;
+  double people_share = 0.25;
+  double auctions_share = 0.30;
+  /// Maximum nesting depth of parlist/listitem markup inside descriptions.
+  uint32_t max_parlist_depth = 3;
+  /// RNG seed.
+  uint64_t seed = 31;
+};
+
+/// Generates an XMark-like document rooted at <site>.
+Result<Document> GenerateXmark(const XmarkGenConfig& config);
+
+}  // namespace sjos
+
+#endif  // SJOS_XML_GENERATORS_XMARK_GEN_H_

@@ -1,0 +1,19 @@
+#include "xml/node.h"
+
+namespace sjos {
+
+TagId TagDictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId TagDictionary::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidTag : it->second;
+}
+
+}  // namespace sjos

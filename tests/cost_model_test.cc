@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "plan/cost_model.h"
+
+namespace sjos {
+namespace {
+
+TEST(CostModelTest, IndexAccessLinear) {
+  CostFactors f;
+  f.f_index = 2.5;
+  CostModel cm(f);
+  EXPECT_DOUBLE_EQ(cm.IndexAccess(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.IndexAccess(10), 25.0);
+  EXPECT_DOUBLE_EQ(cm.IndexAccess(100), 10.0 * cm.IndexAccess(10));
+}
+
+TEST(CostModelTest, SortIsNLogN) {
+  CostFactors f;
+  f.f_sort = 1.0;
+  f.f_sort_setup = 0.0;
+  CostModel cm(f);
+  EXPECT_DOUBLE_EQ(cm.Sort(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Sort(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Sort(8), 8.0 * 3.0);
+  // Superlinear: doubling n more than doubles cost (for n > 2).
+  EXPECT_GT(cm.Sort(2000), 2.0 * cm.Sort(1000));
+}
+
+TEST(CostModelTest, SortSetupChargedPerOperator) {
+  CostFactors f;
+  f.f_sort = 1.0;
+  f.f_sort_setup = 5.0;
+  CostModel cm(f);
+  // Even a degenerate sort pays the operator setup, so cost ties between
+  // pipelined and sorting plans resolve toward pipelined ones.
+  EXPECT_DOUBLE_EQ(cm.Sort(0), 5.0);
+  EXPECT_DOUBLE_EQ(cm.Sort(8), 5.0 + 24.0);
+}
+
+TEST(CostModelTest, StackTreeAncFormula) {
+  CostFactors f;
+  f.f_io = 3.0;
+  f.f_stack = 2.0;
+  f.f_out = 0.0;
+  CostModel cm(f);
+  // 2*|AB|*f_IO + 2*|A|*f_st = 2*10*3 + 2*4*2 = 76.
+  EXPECT_DOUBLE_EQ(cm.StackTreeAnc(10, 4), 76.0);
+}
+
+TEST(CostModelTest, StackTreeDescFormula) {
+  CostFactors f;
+  f.f_stack = 2.0;
+  f.f_out = 0.0;  // the paper's exact formula
+  CostModel cm(f);
+  // 2*|A|*f_st = 2*4*2 = 16; independent of output size when f_out = 0.
+  EXPECT_DOUBLE_EQ(cm.StackTreeDesc(4), 16.0);
+  EXPECT_DOUBLE_EQ(cm.StackTreeDesc(4, 1000.0), 16.0);
+}
+
+TEST(CostModelTest, OutputTermChargesBothJoinsEqually) {
+  CostFactors f;
+  f.f_out = 3.0;
+  CostModel with(f);
+  f.f_out = 0.0;
+  CostModel without(f);
+  EXPECT_DOUBLE_EQ(with.StackTreeDesc(4, 10) - without.StackTreeDesc(4, 10),
+                   30.0);
+  EXPECT_DOUBLE_EQ(with.StackTreeAnc(10, 4) - without.StackTreeAnc(10, 4),
+                   30.0);
+}
+
+TEST(CostModelTest, DescNeverDearerThanAncSameInputs) {
+  CostModel cm;
+  for (double out : {0.0, 1.0, 100.0, 1e6}) {
+    for (double anc : {1.0, 50.0, 1e5}) {
+      EXPECT_LE(cm.StackTreeDesc(anc, out), cm.StackTreeAnc(out, anc));
+    }
+  }
+}
+
+TEST(CostModelTest, FactorsToString) {
+  CostFactors f;
+  std::string s = f.ToString();
+  EXPECT_NE(s.find("f_I="), std::string::npos);
+  EXPECT_NE(s.find("f_st="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sjos

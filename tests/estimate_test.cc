@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimate/composite.h"
+#include "estimate/exact_estimator.h"
+#include "estimate/positional_histogram.h"
+#include "query/pattern_parser.h"
+#include "storage/catalog.h"
+#include "xml/generators/pers_gen.h"
+#include "xml/parser.h"
+
+namespace sjos {
+namespace {
+
+Database Db(std::string_view xml) {
+  return Database::Open(std::move(ParseXml(xml)).value());
+}
+
+TEST(ExactEstimatorTest, TinyDocumentCounts) {
+  // a contains: b(x2 at different depths), c under first b.
+  Database db = Db("<a><b><c/><b><c/></b></b><b/></a>");
+  ExactEstimator est(db.doc(), db.index());
+  const TagDictionary& dict = db.doc().dict();
+  TagId a = dict.Find("a");
+  TagId b = dict.Find("b");
+  TagId c = dict.Find("c");
+  // a//b: all 3 b's under a.
+  EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(a, b, Axis::kDescendant), 3.0);
+  // a/b: only the 2 top-level b's.
+  EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(a, b, Axis::kChild), 2.0);
+  // b//c: outer b contains both c's, inner b contains one -> 3 pairs.
+  EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(b, c, Axis::kDescendant), 3.0);
+  // b/c: each c has exactly one b parent -> 2 pairs.
+  EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(b, c, Axis::kChild), 2.0);
+  // b//b: outer contains inner -> 1 pair.
+  EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(b, b, Axis::kDescendant), 1.0);
+  EXPECT_DOUBLE_EQ(est.TagCardinality(b), 3.0);
+}
+
+TEST(ExactEstimatorTest, SelfJoinExcludesIdentity) {
+  Database db = Db("<a><a><a/></a></a>");
+  ExactEstimator est(db.doc(), db.index());
+  TagId a = db.doc().dict().Find("a");
+  // 3 nested a's: pairs (0,1),(0,2),(1,2).
+  EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(a, a, Axis::kDescendant), 3.0);
+  EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(a, a, Axis::kChild), 2.0);
+}
+
+TEST(ExactEstimatorTest, DisjointTagsJoinEmpty) {
+  Database db = Db("<r><a/><b/></r>");
+  ExactEstimator est(db.doc(), db.index());
+  TagId a = db.doc().dict().Find("a");
+  TagId b = db.doc().dict().Find("b");
+  EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(a, b, Axis::kDescendant), 0.0);
+}
+
+/// Brute-force join count for cross-checking both estimators.
+uint64_t BruteCount(const Document& doc, TagId a, TagId d, Axis axis) {
+  uint64_t count = 0;
+  for (NodeId x = 0; x < doc.NumNodes(); ++x) {
+    if (doc.TagOf(x) != a) continue;
+    for (NodeId y = 0; y < doc.NumNodes(); ++y) {
+      if (doc.TagOf(y) != d) continue;
+      if (axis == Axis::kDescendant ? doc.IsAncestor(x, y)
+                                    : doc.IsParent(x, y)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(ExactEstimatorTest, MatchesBruteForceOnPers) {
+  PersGenConfig config;
+  config.target_nodes = 800;
+  Database db = Database::Open(GeneratePers(config).value());
+  ExactEstimator est(db.doc(), db.index());
+  const TagDictionary& dict = db.doc().dict();
+  for (const char* anc : {"company", "manager", "employee", "department"}) {
+    for (const char* desc : {"manager", "employee", "name"}) {
+      TagId a = dict.Find(anc);
+      TagId d = dict.Find(desc);
+      for (Axis axis : {Axis::kDescendant, Axis::kChild}) {
+        EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(a, d, axis),
+                         static_cast<double>(BruteCount(db.doc(), a, d, axis)))
+            << anc << (axis == Axis::kChild ? "/" : "//") << desc;
+      }
+    }
+  }
+}
+
+PositionalHistogramEstimator BuildHistogram(const Database& db,
+                                            uint32_t grid = 64) {
+  PositionalHistogramConfig config;
+  config.grid_size = grid;
+  return PositionalHistogramEstimator::Build(db.doc(), db.index(), db.stats(),
+                                             config);
+}
+
+TEST(PositionalHistogramTest, TagCardinalityExact) {
+  PersGenConfig config;
+  config.target_nodes = 2000;
+  Database db = Database::Open(GeneratePers(config).value());
+  PositionalHistogramEstimator est = BuildHistogram(db);
+  for (TagId t = 0; t < db.doc().dict().size(); ++t) {
+    EXPECT_DOUBLE_EQ(est.TagCardinality(t),
+                     static_cast<double>(db.index().Cardinality(t)));
+  }
+}
+
+TEST(PositionalHistogramTest, AncestorDescendantWithinFactorTwo) {
+  PersGenConfig config;
+  config.target_nodes = 4000;
+  Database db = Database::Open(GeneratePers(config).value());
+  PositionalHistogramEstimator hist = BuildHistogram(db, 128);
+  ExactEstimator exact(db.doc(), db.index());
+  const TagDictionary& dict = db.doc().dict();
+  struct Case {
+    const char* anc;
+    const char* desc;
+  };
+  for (const Case& c : {Case{"manager", "employee"}, Case{"manager", "name"},
+                        Case{"manager", "manager"},
+                        Case{"employee", "name"}}) {
+    double h = hist.EstimateEdgeJoin(dict.Find(c.anc), dict.Find(c.desc),
+                                     Axis::kDescendant);
+    double e = exact.EstimateEdgeJoin(dict.Find(c.anc), dict.Find(c.desc),
+                                      Axis::kDescendant);
+    ASSERT_GT(e, 0.0) << c.anc << "//" << c.desc;
+    EXPECT_GT(h, e / 2.0) << c.anc << "//" << c.desc;
+    EXPECT_LT(h, e * 2.0) << c.anc << "//" << c.desc;
+  }
+}
+
+TEST(PositionalHistogramTest, ParentChildBelowAncestorDescendant) {
+  PersGenConfig config;
+  config.target_nodes = 4000;
+  Database db = Database::Open(GeneratePers(config).value());
+  PositionalHistogramEstimator hist = BuildHistogram(db);
+  const TagDictionary& dict = db.doc().dict();
+  TagId manager = dict.Find("manager");
+  TagId name = dict.Find("name");
+  double ad = hist.EstimateEdgeJoin(manager, name, Axis::kDescendant);
+  double pc = hist.EstimateEdgeJoin(manager, name, Axis::kChild);
+  EXPECT_GT(ad, 0.0);
+  EXPECT_LE(pc, ad);
+  EXPECT_GT(pc, 0.0);
+}
+
+TEST(PositionalHistogramTest, EmptyTagEstimatesZero) {
+  Database db = Db("<a><b/></a>");
+  PositionalHistogramEstimator est = BuildHistogram(db);
+  EXPECT_DOUBLE_EQ(est.EstimateEdgeJoin(999, 0, Axis::kDescendant), 0.0);
+}
+
+TEST(PositionalHistogramTest, FinerGridNotWorseOnAverage) {
+  PersGenConfig config;
+  config.target_nodes = 4000;
+  Database db = Database::Open(GeneratePers(config).value());
+  ExactEstimator exact(db.doc(), db.index());
+  const TagDictionary& dict = db.doc().dict();
+  auto total_error = [&](uint32_t grid) {
+    PositionalHistogramEstimator hist = BuildHistogram(db, grid);
+    double err = 0;
+    for (const char* anc : {"manager", "employee", "department"}) {
+      double h = hist.EstimateEdgeJoin(dict.Find(anc), dict.Find("name"),
+                                       Axis::kDescendant);
+      double e = exact.EstimateEdgeJoin(dict.Find(anc), dict.Find("name"),
+                                        Axis::kDescendant);
+      err += std::abs(h - e) / std::max(e, 1.0);
+    }
+    return err;
+  };
+  EXPECT_LE(total_error(256), total_error(4) + 1e-9);
+}
+
+TEST(PatternEstimatesTest, NodeAndEdgeCards) {
+  Database db = Db("<a><b><c/></b><b><c/><c/></b></a>");
+  ExactEstimator est(db.doc(), db.index());
+  Pattern pattern = std::move(ParsePattern("a[//b[/c]]")).value();
+  Result<PatternEstimates> pe = PatternEstimates::Make(pattern, db.doc(), est);
+  ASSERT_TRUE(pe.ok());
+  EXPECT_DOUBLE_EQ(pe.value().NodeCard(0), 1.0);
+  EXPECT_DOUBLE_EQ(pe.value().NodeCard(1), 2.0);
+  EXPECT_DOUBLE_EQ(pe.value().NodeCard(2), 3.0);
+  EXPECT_DOUBLE_EQ(pe.value().EdgeJoinCard(0), 2.0);  // a//b
+  EXPECT_DOUBLE_EQ(pe.value().EdgeJoinCard(1), 3.0);  // b/c
+}
+
+TEST(PatternEstimatesTest, ClusterComposition) {
+  Database db = Db("<a><b><c/></b><b><c/><c/></b></a>");
+  ExactEstimator est(db.doc(), db.index());
+  Pattern pattern = std::move(ParsePattern("a[//b[/c]]")).value();
+  PatternEstimates pe =
+      std::move(PatternEstimates::Make(pattern, db.doc(), est)).value();
+  // Single-node clusters = node cardinalities.
+  EXPECT_DOUBLE_EQ(pe.ClusterCard(MaskOf(1)), 2.0);
+  // {a,b}: |a||b| * sel(a//b) = 1*2 * (2/(1*2)) = 2.
+  EXPECT_DOUBLE_EQ(pe.ClusterCard(MaskOf(0) | MaskOf(1)), 2.0);
+  // {b,c}: 2*3 * (3/6) = 3.
+  EXPECT_DOUBLE_EQ(pe.ClusterCard(MaskOf(1) | MaskOf(2)), 3.0);
+  // Full: 1*2*3 * (2/2) * (3/6) = 3 (true answer is 3 as well).
+  EXPECT_DOUBLE_EQ(pe.ClusterCard(0b111), 3.0);
+}
+
+TEST(PatternEstimatesTest, UnknownTagYieldsZero) {
+  Database db = Db("<a><b/></a>");
+  ExactEstimator est(db.doc(), db.index());
+  Pattern pattern = std::move(ParsePattern("a[//nosuch]")).value();
+  PatternEstimates pe =
+      std::move(PatternEstimates::Make(pattern, db.doc(), est)).value();
+  EXPECT_DOUBLE_EQ(pe.NodeCard(1), 0.0);
+  EXPECT_DOUBLE_EQ(pe.ClusterCard(0b11), 0.0);
+}
+
+}  // namespace
+}  // namespace sjos

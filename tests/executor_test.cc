@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/naive_matcher.h"
+#include "plan/random_plans.h"
+#include "query/pattern_parser.h"
+#include "storage/catalog.h"
+#include "xml/generators/pers_gen.h"
+#include "xml/generators/tree_gen.h"
+#include "xml/parser.h"
+
+namespace sjos {
+namespace {
+
+Database Db(std::string_view xml) {
+  return Database::Open(std::move(ParseXml(xml)).value());
+}
+
+Pattern Pat(std::string_view text) {
+  return std::move(ParsePattern(text)).value();
+}
+
+PhysicalPlan ChainPlan() {
+  // a[//b[/c]] as (a STD b) STA c.
+  PhysicalPlan plan;
+  int a = plan.AddIndexScan(0);
+  int b = plan.AddIndexScan(1);
+  int ab = plan.AddJoin(PlanOp::kStackTreeDesc, 0, 1, Axis::kDescendant, a, b);
+  int c = plan.AddIndexScan(2);
+  plan.SetRoot(plan.AddJoin(PlanOp::kStackTreeAnc, 1, 2, Axis::kChild, ab, c));
+  return plan;
+}
+
+TEST(ExecutorTest, ChainPlanMatchesOracle) {
+  Database db = Db("<a><b><c/><b><c/></b></b><b/></a>");
+  Pattern pattern = Pat("a[//b[/c]]");
+  Executor exec(db);
+  ExecResult result = std::move(exec.Execute(pattern, ChainPlan())).value();
+  auto expected = std::move(NaiveMatch(db.doc(), pattern)).value();
+  EXPECT_EQ(result.tuples.Canonical(), expected);
+  EXPECT_EQ(result.stats.result_rows, expected.size());
+  EXPECT_EQ(result.stats.num_joins, 2u);
+  EXPECT_EQ(result.stats.num_sorts, 0u);
+  EXPECT_GT(result.stats.rows_scanned, 0u);
+}
+
+TEST(ExecutorTest, SortOperatorCounted) {
+  Database db = Db("<a><b><c/></b></a>");
+  Pattern pattern = Pat("a[//b[/c]]");
+  PhysicalPlan plan;
+  int a = plan.AddIndexScan(0);
+  int b = plan.AddIndexScan(1);
+  int ab = plan.AddJoin(PlanOp::kStackTreeAnc, 0, 1, Axis::kDescendant, a, b);
+  int sorted = plan.AddSort(1, ab);
+  int c = plan.AddIndexScan(2);
+  plan.SetRoot(
+      plan.AddJoin(PlanOp::kStackTreeDesc, 1, 2, Axis::kChild, sorted, c));
+  Executor exec(db);
+  ExecResult result = std::move(exec.Execute(pattern, plan)).value();
+  EXPECT_EQ(result.stats.num_sorts, 1u);
+  auto expected = std::move(NaiveMatch(db.doc(), pattern)).value();
+  EXPECT_EQ(result.tuples.Canonical(), expected);
+}
+
+TEST(ExecutorTest, MissingTagGivesEmptyResult) {
+  Database db = Db("<a><b/></a>");
+  Pattern pattern = Pat("a[//zzz[/b]]");
+  PhysicalPlan plan;
+  int a = plan.AddIndexScan(0);
+  int z = plan.AddIndexScan(1);
+  int az = plan.AddJoin(PlanOp::kStackTreeDesc, 0, 1, Axis::kDescendant, a, z);
+  int b = plan.AddIndexScan(2);
+  plan.SetRoot(plan.AddJoin(PlanOp::kStackTreeAnc, 1, 2, Axis::kChild, az, b));
+  Executor exec(db);
+  ExecResult result = std::move(exec.Execute(pattern, plan)).value();
+  EXPECT_EQ(result.tuples.size(), 0u);
+}
+
+TEST(ExecutorTest, EmptyPlanRejected) {
+  Database db = Db("<a/>");
+  Executor exec(db);
+  PhysicalPlan plan;
+  EXPECT_FALSE(exec.Execute(Pat("a"), plan).ok());
+}
+
+/// Property: every random valid plan computes exactly the oracle's matches.
+struct ExecSweepParam {
+  const char* pattern;
+  uint64_t tree_seed;
+};
+
+class ExecutorSweep : public ::testing::TestWithParam<ExecSweepParam> {};
+
+TEST_P(ExecutorSweep, RandomPlansAllAgreeWithOracle) {
+  const ExecSweepParam param = GetParam();
+  TreeGenConfig config;
+  config.target_nodes = 300;
+  config.max_depth = 7;
+  config.num_tags = 4;
+  config.seed = param.tree_seed;
+  Database db = Database::Open(GenerateTree(config).value());
+  Pattern pattern = Pat(param.pattern);
+  auto expected = std::move(NaiveMatch(db.doc(), pattern)).value();
+  Executor exec(db);
+  Rng rng(param.tree_seed * 31 + 7);
+  for (int i = 0; i < 12; ++i) {
+    PhysicalPlan plan = std::move(RandomPlan(pattern, &rng)).value();
+    Result<ExecResult> result = exec.Execute(pattern, plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().tuples.Canonical(), expected)
+        << "plan " << i << " for " << param.pattern;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndTrees, ExecutorSweep,
+    ::testing::Values(ExecSweepParam{"t0[//t1]", 11},
+                      ExecSweepParam{"t0[//t1[/t2]]", 12},
+                      ExecSweepParam{"t0[//t0]", 13},
+                      ExecSweepParam{"t0[/t1][//t2]", 14},
+                      ExecSweepParam{"t0[//t1[/t2]][//t3]", 15},
+                      ExecSweepParam{"t1[//t2[/t3]][/t0]", 16},
+                      ExecSweepParam{"t0[//t1[//t2]][//t3[/t1]]", 17},
+                      ExecSweepParam{"t2[/t1]", 18}));
+
+TEST(ExecutorTest, PersRunningExampleAllRandomPlansAgree) {
+  PersGenConfig config;
+  config.target_nodes = 400;
+  Database db = Database::Open(GeneratePers(config).value());
+  Pattern pattern =
+      Pat("manager[//employee[/name]][//manager[/department[/name]]]");
+  auto expected = std::move(NaiveMatch(db.doc(), pattern)).value();
+  Executor exec(db);
+  Rng rng(2024);
+  for (int i = 0; i < 20; ++i) {
+    PhysicalPlan plan = std::move(RandomPlan(pattern, &rng)).value();
+    ExecResult result = std::move(exec.Execute(pattern, plan)).value();
+    ASSERT_EQ(result.tuples.Canonical(), expected) << "plan " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sjos

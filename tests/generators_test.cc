@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "storage/tag_index.h"
+#include "xml/generators/dblp_gen.h"
+#include "xml/generators/mbench_gen.h"
+#include "xml/generators/pers_gen.h"
+#include "xml/generators/tree_gen.h"
+#include "xml/generators/xmark_gen.h"
+
+namespace sjos {
+namespace {
+
+TEST(TreeGenTest, HitsTargetSize) {
+  TreeGenConfig config;
+  config.target_nodes = 5000;
+  Result<Document> doc = GenerateTree(config);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GE(doc.value().NumNodes(), 5000u);
+  EXPECT_LE(doc.value().NumNodes(), 5000u + config.max_depth + 1);
+  EXPECT_TRUE(doc.value().Validate().ok());
+}
+
+TEST(TreeGenTest, DeterministicForSeed) {
+  TreeGenConfig config;
+  config.target_nodes = 500;
+  config.seed = 99;
+  Document a = GenerateTree(config).value();
+  Document b = GenerateTree(config).value();
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  for (NodeId id = 0; id < a.NumNodes(); ++id) {
+    EXPECT_EQ(a.TagNameOf(id), b.TagNameOf(id));
+    EXPECT_EQ(a.EndOf(id), b.EndOf(id));
+  }
+}
+
+TEST(TreeGenTest, RespectsMaxDepth) {
+  TreeGenConfig config;
+  config.target_nodes = 2000;
+  config.max_depth = 3;
+  Document doc = GenerateTree(config).value();
+  EXPECT_LE(doc.MaxLevel(), 3);
+}
+
+TEST(TreeGenTest, RejectsBadConfig) {
+  TreeGenConfig config;
+  config.target_nodes = 0;
+  EXPECT_FALSE(GenerateTree(config).ok());
+  config.target_nodes = 10;
+  config.min_fanout = 5;
+  config.max_fanout = 2;
+  EXPECT_FALSE(GenerateTree(config).ok());
+}
+
+TEST(PersGenTest, HasRecursiveManagers) {
+  PersGenConfig config;
+  config.target_nodes = 5000;
+  Document doc = GeneratePers(config).value();
+  EXPECT_TRUE(doc.Validate().ok());
+  const TagDictionary& dict = doc.dict();
+  TagId manager = dict.Find("manager");
+  ASSERT_NE(manager, kInvalidTag);
+  // There must be at least one manager under another manager (the running
+  // example's A//D edge needs it).
+  bool nested = false;
+  for (NodeId id = 0; id < doc.NumNodes() && !nested; ++id) {
+    if (doc.TagOf(id) != manager) continue;
+    NodeId p = doc.ParentOf(id);
+    while (p != kInvalidNode) {
+      if (doc.TagOf(p) == manager) {
+        nested = true;
+        break;
+      }
+      p = doc.ParentOf(p);
+    }
+  }
+  EXPECT_TRUE(nested);
+}
+
+TEST(PersGenTest, HasExpectedVocabulary) {
+  PersGenConfig config;
+  config.target_nodes = 3000;
+  Document doc = GeneratePers(config).value();
+  TagIndex index = TagIndex::Build(doc);
+  for (const char* tag : {"company", "manager", "employee", "department",
+                          "name"}) {
+    TagId id = doc.dict().Find(tag);
+    ASSERT_NE(id, kInvalidTag) << tag;
+    EXPECT_GT(index.Cardinality(id), 0u) << tag;
+  }
+  // Names outnumber managers (every entity carries one).
+  EXPECT_GT(index.Cardinality(doc.dict().Find("name")),
+            index.Cardinality(doc.dict().Find("manager")));
+}
+
+TEST(PersGenTest, SizeApproximatesTarget) {
+  PersGenConfig config;
+  config.target_nodes = 5000;
+  Document doc = GeneratePers(config).value();
+  EXPECT_GE(doc.NumNodes(), 4500u);
+  EXPECT_LE(doc.NumNodes(), 5001u);
+}
+
+TEST(PersGenTest, Deterministic) {
+  PersGenConfig config;
+  config.target_nodes = 1000;
+  Document a = GeneratePers(config).value();
+  Document b = GeneratePers(config).value();
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  for (NodeId id = 0; id < a.NumNodes(); ++id) {
+    ASSERT_EQ(a.TagOf(id), b.TagOf(id));
+  }
+}
+
+TEST(DblpGenTest, ShallowAndWide) {
+  DblpGenConfig config;
+  config.target_nodes = 20000;
+  Document doc = GenerateDblp(config).value();
+  EXPECT_TRUE(doc.Validate().ok());
+  EXPECT_LE(doc.MaxLevel(), 3);
+  TagIndex index = TagIndex::Build(doc);
+  EXPECT_GT(index.Cardinality(doc.dict().Find("author")), 1000u);
+  EXPECT_GT(index.Cardinality(doc.dict().Find("inproceedings")), 500u);
+  EXPECT_GT(index.Cardinality(doc.dict().Find("article")), 500u);
+}
+
+TEST(DblpGenTest, EveryRecordHasTitleAndYear) {
+  DblpGenConfig config;
+  config.target_nodes = 5000;
+  Document doc = GenerateDblp(config).value();
+  TagIndex index = TagIndex::Build(doc);
+  size_t records = index.Cardinality(doc.dict().Find("inproceedings")) +
+                   index.Cardinality(doc.dict().Find("article")) +
+                   index.Cardinality(doc.dict().Find("book")) +
+                   index.Cardinality(doc.dict().Find("phdthesis"));
+  EXPECT_EQ(index.Cardinality(doc.dict().Find("title")), records);
+  EXPECT_EQ(index.Cardinality(doc.dict().Find("year")), records);
+}
+
+TEST(MbenchGenTest, DeepRecursiveNesting) {
+  MbenchGenConfig config;
+  config.target_nodes = 50000;
+  Document doc = GenerateMbench(config).value();
+  EXPECT_TRUE(doc.Validate().ok());
+  // The eNest recursion should reach well past half the configured levels.
+  EXPECT_GE(doc.MaxLevel(), 8);
+  TagIndex index = TagIndex::Build(doc);
+  EXPECT_GT(index.Cardinality(doc.dict().Find("eNest")), 5000u);
+  EXPECT_GT(index.Cardinality(doc.dict().Find("eOccasional")), 100u);
+}
+
+TEST(MbenchGenTest, SizeNearTarget) {
+  MbenchGenConfig config;
+  config.target_nodes = 30000;
+  Document doc = GenerateMbench(config).value();
+  EXPECT_GE(doc.NumNodes(), 15000u);
+  EXPECT_LE(doc.NumNodes(), 30001u);
+}
+
+TEST(XmarkGenTest, HasAuctionSections) {
+  XmarkGenConfig config;
+  config.target_nodes = 20000;
+  Document doc = GenerateXmark(config).value();
+  EXPECT_TRUE(doc.Validate().ok());
+  TagIndex index = TagIndex::Build(doc);
+  EXPECT_EQ(doc.TagNameOf(0), "site");
+  for (const char* tag : {"regions", "item", "person", "open_auction",
+                          "description"}) {
+    TagId id = doc.dict().Find(tag);
+    ASSERT_NE(id, kInvalidTag) << tag;
+    EXPECT_GT(index.Cardinality(id), 0u) << tag;
+  }
+}
+
+TEST(XmarkGenTest, ParlistRecursionBounded) {
+  XmarkGenConfig config;
+  config.target_nodes = 20000;
+  config.max_parlist_depth = 2;
+  Document doc = GenerateXmark(config).value();
+  TagId parlist = doc.dict().Find("parlist");
+  ASSERT_NE(parlist, kInvalidTag);
+  // No parlist chain deeper than 2.
+  for (NodeId id = 0; id < doc.NumNodes(); ++id) {
+    if (doc.TagOf(id) != parlist) continue;
+    int chain = 1;
+    NodeId p = doc.ParentOf(id);
+    while (p != kInvalidNode) {
+      if (doc.TagOf(p) == parlist) ++chain;
+      p = doc.ParentOf(p);
+    }
+    EXPECT_LE(chain, 2);
+  }
+}
+
+}  // namespace
+}  // namespace sjos

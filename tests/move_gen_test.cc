@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/move_gen.h"
+#include "estimate/exact_estimator.h"
+#include "query/pattern_parser.h"
+#include "storage/catalog.h"
+#include "xml/parser.h"
+
+namespace sjos {
+namespace {
+
+struct Fixture {
+  Database db;
+  Pattern pattern;
+  ExactEstimator est;
+  PatternEstimates pe;
+  CostModel cm;
+  MoveGenerator gen;
+
+  Fixture(std::string_view xml, std::string_view pattern_text)
+      : db(Database::Open(std::move(ParseXml(xml)).value())),
+        pattern(std::move(ParsePattern(pattern_text)).value()),
+        est(db.doc(), db.index()),
+        pe(std::move(PatternEstimates::Make(pattern, db.doc(), est)).value()),
+        cm(),
+        gen(pattern, pe, cm) {}
+};
+
+TEST(MoveGenTest, StartStatusOffersAllEdgesBothAlgorithms) {
+  Fixture f("<a><b><c/></b></a>", "a[//b[/c]]");
+  OptStatus start = OptStatus::Start(f.pattern);
+  std::vector<Move> moves;
+  size_t considered = f.gen.Enumerate(start, {}, &moves);
+  // 2 edges x 2 algorithms, no sorts needed at the start.
+  EXPECT_EQ(considered, 4u);
+  ASSERT_EQ(moves.size(), 4u);
+  for (const Move& m : moves) {
+    EXPECT_EQ(m.sort_node, kNoPatternNode);
+    EXPECT_GE(m.cost, 0.0);
+  }
+}
+
+TEST(MoveGenTest, StaCostsMoreThanStdOnSameEdge) {
+  Fixture f("<a><b><c/></b><b><c/></b></a>", "a[//b[/c]]");
+  OptStatus start = OptStatus::Start(f.pattern);
+  std::vector<Move> moves;
+  f.gen.Enumerate(start, {}, &moves);
+  for (size_t i = 0; i < moves.size(); i += 2) {
+    ASSERT_EQ(moves[i].edge_index, moves[i + 1].edge_index);
+    // STD is enumerated first (tie-breaking), STA second and never cheaper.
+    EXPECT_FALSE(moves[i].stack_tree_anc);
+    EXPECT_TRUE(moves[i + 1].stack_tree_anc);
+    EXPECT_LE(moves[i].cost, moves[i + 1].cost);
+  }
+}
+
+TEST(MoveGenTest, MisorderedClusterRequiresSort) {
+  Fixture f("<a><b><c/></b></a>", "a[//b[/c]]");
+  // Join (a,b) keeping order by a; now edge (b,c) needs the cluster sorted
+  // by b.
+  OptStatus s = OptStatus::Start(f.pattern).AfterJoin(0, 1, 0, 0);
+  std::vector<Move> moves;
+  f.gen.Enumerate(s, {}, &moves);
+  bool found_edge1 = false;
+  for (const Move& m : moves) {
+    if (m.edge_index == 1) {
+      found_edge1 = true;
+      EXPECT_EQ(m.sort_node, 1);
+      EXPECT_GT(m.cost, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_edge1);
+}
+
+TEST(MoveGenTest, DoublyMisorderedEdgeIllegal) {
+  Fixture f("<a><b><c/><d/></b></a>", "a[//b[/c][/d]]");
+  // Join (a,b) ordered by a, then (b,c)... we need both clusters of edge
+  // (b,d) mis-ordered. Build: join (a,b) order a; join (b,c) after sorting
+  // by b, order c. Cluster {a,b,c} ordered by c. Edge (b,d): cluster side
+  // ordered by c != b, but d side is a singleton (ordered by itself) so
+  // the edge stays legal — with a sort on b's side... sort_node must be b.
+  OptStatus s =
+      OptStatus::Start(f.pattern).AfterJoin(0, 1, 0, 0).AfterJoin(1, 2, 1, 2);
+  std::vector<Move> moves;
+  f.gen.Enumerate(s, {}, &moves);
+  for (const Move& m : moves) {
+    EXPECT_EQ(m.edge_index, 2);
+    EXPECT_EQ(m.sort_node, 1);
+  }
+  EXPECT_EQ(moves.size(), 2u);
+}
+
+TEST(MoveGenTest, DeadendDetection) {
+  // Pattern a[//b[/c]]: after joining (a,b) with order a, the remaining
+  // edge (b,c) has the {a,b} cluster mis-ordered but c is a singleton, so
+  // not a dead end. A real dead end needs both endpoints in multi-node
+  // clusters with wrong orders.
+  Fixture f("<a><b><c/><d/></b></a>", "a[//b[/c[/d]]]");
+  // Clusters {a,b} ordered by a and {c,d} ordered by d; remaining edge
+  // (b,c): both sides mis-ordered -> dead end.
+  OptStatus s =
+      OptStatus::Start(f.pattern).AfterJoin(0, 1, 0, 0).AfterJoin(2, 3, 2, 3);
+  EXPECT_TRUE(f.gen.IsDeadend(s));
+  std::vector<Move> moves;
+  EXPECT_EQ(f.gen.Enumerate(s, {}, &moves), 0u);
+  EXPECT_TRUE(moves.empty());
+
+  OptStatus ok =
+      OptStatus::Start(f.pattern).AfterJoin(0, 1, 0, 1).AfterJoin(2, 3, 2, 3);
+  EXPECT_FALSE(f.gen.IsDeadend(ok));
+  EXPECT_FALSE(f.gen.IsDeadend(OptStatus::Start(f.pattern)));
+}
+
+TEST(MoveGenTest, FinalStatusIsNeverDeadend) {
+  Fixture f("<a><b/></a>", "a[//b]");
+  OptStatus s = OptStatus::Start(f.pattern).AfterJoin(0, 1, 0, 0);
+  EXPECT_TRUE(s.IsFinal(f.gen.num_edges()));
+  EXPECT_FALSE(f.gen.IsDeadend(s));
+}
+
+TEST(MoveGenTest, LeftDeepRestrictsToGrowingCluster) {
+  Fixture f("<a><b><c/></b><d><e/></d></a>", "a[//b[/c]][//d[/e]]");
+  // Grow {a,b}: the remaining left-deep moves must touch that cluster.
+  OptStatus s = OptStatus::Start(f.pattern).AfterJoin(0, 1, 0, 1);
+  MoveGenOptions ld;
+  ld.left_deep_only = true;
+  std::vector<Move> moves;
+  f.gen.Enumerate(s, ld, &moves);
+  ASSERT_FALSE(moves.empty());
+  for (const Move& m : moves) {
+    const Pattern::Edge& e = f.gen.edges()[m.edge_index];
+    bool touches = s.RepOf(e.parent) == 0 || s.RepOf(e.child) == 0;
+    EXPECT_TRUE(touches) << "edge " << int{m.edge_index};
+  }
+  // Edge (d,e) joins two singletons away from the growing cluster: absent.
+  for (const Move& m : moves) {
+    EXPECT_NE(m.edge_index, 3);  // edge 3 = (d,e)
+  }
+}
+
+TEST(MoveGenTest, LeftDeepUnrestrictedBeforeFirstJoin) {
+  Fixture f("<a><b/><c/></a>", "a[//b][//c]");
+  MoveGenOptions ld;
+  ld.left_deep_only = true;
+  std::vector<Move> moves;
+  f.gen.Enumerate(OptStatus::Start(f.pattern), ld, &moves);
+  EXPECT_EQ(moves.size(), 4u);  // all edges still allowed
+}
+
+TEST(MoveGenTest, UbCostNonNegativeAndZeroAtFinal) {
+  Fixture f("<a><b><c/></b></a>", "a[//b[/c]]");
+  OptStatus start = OptStatus::Start(f.pattern);
+  EXPECT_GT(f.gen.UbCost(start), 0.0);
+  OptStatus final_status = start.AfterJoin(0, 1, 0, 1).AfterJoin(1, 2, 1, 2);
+  EXPECT_DOUBLE_EQ(f.gen.UbCost(final_status), 0.0);
+}
+
+TEST(MoveGenTest, UbCostShrinksAsEdgesJoin) {
+  Fixture f("<a><b><c/></b></a>", "a[//b[/c]]");
+  OptStatus start = OptStatus::Start(f.pattern);
+  OptStatus mid = start.AfterJoin(0, 1, 0, 1);
+  EXPECT_LT(f.gen.UbCost(mid), f.gen.UbCost(start));
+}
+
+TEST(MoveGenTest, FinalOrderFixCost) {
+  // Several b's so the final result has enough rows for a non-zero sort.
+  Fixture f("<a><b/><b/><b/><b/></a>", "a[//b]!b");
+  OptStatus by_a = OptStatus::Start(f.pattern).AfterJoin(0, 1, 0, 0);
+  OptStatus by_b = OptStatus::Start(f.pattern).AfterJoin(0, 1, 0, 1);
+  EXPECT_GT(f.gen.FinalOrderFixCost(by_a), 0.0);
+  EXPECT_DOUBLE_EQ(f.gen.FinalOrderFixCost(by_b), 0.0);
+}
+
+TEST(MoveGenTest, ApplyReflectsAlgorithmOrder) {
+  Fixture f("<a><b/></a>", "a[//b]");
+  std::vector<Move> moves;
+  f.gen.Enumerate(OptStatus::Start(f.pattern), {}, &moves);
+  for (const Move& m : moves) {
+    OptStatus next = f.gen.Apply(OptStatus::Start(f.pattern), m);
+    EXPECT_EQ(next.OrderOf(0), m.stack_tree_anc ? 0 : 1);
+  }
+}
+
+}  // namespace
+}  // namespace sjos

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "exec/naive_matcher.h"
+#include "query/pattern_parser.h"
+#include "xml/parser.h"
+
+namespace sjos {
+namespace {
+
+Document Doc(std::string_view xml) {
+  return std::move(ParseXml(xml)).value();
+}
+
+Pattern Pat(std::string_view text) {
+  return std::move(ParsePattern(text)).value();
+}
+
+TEST(NaiveMatcherTest, SingleNodePattern) {
+  Document doc = Doc("<a><b/><b/></a>");
+  auto matches = std::move(NaiveMatch(doc, Pat("b"))).value();
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (std::vector<NodeId>{1}));
+  EXPECT_EQ(matches[1], (std::vector<NodeId>{2}));
+}
+
+TEST(NaiveMatcherTest, DescendantAxis) {
+  Document doc = Doc("<a><b><c/></b><c/></a>");
+  auto matches = std::move(NaiveMatch(doc, Pat("a[//c]"))).value();
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(NaiveMatcherTest, ChildAxisExcludesDeeper) {
+  Document doc = Doc("<a><b><c/></b><c/></a>");
+  auto matches = std::move(NaiveMatch(doc, Pat("a[/c]"))).value();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0][1], 3u);
+}
+
+TEST(NaiveMatcherTest, BranchingCrossProduct) {
+  Document doc = Doc("<a><b/><b/><c/><c/></a>");
+  auto matches = std::move(NaiveMatch(doc, Pat("a[/b][/c]"))).value();
+  EXPECT_EQ(matches.size(), 4u);  // 2 b's x 2 c's
+}
+
+TEST(NaiveMatcherTest, RecursiveTagMatches) {
+  Document doc = Doc("<m><m><m/></m></m>");
+  auto matches = std::move(NaiveMatch(doc, Pat("m[//m]"))).value();
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(NaiveMatcherTest, NoMatches) {
+  Document doc = Doc("<a><b/></a>");
+  EXPECT_TRUE(std::move(NaiveMatch(doc, Pat("a[/z]"))).value().empty());
+  EXPECT_TRUE(std::move(NaiveMatch(doc, Pat("z"))).value().empty());
+}
+
+TEST(NaiveMatcherTest, RunningExampleShape) {
+  Document doc = Doc(
+      "<company>"
+      "<manager><name/>"
+      "  <employee><name/></employee>"
+      "  <manager><department><name/></department></manager>"
+      "</manager>"
+      "</company>");
+  Pattern pattern =
+      Pat("manager[//employee[/name]][//manager[/department[/name]]]");
+  auto matches = std::move(NaiveMatch(doc, pattern)).value();
+  ASSERT_EQ(matches.size(), 1u);
+  // A = outer manager (node 1).
+  EXPECT_EQ(matches[0][0], 1u);
+}
+
+TEST(NaiveMatcherTest, RowsAreSorted) {
+  Document doc = Doc("<a><b/><b/><b/></a>");
+  auto matches = std::move(NaiveMatch(doc, Pat("a[//b]"))).value();
+  EXPECT_TRUE(std::is_sorted(matches.begin(), matches.end()));
+}
+
+TEST(NaiveMatcherTest, InvalidPatternRejected) {
+  Document doc = Doc("<a/>");
+  Pattern empty;
+  EXPECT_FALSE(NaiveMatch(doc, empty).ok());
+}
+
+}  // namespace
+}  // namespace sjos

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "query/pattern_parser.h"
+
+namespace sjos {
+namespace {
+
+Pattern MustParse(std::string_view text) {
+  Result<Pattern> p = ParsePattern(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+TEST(PatternParserTest, SingleTag) {
+  Pattern p = MustParse("manager");
+  EXPECT_EQ(p.NumNodes(), 1u);
+  EXPECT_EQ(p.node(0).tag, "manager");
+}
+
+TEST(PatternParserTest, ChainWithAxes) {
+  Pattern p = MustParse("a[//b[/c]]");
+  ASSERT_EQ(p.NumNodes(), 3u);
+  EXPECT_EQ(p.node(1).tag, "b");
+  EXPECT_EQ(p.node(1).axis, Axis::kDescendant);
+  EXPECT_EQ(p.node(2).tag, "c");
+  EXPECT_EQ(p.node(2).axis, Axis::kChild);
+}
+
+TEST(PatternParserTest, Branching) {
+  Pattern p = MustParse("a[/b][/c][/d]");
+  ASSERT_EQ(p.NumNodes(), 4u);
+  EXPECT_EQ(p.ChildrenOf(0).size(), 3u);
+}
+
+TEST(PatternParserTest, RunningExampleRoundTrip) {
+  const char* text =
+      "manager[//employee[/name]][//manager[/department[/name]]]";
+  Pattern p = MustParse(text);
+  EXPECT_EQ(p.ToString(), text);
+}
+
+TEST(PatternParserTest, WhitespaceTolerated) {
+  Pattern p = MustParse("  a [ // b [ / c ] ] ");
+  EXPECT_EQ(p.NumNodes(), 3u);
+}
+
+TEST(PatternParserTest, AttributeTags) {
+  Pattern p = MustParse("eNest[/@aSixtyFour]");
+  EXPECT_EQ(p.node(1).tag, "@aSixtyFour");
+}
+
+TEST(PatternParserTest, OrderByClause) {
+  Pattern p = MustParse("a[//b[/c]]!b");
+  EXPECT_EQ(p.order_by(), 1);
+}
+
+TEST(PatternParserTest, OrderByUnknownTagFails) {
+  EXPECT_FALSE(ParsePattern("a[//b]!z").ok());
+}
+
+TEST(PatternParserTest, ErrorOnMissingAxis) {
+  EXPECT_FALSE(ParsePattern("a[b]").ok());
+}
+
+TEST(PatternParserTest, ErrorOnUnbalancedBracket) {
+  EXPECT_FALSE(ParsePattern("a[/b").ok());
+  EXPECT_FALSE(ParsePattern("a[/b]]").ok());
+}
+
+TEST(PatternParserTest, ErrorOnEmpty) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("[/a]").ok());
+}
+
+TEST(PatternParserTest, ErrorOnMissingTagAfterAxis) {
+  EXPECT_FALSE(ParsePattern("a[//]").ok());
+}
+
+TEST(PatternParserTest, TagCharset) {
+  Pattern p = MustParse("ns:tag-1.x[/_under]");
+  EXPECT_EQ(p.node(0).tag, "ns:tag-1.x");
+  EXPECT_EQ(p.node(1).tag, "_under");
+  // Leading digits are not valid tag starts.
+  EXPECT_FALSE(ParsePattern("1tag").ok());
+}
+
+}  // namespace
+}  // namespace sjos

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "query/pattern.h"
+
+namespace sjos {
+namespace {
+
+// The running example of Fig. 1:
+// manager[//employee[/name]][//manager[/department[/name]]]
+Pattern RunningExample() {
+  Pattern p;
+  PatternNodeId a = p.AddRoot("manager");
+  PatternNodeId b = p.AddChild(a, "employee", Axis::kDescendant);
+  p.AddChild(b, "name", Axis::kChild);
+  PatternNodeId d = p.AddChild(a, "manager", Axis::kDescendant);
+  PatternNodeId e = p.AddChild(d, "department", Axis::kChild);
+  p.AddChild(e, "name", Axis::kChild);
+  return p;
+}
+
+TEST(PatternTest, CountsNodesAndEdges) {
+  Pattern p = RunningExample();
+  EXPECT_EQ(p.NumNodes(), 6u);
+  EXPECT_EQ(p.NumEdges(), 5u);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(PatternTest, EdgesListed) {
+  Pattern p = RunningExample();
+  std::vector<Pattern::Edge> edges = p.Edges();
+  ASSERT_EQ(edges.size(), 5u);
+  EXPECT_EQ(edges[0].parent, 0);
+  EXPECT_EQ(edges[0].child, 1);
+  EXPECT_EQ(edges[0].axis, Axis::kDescendant);
+  EXPECT_EQ(edges[1].parent, 1);
+  EXPECT_EQ(edges[1].child, 2);
+  EXPECT_EQ(edges[1].axis, Axis::kChild);
+}
+
+TEST(PatternTest, ChildrenAndNeighbors) {
+  Pattern p = RunningExample();
+  EXPECT_EQ(p.ChildrenOf(0), (std::vector<PatternNodeId>{1, 3}));
+  EXPECT_EQ(p.NeighborsOf(0), (std::vector<PatternNodeId>{1, 3}));
+  EXPECT_EQ(p.NeighborsOf(1), (std::vector<PatternNodeId>{0, 2}));
+  EXPECT_EQ(p.NeighborsOf(2), (std::vector<PatternNodeId>{1}));
+}
+
+TEST(PatternTest, ToStringNested) {
+  Pattern p = RunningExample();
+  EXPECT_EQ(p.ToString(),
+            "manager[//employee[/name]][//manager[/department[/name]]]");
+}
+
+TEST(PatternTest, OrderByValidated) {
+  Pattern p = RunningExample();
+  p.set_order_by(3);
+  EXPECT_TRUE(p.Validate().ok());
+  p.set_order_by(9);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(PatternTest, EmptyPatternInvalid) {
+  Pattern p;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(PatternTest, SingleNodePattern) {
+  Pattern p;
+  p.AddRoot("x");
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.NumEdges(), 0u);
+  EXPECT_TRUE(p.Edges().empty());
+  EXPECT_TRUE(p.NeighborsOf(0).empty());
+}
+
+TEST(PatternTest, Equality) {
+  Pattern a = RunningExample();
+  Pattern b = RunningExample();
+  EXPECT_TRUE(a == b);
+  b.set_order_by(1);
+  EXPECT_FALSE(a == b);
+  Pattern c;
+  c.AddRoot("manager");
+  EXPECT_FALSE(a == c);
+}
+
+TEST(AxisTest, Tokens) {
+  EXPECT_STREQ(AxisToken(Axis::kChild), "/");
+  EXPECT_STREQ(AxisToken(Axis::kDescendant), "//");
+}
+
+}  // namespace
+}  // namespace sjos

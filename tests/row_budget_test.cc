@@ -1,0 +1,84 @@
+// The join row budget: the safety valve that lets benches execute
+// deliberately terrible plans on huge documents without exhausting memory.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/stack_tree.h"
+#include "plan/random_plans.h"
+#include "query/pattern_parser.h"
+#include "storage/catalog.h"
+#include "xml/generators/pers_gen.h"
+#include "xml/parser.h"
+
+namespace sjos {
+namespace {
+
+TupleSet Candidates(const Database& db, const char* tag, PatternNodeId slot) {
+  TupleSet set({slot});
+  TagId id = db.doc().dict().Find(tag);
+  for (NodeId n : db.index().Postings(id)) set.AppendRow(&n);
+  set.set_ordered_by_slot(0);
+  return set;
+}
+
+TEST(RowBudgetTest, JoinAbortsOverBudget) {
+  PersGenConfig config;
+  config.target_nodes = 2000;
+  Database db = Database::Open(GeneratePers(config).value());
+  TupleSet managers = Candidates(db, "manager", 0);
+  TupleSet names = Candidates(db, "name", 1);
+  // Unbudgeted: thousands of pairs.
+  TupleSet full = std::move(StackTreeJoin(db.doc(), managers, 0, names, 0,
+                                          Axis::kDescendant, false, nullptr,
+                                          /*max_output_rows=*/0))
+                      .value();
+  ASSERT_GT(full.size(), 100u);
+  // Budgeted below the output size: OutOfRange.
+  Result<TupleSet> capped =
+      StackTreeJoin(db.doc(), managers, 0, names, 0, Axis::kDescendant, false,
+                    nullptr, /*max_output_rows=*/100);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kOutOfRange);
+  // Both algorithm variants honor the budget.
+  Result<TupleSet> capped_anc =
+      StackTreeJoin(db.doc(), managers, 0, names, 0, Axis::kDescendant, true,
+                    nullptr, /*max_output_rows=*/100);
+  ASSERT_FALSE(capped_anc.ok());
+  EXPECT_EQ(capped_anc.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RowBudgetTest, BudgetAboveOutputIsHarmless) {
+  Database db = Database::Open(
+      std::move(ParseXml("<a><b/><b/><b/></a>")).value());
+  TupleSet a = Candidates(db, "a", 0);
+  TupleSet b = Candidates(db, "b", 1);
+  Result<TupleSet> out = StackTreeJoin(db.doc(), a, 0, b, 0, Axis::kDescendant,
+                                       false, nullptr, /*max_output_rows=*/3);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 3u);
+}
+
+TEST(RowBudgetTest, ExecutorPropagatesBudget) {
+  PersGenConfig config;
+  config.target_nodes = 2000;
+  Database db = Database::Open(GeneratePers(config).value());
+  Pattern pattern =
+      std::move(ParsePattern("manager[//employee[/name]]")).value();
+  Rng rng(3);
+  PhysicalPlan plan = std::move(RandomPlan(pattern, &rng)).value();
+
+  Executor unlimited(db);
+  ExecResult full = std::move(unlimited.Execute(pattern, plan)).value();
+  ASSERT_GT(full.stats.result_rows, 10u);
+
+  ExecOptions options;
+  options.max_join_output_rows = 10;
+  Executor budgeted(db, options);
+  Result<ExecResult> capped = budgeted.Execute(pattern, plan);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace sjos

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "exec/operators.h"
+#include "exec/stack_tree.h"
+#include "storage/catalog.h"
+#include "xml/generators/tree_gen.h"
+#include "xml/parser.h"
+
+namespace sjos {
+namespace {
+
+Database Db(std::string_view xml) {
+  return Database::Open(std::move(ParseXml(xml)).value());
+}
+
+/// Candidate list of the first pattern node with tag `tag` mapped to
+/// pattern slot `slot`.
+TupleSet Candidates(const Database& db, std::string_view tag,
+                    PatternNodeId slot) {
+  TupleSet set({slot});
+  TagId id = db.doc().dict().Find(tag);
+  if (id != kInvalidTag) {
+    for (NodeId n : db.index().Postings(id)) set.AppendRow(&n);
+  }
+  set.set_ordered_by_slot(0);
+  return set;
+}
+
+/// Brute-force reference join over two single-column inputs.
+std::vector<std::pair<NodeId, NodeId>> RefJoin(const Database& db,
+                                               const TupleSet& anc,
+                                               const TupleSet& desc,
+                                               Axis axis) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (size_t i = 0; i < anc.size(); ++i) {
+    for (size_t j = 0; j < desc.size(); ++j) {
+      NodeId a = anc.At(i, 0);
+      NodeId d = desc.At(j, 0);
+      bool match = axis == Axis::kDescendant ? db.doc().IsAncestor(a, d)
+                                             : db.doc().IsParent(a, d);
+      if (match) out.emplace_back(a, d);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> PairsOf(const TupleSet& set) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (size_t i = 0; i < set.size(); ++i) {
+    out.emplace_back(set.At(i, 0), set.At(i, 1));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(StackTreeTest, DescBasicAncestorDescendant) {
+  Database db = Db("<a><b><c/><b><c/></b></b><c/></a>");
+  TupleSet b = Candidates(db, "b", 0);
+  TupleSet c = Candidates(db, "c", 1);
+  JoinStats stats;
+  TupleSet out = std::move(StackTreeJoin(db.doc(), b, 0, c, 0,
+                                         Axis::kDescendant,
+                                         /*output_by_ancestor=*/false,
+                                         &stats))
+                     .value();
+  EXPECT_EQ(PairsOf(out), RefJoin(db, b, c, Axis::kDescendant));
+  EXPECT_EQ(stats.output_rows, out.size());
+  EXPECT_GT(stats.stack_pushes, 0u);
+  // Desc output is ordered by the descendant column (slot 1 of output).
+  EXPECT_TRUE(out.IsSortedBySlot(1));
+  EXPECT_EQ(out.OrderedByNode(), 1);
+}
+
+TEST(StackTreeTest, AncOutputOrderedByAncestor) {
+  Database db = Db("<a><b><c/><b><c/></b></b><b><c/></b></a>");
+  TupleSet b = Candidates(db, "b", 0);
+  TupleSet c = Candidates(db, "c", 1);
+  TupleSet out = std::move(StackTreeJoin(db.doc(), b, 0, c, 0,
+                                         Axis::kDescendant,
+                                         /*output_by_ancestor=*/true, nullptr))
+                     .value();
+  EXPECT_EQ(PairsOf(out), RefJoin(db, b, c, Axis::kDescendant));
+  EXPECT_TRUE(out.IsSortedBySlot(0));
+  EXPECT_EQ(out.OrderedByNode(), 0);
+}
+
+TEST(StackTreeTest, ParentChildFiltersLevels) {
+  Database db = Db("<a><b><x/><b><x/></b></b></a>");
+  TupleSet b = Candidates(db, "b", 0);
+  TupleSet x = Candidates(db, "x", 1);
+  TupleSet out = std::move(StackTreeJoin(db.doc(), b, 0, x, 0, Axis::kChild,
+                                         false, nullptr))
+                     .value();
+  EXPECT_EQ(PairsOf(out), RefJoin(db, b, x, Axis::kChild));
+  EXPECT_EQ(out.size(), 2u);  // each x has exactly one b parent
+}
+
+TEST(StackTreeTest, SelfJoinOnRecursiveTag) {
+  Database db = Db("<m><m><m/></m><m/></m>");
+  TupleSet outer = Candidates(db, "m", 0);
+  TupleSet inner = Candidates(db, "m", 1);
+  TupleSet out = std::move(StackTreeJoin(db.doc(), outer, 0, inner, 0,
+                                         Axis::kDescendant, false, nullptr))
+                     .value();
+  // Pairs: (0,1),(0,2),(0,3),(1,2) — never (x,x).
+  EXPECT_EQ(out.size(), 4u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(out.At(i, 0), out.At(i, 1));
+  }
+}
+
+TEST(StackTreeTest, EmptyInputsYieldEmptyOutput) {
+  Database db = Db("<a><b/></a>");
+  TupleSet b = Candidates(db, "b", 0);
+  TupleSet none = Candidates(db, "zzz", 1);
+  TupleSet out1 = std::move(StackTreeJoin(db.doc(), b, 0, none, 0,
+                                          Axis::kDescendant, false, nullptr))
+                      .value();
+  EXPECT_TRUE(out1.empty());
+  TupleSet out2 = std::move(StackTreeJoin(db.doc(), none, 0, b, 0,
+                                          Axis::kDescendant, true, nullptr))
+                      .value();
+  EXPECT_TRUE(out2.empty());
+  EXPECT_EQ(out1.arity(), 2u);
+}
+
+TEST(StackTreeTest, GroupCrossProductExpansion) {
+  Database db = Db("<a><b><c/></b></a>");
+  // Two tuples share the same b element (payload differs in slot 5).
+  TupleSet left({0, 5});
+  NodeId r1[] = {1, 100};
+  NodeId r2[] = {1, 200};
+  left.AppendRow(r1);
+  left.AppendRow(r2);
+  left.set_ordered_by_slot(0);
+  TupleSet right = Candidates(db, "c", 1);
+  TupleSet out = std::move(StackTreeJoin(db.doc(), left, 0, right, 0,
+                                         Axis::kDescendant, false, nullptr))
+                     .value();
+  ASSERT_EQ(out.size(), 2u);  // cross product 2 x 1
+  EXPECT_EQ(out.At(0, 1), 100u);
+  EXPECT_EQ(out.At(1, 1), 200u);
+}
+
+TEST(StackTreeTest, RejectsUnsortedInput) {
+  Database db = Db("<a><b/><b/></a>");
+  TupleSet bad({0});
+  NodeId x = 2, y = 1;
+  bad.AppendRow(&x);
+  bad.AppendRow(&y);
+  TupleSet c = Candidates(db, "b", 1);
+  EXPECT_FALSE(StackTreeJoin(db.doc(), bad, 0, c, 0, Axis::kDescendant, false,
+                             nullptr)
+                   .ok());
+}
+
+TEST(StackTreeTest, RejectsOverlappingSchemas) {
+  Database db = Db("<a><b/></a>");
+  TupleSet x = Candidates(db, "a", 0);
+  TupleSet y = Candidates(db, "b", 0);
+  EXPECT_FALSE(
+      StackTreeJoin(db.doc(), x, 0, y, 0, Axis::kDescendant, false, nullptr)
+          .ok());
+}
+
+TEST(StackTreeTest, RejectsBadSlot) {
+  Database db = Db("<a><b/></a>");
+  TupleSet x = Candidates(db, "a", 0);
+  TupleSet y = Candidates(db, "b", 1);
+  EXPECT_FALSE(
+      StackTreeJoin(db.doc(), x, 3, y, 0, Axis::kDescendant, false, nullptr)
+          .ok());
+}
+
+/// Property sweep: both algorithm variants agree with the brute-force
+/// reference on random trees, for both axes, across seeds and shapes.
+struct SweepParam {
+  uint64_t seed;
+  uint32_t max_depth;
+  uint32_t num_tags;
+};
+
+class StackTreeSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(StackTreeSweep, MatchesBruteForceOnRandomTrees) {
+  const SweepParam param = GetParam();
+  TreeGenConfig config;
+  config.target_nodes = 600;
+  config.max_depth = param.max_depth;
+  config.num_tags = param.num_tags;
+  config.seed = param.seed;
+  Database db = Database::Open(GenerateTree(config).value());
+  for (uint32_t t0 = 0; t0 < std::min<uint32_t>(param.num_tags, 3); ++t0) {
+    for (uint32_t t1 = 0; t1 < std::min<uint32_t>(param.num_tags, 3); ++t1) {
+      TupleSet anc = Candidates(db, "t" + std::to_string(t0), 0);
+      TupleSet desc = Candidates(db, "t" + std::to_string(t1), 1);
+      for (Axis axis : {Axis::kDescendant, Axis::kChild}) {
+        auto ref = RefJoin(db, anc, desc, axis);
+        for (bool by_anc : {false, true}) {
+          Result<TupleSet> out = StackTreeJoin(db.doc(), anc, 0, desc, 0,
+                                               axis, by_anc, nullptr);
+          ASSERT_TRUE(out.ok()) << out.status().ToString();
+          EXPECT_EQ(PairsOf(out.value()), ref);
+          EXPECT_TRUE(out.value().IsSortedBySlot(by_anc ? 0 : 1));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StackTreeSweep,
+    ::testing::Values(SweepParam{1, 3, 2}, SweepParam{2, 6, 3},
+                      SweepParam{3, 10, 2}, SweepParam{4, 14, 4},
+                      SweepParam{5, 4, 1}, SweepParam{6, 8, 2},
+                      SweepParam{7, 12, 3}, SweepParam{8, 5, 5}));
+
+}  // namespace
+}  // namespace sjos

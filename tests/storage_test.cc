@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/catalog.h"
+#include "storage/stats.h"
+#include "storage/tag_index.h"
+#include "xml/generators/pers_gen.h"
+#include "xml/parser.h"
+
+namespace sjos {
+namespace {
+
+Document Doc(std::string_view text) {
+  return std::move(ParseXml(text)).value();
+}
+
+TEST(TagIndexTest, PostingsAreDocumentOrdered) {
+  Document doc = Doc("<a><b/><c><b/></c><b/></a>");
+  TagIndex index = TagIndex::Build(doc);
+  std::span<const NodeId> b = index.Postings(doc.dict().Find("b"));
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+  EXPECT_EQ(index.Cardinality(doc.dict().Find("a")), 1u);
+  EXPECT_EQ(index.Cardinality(doc.dict().Find("c")), 1u);
+}
+
+TEST(TagIndexTest, EverythingIndexedExactlyOnce) {
+  PersGenConfig config;
+  config.target_nodes = 2000;
+  Document doc = GeneratePers(config).value();
+  TagIndex index = TagIndex::Build(doc);
+  size_t total = 0;
+  for (TagId t = 0; t < doc.dict().size(); ++t) {
+    total += index.Cardinality(t);
+  }
+  EXPECT_EQ(total, doc.NumNodes());
+}
+
+TEST(TagIndexTest, UnknownTagIsEmpty) {
+  Document doc = Doc("<a/>");
+  TagIndex index = TagIndex::Build(doc);
+  EXPECT_TRUE(index.Postings(kInvalidTag).empty());
+  EXPECT_TRUE(index.Postings(999).empty());
+}
+
+TEST(StatsTest, CountsAndLevels) {
+  Document doc = Doc("<a><b><c/></b><b/></a>");
+  TagIndex index = TagIndex::Build(doc);
+  DocumentStats stats = DocumentStats::Collect(doc, index);
+  EXPECT_EQ(stats.num_nodes(), 4u);
+  EXPECT_EQ(stats.max_level(), 2);
+  EXPECT_EQ(stats.TagCount(doc.dict().Find("b")), 2u);
+  const TagLevelHistogram& b_levels = stats.LevelsOf(doc.dict().Find("b"));
+  EXPECT_EQ(b_levels.counts[1], 2u);
+  EXPECT_DOUBLE_EQ(b_levels.FractionAtLevel(1), 1.0);
+  EXPECT_DOUBLE_EQ(b_levels.FractionAtLevel(0), 0.0);
+}
+
+TEST(StatsTest, AvgLevel) {
+  Document doc = Doc("<a><b/><b/></a>");
+  TagIndex index = TagIndex::Build(doc);
+  DocumentStats stats = DocumentStats::Collect(doc, index);
+  EXPECT_NEAR(stats.avg_level(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(StatsTest, ToStringMentionsTopTags) {
+  Document doc = Doc("<a><b/><b/><b/><c/></a>");
+  TagIndex index = TagIndex::Build(doc);
+  DocumentStats stats = DocumentStats::Collect(doc, index);
+  std::string s = stats.ToString(doc);
+  EXPECT_NE(s.find("b"), std::string::npos);
+  EXPECT_NE(s.find("nodes=5"), std::string::npos);
+}
+
+TEST(DatabaseTest, OpenBuildsEverything) {
+  PersGenConfig config;
+  config.target_nodes = 1000;
+  Database db = Database::Open(GeneratePers(config).value(), "pers-test");
+  EXPECT_EQ(db.name(), "pers-test");
+  EXPECT_EQ(db.stats().num_nodes(), db.doc().NumNodes());
+  EXPECT_GT(db.CardinalityOf("manager"), 0u);
+  EXPECT_EQ(db.CardinalityOf("no-such-tag"), 0u);
+}
+
+}  // namespace
+}  // namespace sjos

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "query/workload.h"
+
+namespace sjos {
+namespace {
+
+TEST(WorkloadTest, HasEightQueries) {
+  const std::vector<BenchQuery>& queries = PaperWorkload();
+  ASSERT_EQ(queries.size(), 8u);
+  EXPECT_EQ(queries[0].id, "Q.Mbench.1.a");
+  EXPECT_EQ(queries[7].id, "Q.Pers.4.d");
+}
+
+TEST(WorkloadTest, ShapesMatchFig6Sizes) {
+  for (const BenchQuery& q : PaperWorkload()) {
+    size_t expected = 0;
+    switch (q.shape) {
+      case 'a':
+        expected = 3;
+        break;
+      case 'b':
+        expected = 4;
+        break;
+      case 'c':
+        expected = 5;
+        break;
+      case 'd':
+        expected = 6;
+        break;
+    }
+    EXPECT_EQ(q.pattern.NumNodes(), expected) << q.id;
+    EXPECT_TRUE(q.pattern.Validate().ok()) << q.id;
+  }
+}
+
+TEST(WorkloadTest, FindQueryById) {
+  Result<BenchQuery> q = FindQuery("Q.Pers.3.d");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().dataset, "Pers");
+  EXPECT_EQ(q.value().shape, 'd');
+  EXPECT_FALSE(FindQuery("Q.None.9.z").ok());
+}
+
+TEST(WorkloadTest, RunningExampleIsQPers3d) {
+  Result<BenchQuery> q = FindQuery("Q.Pers.3.d");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().pattern.ToString(),
+            "manager[//employee[/name]][//manager[/department[/name]]]");
+}
+
+TEST(WorkloadTest, DatasetFactoriesProduceQueriedTags) {
+  for (const char* name : {"Pers", "DBLP", "Mbench"}) {
+    DatasetScale scale;
+    scale.base_nodes = 3000;  // small for test speed
+    Result<Database> db = MakePaperDataset(name, scale);
+    ASSERT_TRUE(db.ok()) << name;
+    for (const BenchQuery& q : PaperWorkload()) {
+      if (q.dataset != name) continue;
+      for (size_t i = 0; i < q.pattern.NumNodes(); ++i) {
+        EXPECT_GT(db.value().CardinalityOf(q.pattern.node(
+                      static_cast<PatternNodeId>(i)).tag),
+                  0u)
+            << q.id << " node " << i;
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, FoldScalesDataset) {
+  DatasetScale small;
+  small.base_nodes = 1000;
+  DatasetScale folded = small;
+  folded.fold = 4;
+  Database a = MakePaperDataset("Pers", small).value();
+  Database b = MakePaperDataset("Pers", folded).value();
+  EXPECT_NEAR(static_cast<double>(b.doc().NumNodes()),
+              4.0 * static_cast<double>(a.doc().NumNodes()), 8.0);
+  EXPECT_EQ(b.name(), "Pers.x4");
+}
+
+TEST(WorkloadTest, UnknownDatasetFails) {
+  EXPECT_FALSE(MakePaperDataset("Oracle", {}).ok());
+}
+
+}  // namespace
+}  // namespace sjos

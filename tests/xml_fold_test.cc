@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "storage/tag_index.h"
+#include "xml/fold.h"
+#include "xml/parser.h"
+
+namespace sjos {
+namespace {
+
+Document Doc(std::string_view text) {
+  Result<Document> doc = ParseXml(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+TEST(FoldTest, FactorOneIsStructurallyIdentical) {
+  Document doc = Doc("<a><b><c/></b><d/></a>");
+  Result<Document> folded = FoldDocument(doc, 1);
+  ASSERT_TRUE(folded.ok());
+  ASSERT_EQ(folded.value().NumNodes(), doc.NumNodes());
+  for (NodeId id = 0; id < doc.NumNodes(); ++id) {
+    EXPECT_EQ(folded.value().TagNameOf(id), doc.TagNameOf(id));
+    EXPECT_EQ(folded.value().EndOf(id), doc.EndOf(id));
+    EXPECT_EQ(folded.value().LevelOf(id), doc.LevelOf(id));
+  }
+}
+
+TEST(FoldTest, NodeCountScalesLinearly) {
+  Document doc = Doc("<a><b><c/></b><d/></a>");  // 4 nodes, 3 under root
+  Result<Document> folded = FoldDocument(doc, 5);
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(folded.value().NumNodes(), 1u + 3u * 5u);
+  EXPECT_TRUE(folded.value().Validate().ok());
+}
+
+TEST(FoldTest, TagCardinalitiesScale) {
+  Document doc = Doc("<a><b><c/></b><b/><d/></a>");
+  Result<Document> folded = FoldDocument(doc, 10);
+  ASSERT_TRUE(folded.ok());
+  TagIndex index = TagIndex::Build(folded.value());
+  const TagDictionary& dict = folded.value().dict();
+  EXPECT_EQ(index.Cardinality(dict.Find("a")), 1u);  // root not replicated
+  EXPECT_EQ(index.Cardinality(dict.Find("b")), 20u);
+  EXPECT_EQ(index.Cardinality(dict.Find("c")), 10u);
+  EXPECT_EQ(index.Cardinality(dict.Find("d")), 10u);
+}
+
+TEST(FoldTest, TextCarriedIntoCopies) {
+  Document doc = Doc("<a><b>x</b></a>");
+  Result<Document> folded = FoldDocument(doc, 3);
+  ASSERT_TRUE(folded.ok());
+  for (NodeId id = 1; id < folded.value().NumNodes(); ++id) {
+    EXPECT_EQ(folded.value().TextOf(id), "x");
+  }
+}
+
+TEST(FoldTest, LevelsPreservedPerCopy) {
+  Document doc = Doc("<a><b><c/></b></a>");
+  Result<Document> folded = FoldDocument(doc, 4);
+  ASSERT_TRUE(folded.ok());
+  const Document& f = folded.value();
+  for (NodeId id = 1; id < f.NumNodes(); ++id) {
+    EXPECT_EQ(f.LevelOf(id), f.TagNameOf(id) == "b" ? 1 : 2);
+  }
+}
+
+TEST(FoldTest, RejectsZeroFactor) {
+  Document doc = Doc("<a><b/></a>");
+  EXPECT_FALSE(FoldDocument(doc, 0).ok());
+}
+
+TEST(FoldTest, FoldOfRootOnlyDocument) {
+  Document doc = Doc("<a/>");
+  Result<Document> folded = FoldDocument(doc, 100);
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(folded.value().NumNodes(), 1u);
+}
+
+TEST(FoldTest, DoubleFoldComposes) {
+  Document doc = Doc("<a><b/><b/></a>");
+  Document f2 = FoldDocument(doc, 2).value();
+  Document f6 = FoldDocument(f2, 3).value();
+  TagIndex index = TagIndex::Build(f6);
+  EXPECT_EQ(index.Cardinality(f6.dict().Find("b")), 12u);
+  EXPECT_TRUE(f6.Validate().ok());
+}
+
+}  // namespace
+}  // namespace sjos

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace sjos {
+namespace {
+
+Document MustParse(std::string_view text, const ParseOptions& options = {}) {
+  Result<Document> doc = ParseXml(text, options);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+TEST(ParserTest, SingleElement) {
+  Document doc = MustParse("<root/>");
+  ASSERT_EQ(doc.NumNodes(), 1u);
+  EXPECT_EQ(doc.TagNameOf(0), "root");
+}
+
+TEST(ParserTest, NestedElements) {
+  Document doc = MustParse("<a><b><c/></b><d/></a>");
+  ASSERT_EQ(doc.NumNodes(), 4u);
+  EXPECT_EQ(doc.TagNameOf(1), "b");
+  EXPECT_EQ(doc.EndOf(1), 2u);
+  EXPECT_EQ(doc.LevelOf(2), 2);
+  EXPECT_TRUE(doc.Validate().ok());
+}
+
+TEST(ParserTest, TextContent) {
+  Document doc = MustParse("<a>hi <b>there</b></a>");
+  EXPECT_EQ(doc.TextOf(0), "hi");
+  EXPECT_EQ(doc.TextOf(1), "there");
+}
+
+TEST(ParserTest, TextDroppedWhenDisabled) {
+  ParseOptions options;
+  options.keep_text = false;
+  Document doc = MustParse("<a>hi</a>", options);
+  EXPECT_EQ(doc.TextOf(0), "");
+}
+
+TEST(ParserTest, AttributesBecomeAtChildren) {
+  Document doc = MustParse("<a id=\"1\" name='x'><b k=\"v\"/></a>");
+  ASSERT_EQ(doc.NumNodes(), 5u);
+  EXPECT_EQ(doc.TagNameOf(1), "@id");
+  EXPECT_EQ(doc.TextOf(1), "1");
+  EXPECT_EQ(doc.TagNameOf(2), "@name");
+  EXPECT_EQ(doc.TagNameOf(3), "b");
+  EXPECT_EQ(doc.TagNameOf(4), "@k");
+  EXPECT_EQ(doc.ParentOf(4), 3u);
+}
+
+TEST(ParserTest, AttributesDroppedWhenDisabled) {
+  ParseOptions options;
+  options.keep_attributes = false;
+  Document doc = MustParse("<a id=\"1\"><b/></a>", options);
+  ASSERT_EQ(doc.NumNodes(), 2u);
+  EXPECT_EQ(doc.TagNameOf(1), "b");
+}
+
+TEST(ParserTest, EntitiesDecoded) {
+  Document doc = MustParse("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;</a>");
+  EXPECT_EQ(doc.TextOf(0), "<x> & \"y\" '");
+}
+
+TEST(ParserTest, NumericCharacterReferences) {
+  Document doc = MustParse("<a>&#65;&#x42;</a>");
+  EXPECT_EQ(doc.TextOf(0), "AB");
+}
+
+TEST(ParserTest, CommentsAndPIsSkipped) {
+  Document doc = MustParse(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/><?pi data?></a>"
+      "<!-- after -->");
+  ASSERT_EQ(doc.NumNodes(), 2u);
+}
+
+TEST(ParserTest, DoctypeSkipped) {
+  Document doc = MustParse("<!DOCTYPE a [ <!ELEMENT a EMPTY> ]><a/>");
+  ASSERT_EQ(doc.NumNodes(), 1u);
+}
+
+TEST(ParserTest, Cdata) {
+  Document doc = MustParse("<a><![CDATA[<not-a-tag/> & raw]]></a>");
+  EXPECT_EQ(doc.TextOf(0), "<not-a-tag/> & raw");
+}
+
+TEST(ParserTest, WhitespaceOnlyTextIgnored) {
+  Document doc = MustParse("<a>\n  <b/>\n</a>");
+  EXPECT_EQ(doc.TextOf(0), "");
+}
+
+TEST(ParserTest, ErrorOnMismatchedTags) {
+  Result<Document> doc = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, ErrorOnTruncatedInput) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+  EXPECT_FALSE(ParseXml("<a").ok());
+  EXPECT_FALSE(ParseXml("<a attr=>").ok());
+}
+
+TEST(ParserTest, ErrorOnTrailingContent) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a/>junk").ok());
+}
+
+TEST(ParserTest, ErrorOnEmptyInput) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("   ").ok());
+}
+
+TEST(SerializerTest, RoundTripStructure) {
+  const char* text = "<a id=\"1\"><b>hi &amp; bye</b><c/><c/></a>";
+  Document doc = MustParse(text);
+  std::string serialized = SerializeXml(doc);
+  Document doc2 = MustParse(serialized);
+  ASSERT_EQ(doc.NumNodes(), doc2.NumNodes());
+  for (NodeId id = 0; id < doc.NumNodes(); ++id) {
+    EXPECT_EQ(doc.TagNameOf(id), doc2.TagNameOf(id));
+    EXPECT_EQ(doc.EndOf(id), doc2.EndOf(id));
+    EXPECT_EQ(doc.LevelOf(id), doc2.LevelOf(id));
+    EXPECT_EQ(doc.TextOf(id), doc2.TextOf(id));
+  }
+}
+
+TEST(SerializerTest, EscapesSpecials) {
+  Document doc = MustParse("<a>&lt;&amp;&gt;</a>");
+  std::string out = SerializeXml(doc);
+  EXPECT_EQ(out, "<a>&lt;&amp;&gt;</a>");
+}
+
+TEST(SerializerTest, PrettyPrintsNested) {
+  Document doc = MustParse("<a><b/></a>");
+  SerializeOptions options;
+  options.pretty = true;
+  std::string out = SerializeXml(doc, options);
+  EXPECT_NE(out.find("\n  <b/>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sjos

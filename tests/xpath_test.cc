@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "exec/naive_matcher.h"
+#include "exec/twig_join.h"
+#include "query/xpath.h"
+#include "storage/catalog.h"
+#include "xml/parser.h"
+
+namespace sjos {
+namespace {
+
+XPathQuery MustParse(std::string_view text) {
+  Result<XPathQuery> q = ParseXPath(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return std::move(q).value();
+}
+
+TEST(XPathTest, SimpleDescendantPath) {
+  XPathQuery q = MustParse("//manager//employee");
+  EXPECT_EQ(q.pattern.NumNodes(), 2u);
+  EXPECT_EQ(q.pattern.node(1).axis, Axis::kDescendant);
+  EXPECT_EQ(q.result_node, 1);
+}
+
+TEST(XPathTest, ChildSteps) {
+  XPathQuery q = MustParse("/company/manager/name");
+  ASSERT_EQ(q.pattern.NumNodes(), 3u);
+  EXPECT_EQ(q.pattern.node(0).tag, "company");
+  EXPECT_EQ(q.pattern.node(1).axis, Axis::kChild);
+  EXPECT_EQ(q.pattern.node(2).axis, Axis::kChild);
+  EXPECT_EQ(q.result_node, 2);
+}
+
+TEST(XPathTest, ExistentialQualifier) {
+  XPathQuery q = MustParse("//manager[.//employee/name]//department");
+  // manager, employee, name, department.
+  ASSERT_EQ(q.pattern.NumNodes(), 4u);
+  EXPECT_EQ(q.pattern.node(1).tag, "employee");
+  EXPECT_EQ(q.pattern.node(1).axis, Axis::kDescendant);
+  EXPECT_EQ(q.pattern.node(2).tag, "name");
+  EXPECT_EQ(q.pattern.node(2).axis, Axis::kChild);
+  EXPECT_EQ(q.pattern.node(3).tag, "department");
+  // The result node is the main path's last step, not a qualifier node.
+  EXPECT_EQ(q.result_node, 3);
+}
+
+TEST(XPathTest, BareNameQualifierIsChildAxis) {
+  XPathQuery q = MustParse("//open_auction[bidder]");
+  ASSERT_EQ(q.pattern.NumNodes(), 2u);
+  EXPECT_EQ(q.pattern.node(1).axis, Axis::kChild);
+}
+
+TEST(XPathTest, ValueTests) {
+  XPathQuery eq = MustParse("//employee[name='bo']");
+  EXPECT_EQ(eq.pattern.node(1).predicate.kind, ValuePredicate::Kind::kEquals);
+  EXPECT_EQ(eq.pattern.node(1).predicate.value, "bo");
+
+  XPathQuery self = MustParse("//name[.='ann']");
+  EXPECT_EQ(self.pattern.node(0).predicate.kind,
+            ValuePredicate::Kind::kEquals);
+
+  XPathQuery text = MustParse("//name[text()=\"ann\"]");
+  EXPECT_EQ(text.pattern.node(0).predicate.value, "ann");
+
+  XPathQuery contains = MustParse("//title[contains(.,'xml')]");
+  EXPECT_EQ(contains.pattern.node(0).predicate.kind,
+            ValuePredicate::Kind::kContains);
+  EXPECT_EQ(contains.pattern.node(0).predicate.value, "xml");
+}
+
+TEST(XPathTest, MultipleQualifiers) {
+  XPathQuery q =
+      MustParse("//manager[.//employee[name='bo']][department]/name");
+  // manager, employee, name(bo), department, name.
+  ASSERT_EQ(q.pattern.NumNodes(), 5u);
+  EXPECT_EQ(q.pattern.node(2).predicate.value, "bo");
+  EXPECT_EQ(q.result_node, 4);
+}
+
+TEST(XPathTest, Errors) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("manager").ok());  // missing leading axis
+  EXPECT_FALSE(ParseXPath("//a[").ok());
+  EXPECT_FALSE(ParseXPath("//a[b").ok());
+  EXPECT_FALSE(ParseXPath("//a]").ok());
+  EXPECT_FALSE(ParseXPath("//a[.='x]").ok());
+}
+
+TEST(XPathTest, UnsupportedFeaturesReported) {
+  Result<XPathQuery> wildcard = ParseXPath("//*");
+  ASSERT_FALSE(wildcard.ok());
+  EXPECT_EQ(wildcard.status().code(), StatusCode::kUnsupported);
+  Result<XPathQuery> positional = ParseXPath("//a[1]");
+  ASSERT_FALSE(positional.ok());
+  EXPECT_EQ(positional.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(XPathTest, TranslatedQueryExecutes) {
+  const char* xml =
+      "<company><manager><name>ann</name>"
+      "<employee><name>bo</name></employee>"
+      "<department><name>sales</name></department>"
+      "</manager></company>";
+  Database db = Database::Open(std::move(ParseXml(xml)).value());
+  XPathQuery q = MustParse("//manager[.//employee[name='bo']]/department");
+  auto expected = std::move(NaiveMatch(db.doc(), q.pattern)).value();
+  Result<TupleSet> twig = TwigJoin(db, q.pattern);
+  ASSERT_TRUE(twig.ok());
+  EXPECT_EQ(twig.value().Canonical(), expected);
+  ASSERT_EQ(expected.size(), 1u);
+  // The department binding (result node 3) is node id 7 in the document.
+  EXPECT_EQ(db.doc().TagNameOf(
+                expected[0][static_cast<size_t>(q.result_node)]),
+            "department");
+}
+
+}  // namespace
+}  // namespace sjos
