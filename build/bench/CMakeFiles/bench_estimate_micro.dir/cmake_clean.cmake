@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimate_micro.dir/bench_estimate_micro.cc.o"
+  "CMakeFiles/bench_estimate_micro.dir/bench_estimate_micro.cc.o.d"
+  "bench_estimate_micro"
+  "bench_estimate_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimate_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nav.dir/bench_fig_util.cc.o"
+  "CMakeFiles/bench_nav.dir/bench_fig_util.cc.o.d"
+  "CMakeFiles/bench_nav.dir/bench_nav.cc.o"
+  "CMakeFiles/bench_nav.dir/bench_nav.cc.o.d"
+  "CMakeFiles/bench_nav.dir/bench_util.cc.o"
+  "CMakeFiles/bench_nav.dir/bench_util.cc.o.d"
+  "bench_nav"
+  "bench_nav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_twig.dir/bench_fig_util.cc.o"
+  "CMakeFiles/bench_twig.dir/bench_fig_util.cc.o.d"
+  "CMakeFiles/bench_twig.dir/bench_twig.cc.o"
+  "CMakeFiles/bench_twig.dir/bench_twig.cc.o.d"
+  "CMakeFiles/bench_twig.dir/bench_util.cc.o"
+  "CMakeFiles/bench_twig.dir/bench_util.cc.o.d"
+  "bench_twig"
+  "bench_twig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

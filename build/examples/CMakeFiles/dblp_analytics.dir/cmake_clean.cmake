@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_analytics.dir/dblp_analytics.cpp.o"
+  "CMakeFiles/dblp_analytics.dir/dblp_analytics.cpp.o.d"
+  "dblp_analytics"
+  "dblp_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_compare.dir/optimizer_compare.cpp.o"
+  "CMakeFiles/optimizer_compare.dir/optimizer_compare.cpp.o.d"
+  "optimizer_compare"
+  "optimizer_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

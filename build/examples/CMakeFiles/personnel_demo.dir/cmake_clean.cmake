@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personnel_demo.dir/personnel_demo.cpp.o"
+  "CMakeFiles/personnel_demo.dir/personnel_demo.cpp.o.d"
+  "personnel_demo"
+  "personnel_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personnel_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

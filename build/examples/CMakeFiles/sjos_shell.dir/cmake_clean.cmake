@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjos_shell.dir/sjos_shell.cpp.o"
+  "CMakeFiles/sjos_shell.dir/sjos_shell.cpp.o.d"
+  "sjos_shell"
+  "sjos_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjos_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sjos.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sjos.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sjos.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sjos.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/sjos.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/sjos.dir/common/str_util.cc.o.d"
+  "/root/repo/src/core/dp_optimizer.cc" "src/CMakeFiles/sjos.dir/core/dp_optimizer.cc.o" "gcc" "src/CMakeFiles/sjos.dir/core/dp_optimizer.cc.o.d"
+  "/root/repo/src/core/dpap_eb_optimizer.cc" "src/CMakeFiles/sjos.dir/core/dpap_eb_optimizer.cc.o" "gcc" "src/CMakeFiles/sjos.dir/core/dpap_eb_optimizer.cc.o.d"
+  "/root/repo/src/core/dpap_ld_optimizer.cc" "src/CMakeFiles/sjos.dir/core/dpap_ld_optimizer.cc.o" "gcc" "src/CMakeFiles/sjos.dir/core/dpap_ld_optimizer.cc.o.d"
+  "/root/repo/src/core/dpp_optimizer.cc" "src/CMakeFiles/sjos.dir/core/dpp_optimizer.cc.o" "gcc" "src/CMakeFiles/sjos.dir/core/dpp_optimizer.cc.o.d"
+  "/root/repo/src/core/fp_optimizer.cc" "src/CMakeFiles/sjos.dir/core/fp_optimizer.cc.o" "gcc" "src/CMakeFiles/sjos.dir/core/fp_optimizer.cc.o.d"
+  "/root/repo/src/core/move_gen.cc" "src/CMakeFiles/sjos.dir/core/move_gen.cc.o" "gcc" "src/CMakeFiles/sjos.dir/core/move_gen.cc.o.d"
+  "/root/repo/src/core/opt_status.cc" "src/CMakeFiles/sjos.dir/core/opt_status.cc.o" "gcc" "src/CMakeFiles/sjos.dir/core/opt_status.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/sjos.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/sjos.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/plan_builder.cc" "src/CMakeFiles/sjos.dir/core/plan_builder.cc.o" "gcc" "src/CMakeFiles/sjos.dir/core/plan_builder.cc.o.d"
+  "/root/repo/src/estimate/composite.cc" "src/CMakeFiles/sjos.dir/estimate/composite.cc.o" "gcc" "src/CMakeFiles/sjos.dir/estimate/composite.cc.o.d"
+  "/root/repo/src/estimate/estimator.cc" "src/CMakeFiles/sjos.dir/estimate/estimator.cc.o" "gcc" "src/CMakeFiles/sjos.dir/estimate/estimator.cc.o.d"
+  "/root/repo/src/estimate/exact_estimator.cc" "src/CMakeFiles/sjos.dir/estimate/exact_estimator.cc.o" "gcc" "src/CMakeFiles/sjos.dir/estimate/exact_estimator.cc.o.d"
+  "/root/repo/src/estimate/positional_histogram.cc" "src/CMakeFiles/sjos.dir/estimate/positional_histogram.cc.o" "gcc" "src/CMakeFiles/sjos.dir/estimate/positional_histogram.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/sjos.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/sjos.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/naive_matcher.cc" "src/CMakeFiles/sjos.dir/exec/naive_matcher.cc.o" "gcc" "src/CMakeFiles/sjos.dir/exec/naive_matcher.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/sjos.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/sjos.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/stack_tree.cc" "src/CMakeFiles/sjos.dir/exec/stack_tree.cc.o" "gcc" "src/CMakeFiles/sjos.dir/exec/stack_tree.cc.o.d"
+  "/root/repo/src/exec/tuple_set.cc" "src/CMakeFiles/sjos.dir/exec/tuple_set.cc.o" "gcc" "src/CMakeFiles/sjos.dir/exec/tuple_set.cc.o.d"
+  "/root/repo/src/exec/twig_join.cc" "src/CMakeFiles/sjos.dir/exec/twig_join.cc.o" "gcc" "src/CMakeFiles/sjos.dir/exec/twig_join.cc.o.d"
+  "/root/repo/src/plan/cost_model.cc" "src/CMakeFiles/sjos.dir/plan/cost_model.cc.o" "gcc" "src/CMakeFiles/sjos.dir/plan/cost_model.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/sjos.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/sjos.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/plan_printer.cc" "src/CMakeFiles/sjos.dir/plan/plan_printer.cc.o" "gcc" "src/CMakeFiles/sjos.dir/plan/plan_printer.cc.o.d"
+  "/root/repo/src/plan/plan_props.cc" "src/CMakeFiles/sjos.dir/plan/plan_props.cc.o" "gcc" "src/CMakeFiles/sjos.dir/plan/plan_props.cc.o.d"
+  "/root/repo/src/plan/random_plans.cc" "src/CMakeFiles/sjos.dir/plan/random_plans.cc.o" "gcc" "src/CMakeFiles/sjos.dir/plan/random_plans.cc.o.d"
+  "/root/repo/src/query/pattern.cc" "src/CMakeFiles/sjos.dir/query/pattern.cc.o" "gcc" "src/CMakeFiles/sjos.dir/query/pattern.cc.o.d"
+  "/root/repo/src/query/pattern_parser.cc" "src/CMakeFiles/sjos.dir/query/pattern_parser.cc.o" "gcc" "src/CMakeFiles/sjos.dir/query/pattern_parser.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/CMakeFiles/sjos.dir/query/workload.cc.o" "gcc" "src/CMakeFiles/sjos.dir/query/workload.cc.o.d"
+  "/root/repo/src/query/xpath.cc" "src/CMakeFiles/sjos.dir/query/xpath.cc.o" "gcc" "src/CMakeFiles/sjos.dir/query/xpath.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/sjos.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/sjos.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/stats.cc" "src/CMakeFiles/sjos.dir/storage/stats.cc.o" "gcc" "src/CMakeFiles/sjos.dir/storage/stats.cc.o.d"
+  "/root/repo/src/storage/tag_index.cc" "src/CMakeFiles/sjos.dir/storage/tag_index.cc.o" "gcc" "src/CMakeFiles/sjos.dir/storage/tag_index.cc.o.d"
+  "/root/repo/src/xml/builder.cc" "src/CMakeFiles/sjos.dir/xml/builder.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/builder.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/sjos.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/fold.cc" "src/CMakeFiles/sjos.dir/xml/fold.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/fold.cc.o.d"
+  "/root/repo/src/xml/generators/dblp_gen.cc" "src/CMakeFiles/sjos.dir/xml/generators/dblp_gen.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/generators/dblp_gen.cc.o.d"
+  "/root/repo/src/xml/generators/mbench_gen.cc" "src/CMakeFiles/sjos.dir/xml/generators/mbench_gen.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/generators/mbench_gen.cc.o.d"
+  "/root/repo/src/xml/generators/pers_gen.cc" "src/CMakeFiles/sjos.dir/xml/generators/pers_gen.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/generators/pers_gen.cc.o.d"
+  "/root/repo/src/xml/generators/tree_gen.cc" "src/CMakeFiles/sjos.dir/xml/generators/tree_gen.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/generators/tree_gen.cc.o.d"
+  "/root/repo/src/xml/generators/xmark_gen.cc" "src/CMakeFiles/sjos.dir/xml/generators/xmark_gen.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/generators/xmark_gen.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/sjos.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/sjos.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/sjos.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/sjos.dir/xml/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

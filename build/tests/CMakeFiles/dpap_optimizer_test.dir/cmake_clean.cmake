@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpap_optimizer_test.dir/dpap_optimizer_test.cc.o"
+  "CMakeFiles/dpap_optimizer_test.dir/dpap_optimizer_test.cc.o.d"
+  "dpap_optimizer_test"
+  "dpap_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpap_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

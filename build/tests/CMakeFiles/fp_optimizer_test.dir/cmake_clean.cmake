@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_optimizer_test.dir/fp_optimizer_test.cc.o"
+  "CMakeFiles/fp_optimizer_test.dir/fp_optimizer_test.cc.o.d"
+  "fp_optimizer_test"
+  "fp_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

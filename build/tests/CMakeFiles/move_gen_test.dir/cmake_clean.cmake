@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_gen_test.dir/move_gen_test.cc.o"
+  "CMakeFiles/move_gen_test.dir/move_gen_test.cc.o.d"
+  "move_gen_test"
+  "move_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

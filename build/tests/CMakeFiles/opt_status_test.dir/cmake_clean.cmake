@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_status_test.dir/opt_status_test.cc.o"
+  "CMakeFiles/opt_status_test.dir/opt_status_test.cc.o.d"
+  "opt_status_test"
+  "opt_status_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_plans_test.dir/random_plans_test.cc.o"
+  "CMakeFiles/random_plans_test.dir/random_plans_test.cc.o.d"
+  "random_plans_test"
+  "random_plans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_plans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

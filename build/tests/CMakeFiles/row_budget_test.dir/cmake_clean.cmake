@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_budget_test.dir/row_budget_test.cc.o"
+  "CMakeFiles/row_budget_test.dir/row_budget_test.cc.o.d"
+  "row_budget_test"
+  "row_budget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

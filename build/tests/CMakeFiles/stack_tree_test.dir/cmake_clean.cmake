@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_tree_test.dir/stack_tree_test.cc.o"
+  "CMakeFiles/stack_tree_test.dir/stack_tree_test.cc.o.d"
+  "stack_tree_test"
+  "stack_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_fold_test.dir/xml_fold_test.cc.o"
+  "CMakeFiles/xml_fold_test.dir/xml_fold_test.cc.o.d"
+  "xml_fold_test"
+  "xml_fold_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_fold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
