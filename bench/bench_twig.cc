@@ -17,10 +17,12 @@
 using namespace sjos;
 using namespace sjos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = ParseThreadsFlag(&argc, argv, 1);
   std::printf(
       "Holistic twig join (PathStack + merge) vs optimized binary "
-      "structural join plans (DPP)\n\n");
+      "structural join plans (DPP), binary side executed with %d thread%s\n\n",
+      threads, threads == 1 ? "" : "s");
 
   const std::vector<int> widths = {14, 6, 12, 12, 12, 12, 12};
   PrintRule(widths);
@@ -39,7 +41,8 @@ int main() {
       QueryEnv env(dataset, query.pattern);
 
       auto dpp = MakeDppOptimizer();
-      Measurement binary = MeasureOptimizer(env, dpp.get());
+      Measurement binary =
+          MeasureOptimizer(env, dpp.get(), /*eval_row_budget=*/0, threads);
 
       TwigJoinStats twig_stats;
       // Warm-up + timed run, mirroring the binary side's policy.

@@ -1,6 +1,8 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "common/str_util.h"
 #include "common/timer.h"
@@ -40,9 +42,10 @@ QueryEnv::QueryEnv(const DatasetHandle& dataset, Pattern pattern)
 }
 
 void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
-                   uint64_t eval_row_budget, Measurement* m) {
+                   uint64_t eval_row_budget, Measurement* m, int num_threads) {
   ExecOptions options;
   options.max_join_output_rows = eval_row_budget;
+  options.num_threads = num_threads;
   Executor exec(env.db(), options);
   // One untimed warm-up run eliminates cold-cache noise on plans measured
   // with a single rep; a capped warm-up is reported directly.
@@ -77,7 +80,7 @@ void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
 }
 
 Measurement MeasureOptimizer(const QueryEnv& env, Optimizer* optimizer,
-                             uint64_t eval_row_budget) {
+                             uint64_t eval_row_budget, int num_threads) {
   Measurement m;
   m.algo = optimizer->name();
 
@@ -97,12 +100,12 @@ Measurement MeasureOptimizer(const QueryEnv& env, Optimizer* optimizer,
   m.plans_considered = chosen.stats.plans_considered;
   m.modelled_cost = chosen.modelled_cost;
   m.signature = PlanSignature(chosen.plan, env.pattern());
-  TimeExecution(env, chosen.plan, eval_row_budget, &m);
+  TimeExecution(env, chosen.plan, eval_row_budget, &m, num_threads);
   return m;
 }
 
 Measurement MeasureBadPlan(const QueryEnv& env, size_t samples, uint64_t seed,
-                           uint64_t eval_row_budget) {
+                           uint64_t eval_row_budget, int num_threads) {
   Measurement m;
   m.algo = "Bad";
   Result<WorstPlanResult> worst = WorstOfRandomPlans(
@@ -110,8 +113,25 @@ Measurement MeasureBadPlan(const QueryEnv& env, size_t samples, uint64_t seed,
   SJOS_CHECK(worst.ok(), worst.status().ToString().c_str());
   m.modelled_cost = worst.value().modelled_cost;
   m.signature = PlanSignature(worst.value().plan, env.pattern());
-  TimeExecution(env, worst.value().plan, eval_row_budget, &m);
+  TimeExecution(env, worst.value().plan, eval_row_budget, &m, num_threads);
   return m;
+}
+
+int ParseThreadsFlag(int* argc, char** argv, int default_threads) {
+  int threads = default_threads;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < *argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return threads < 1 ? 1 : threads;
 }
 
 void PrintRule(const std::vector<int>& widths) {

@@ -63,18 +63,26 @@ struct Measurement {
 
 /// Runs `optimizer` on `env`: optimization timed over repeated runs (mean),
 /// the chosen plan executed once (re-run and averaged if very fast).
+/// `num_threads` > 1 executes with the parallel execution layer.
 Measurement MeasureOptimizer(const QueryEnv& env, Optimizer* optimizer,
-                             uint64_t eval_row_budget = 0);
+                             uint64_t eval_row_budget = 0,
+                             int num_threads = 1);
 
 /// Worst-of-`samples` random plans by modelled cost, then executed with a
 /// row budget (`eval_capped` set if it tripped).
 Measurement MeasureBadPlan(const QueryEnv& env, size_t samples, uint64_t seed,
-                           uint64_t eval_row_budget);
+                           uint64_t eval_row_budget, int num_threads = 1);
 
 /// Executes a plan with stabilized timing; fills eval_ms/result_rows/
 /// eval_capped of `m`.
 void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
-                   uint64_t eval_row_budget, Measurement* m);
+                   uint64_t eval_row_budget, Measurement* m,
+                   int num_threads = 1);
+
+/// Parses and strips a `--threads N` / `--threads=N` flag from argv
+/// (shared by bench binaries). Returns the count (clamped to >= 1), or
+/// `default_threads` when the flag is absent.
+int ParseThreadsFlag(int* argc, char** argv, int default_threads = 1);
 
 /// printf-style table output: pads `text` to `width` (right-aligned for
 /// numbers via FormatCell helpers).

@@ -1,0 +1,74 @@
+#include "common/thread_pool.h"
+
+#include <exception>
+
+#include "common/str_util.h"
+
+namespace sjos {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<Status()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(PendingTask{next_seq_++, std::move(task)});
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+Status ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  Status first = std::move(first_error_);
+  first_error_ = Status::OK();
+  first_error_seq_ = UINT64_MAX;
+  next_seq_ = 0;
+  return first;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    PendingTask task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Status status;
+    try {
+      status = task.fn();
+    } catch (const std::exception& e) {
+      status = Status::Internal(StrFormat("task threw: %s", e.what()));
+    } catch (...) {
+      status = Status::Internal("task threw a non-std exception");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!status.ok() && task.seq < first_error_seq_) {
+        first_error_seq_ = task.seq;
+        first_error_ = std::move(status);
+      }
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace sjos

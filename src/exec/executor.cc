@@ -1,15 +1,107 @@
 #include "exec/executor.h"
 
+#include <utility>
+
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "exec/operators.h"
 #include "exec/stack_tree.h"
 
 namespace sjos {
 
+Executor::Executor(const Database& db, ExecOptions options)
+    : db_(db), options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.num_threads));
+  }
+}
+
+Executor::~Executor() = default;
+
+Status Executor::PrecomputeLeaves(const Pattern& pattern,
+                                  const PhysicalPlan& plan, ExecStats* stats) {
+  const size_t n = plan.NumOps();
+  // Restrict to nodes reachable from the root: plans are trees, but be
+  // defensive about unreferenced scratch nodes a builder may have left.
+  std::vector<char> reachable(n, 0);
+  std::vector<int> walk{plan.root()};
+  while (!walk.empty()) {
+    int idx = walk.back();
+    walk.pop_back();
+    if (idx < 0 || static_cast<size_t>(idx) >= n || reachable[idx]) continue;
+    reachable[static_cast<size_t>(idx)] = 1;
+    walk.push_back(plan.At(idx).left);
+    walk.push_back(plan.At(idx).right);
+  }
+
+  // Task per leaf: a sort directly over a scan is fused into one task and
+  // cached at the sort node; remaining scans are cached at the scan node.
+  std::vector<char> fused_scan(n, 0);
+  std::vector<int> tasks;
+  for (size_t i = 0; i < n; ++i) {
+    if (!reachable[i]) continue;
+    const PlanNode& node = plan.At(static_cast<int>(i));
+    if (node.op == PlanOp::kSort && node.left >= 0 &&
+        plan.At(node.left).op == PlanOp::kIndexScan) {
+      fused_scan[static_cast<size_t>(node.left)] = 1;
+      tasks.push_back(static_cast<int>(i));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!reachable[i] || fused_scan[i]) continue;
+    if (plan.At(static_cast<int>(i)).op == PlanOp::kIndexScan) {
+      tasks.push_back(static_cast<int>(i));
+    }
+  }
+  if (tasks.empty()) return Status::OK();
+
+  std::vector<ExecStats> task_stats(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    pool_->Submit([this, &pattern, &plan, &task_stats, &tasks, t]() -> Status {
+      const int index = tasks[t];
+      const PlanNode& node = plan.At(index);
+      ExecStats* local = &task_stats[t];
+      if (node.op == PlanOp::kIndexScan) {
+        TupleSet set = ScanCandidates(db_, pattern, node.scan_node);
+        local->rows_scanned += set.size();
+        leaf_cache_[static_cast<size_t>(index)] = std::move(set);
+        return Status::OK();
+      }
+      // Fused sort-over-scan.
+      TupleSet set =
+          ScanCandidates(db_, pattern, plan.At(node.left).scan_node);
+      local->rows_scanned += set.size();
+      if (!SortOperator(&set, node.sort_by)) {
+        return Status::Internal(
+            StrFormat("sort by pattern node %d not in input", node.sort_by));
+      }
+      local->rows_sorted += set.size();
+      ++local->num_sorts;
+      leaf_cache_[static_cast<size_t>(index)] = std::move(set);
+      return Status::OK();
+    });
+  }
+  SJOS_RETURN_IF_ERROR(pool_->WaitAll());
+  // Merge per-task counters in submission (= plan-node-index) order.
+  for (const ExecStats& ts : task_stats) {
+    stats->rows_scanned += ts.rows_scanned;
+    stats->rows_sorted += ts.rows_sorted;
+    stats->num_sorts += ts.num_sorts;
+  }
+  return Status::OK();
+}
+
 Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
                                     const PhysicalPlan& plan, int index,
                                     ExecStats* stats) {
+  if (static_cast<size_t>(index) < leaf_cache_.size() &&
+      leaf_cache_[static_cast<size_t>(index)].has_value()) {
+    TupleSet cached = std::move(*leaf_cache_[static_cast<size_t>(index)]);
+    leaf_cache_[static_cast<size_t>(index)].reset();
+    return cached;
+  }
   const PlanNode& node = plan.At(index);
   switch (node.op) {
     case PlanOp::kIndexScan: {
@@ -51,11 +143,12 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
         return Status::Internal("join endpoints missing from inputs");
       }
       JoinStats join_stats;
-      Result<TupleSet> out = StackTreeJoin(
+      Result<TupleSet> out = StackTreeJoinParallel(
           db_.doc(), left.value(), static_cast<size_t>(anc_slot),
           right.value(), static_cast<size_t>(desc_slot), node.axis,
-          /*output_by_ancestor=*/node.op == PlanOp::kStackTreeAnc,
-          &join_stats, options_.max_join_output_rows);
+          /*output_by_ancestor=*/node.op == PlanOp::kStackTreeAnc, pool_.get(),
+          &join_stats, options_.max_join_output_rows,
+          options_.parallel_min_join_rows);
       if (!out.ok()) return out;
       stats->join_output_rows += join_stats.output_rows;
       stats->element_pairs += join_stats.element_pairs;
@@ -71,7 +164,16 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
   if (plan.Empty()) return Status::InvalidArgument("empty plan");
   ExecResult result;
   Timer timer;
+  leaf_cache_.assign(plan.NumOps(), std::nullopt);
+  if (pool_ != nullptr) {
+    Status st = PrecomputeLeaves(pattern, plan, &result.stats);
+    if (!st.ok()) {
+      leaf_cache_.clear();
+      return st;
+    }
+  }
   Result<TupleSet> tuples = Evaluate(pattern, plan, plan.root(), &result.stats);
+  leaf_cache_.clear();
   if (!tuples.ok()) return tuples.status();
   result.tuples = std::move(tuples).value();
   result.stats.wall_ms = timer.ElapsedMs();

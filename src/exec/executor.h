@@ -8,12 +8,20 @@
 #define SJOS_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "common/status.h"
+#include "exec/stack_tree.h"
 #include "exec/tuple_set.h"
 #include "plan/plan.h"
 #include "query/pattern.h"
 #include "storage/catalog.h"
+
+namespace sjos {
+class ThreadPool;
+}
 
 namespace sjos {
 
@@ -42,13 +50,25 @@ struct ExecOptions {
   /// Abort any single join whose output exceeds this many rows
   /// (0 = unlimited). Guards deliberately bad plans on huge documents.
   uint64_t max_join_output_rows = 0;
+
+  /// Worker threads for intra-query parallelism (1 = fully serial, the
+  /// default). With more than one thread the executor evaluates leaf
+  /// index scans (and sorts sitting directly on them) concurrently and
+  /// partitions every Stack-Tree join across the pool. Results and merged
+  /// stats counters are identical for every thread count.
+  int num_threads = 1;
+
+  /// Joins whose combined input is smaller than this run serially even
+  /// when num_threads > 1 (partition dispatch overhead dominates).
+  /// Tests set it to 0 to force partitioning on small documents.
+  size_t parallel_min_join_rows = kParallelJoinMinInputRows;
 };
 
 /// Executes plans against one database.
 class Executor {
  public:
-  explicit Executor(const Database& db, ExecOptions options = {})
-      : db_(db), options_(options) {}
+  explicit Executor(const Database& db, ExecOptions options = {});
+  ~Executor();
 
   /// Runs `plan` for `pattern`. The plan must be valid (ValidatePlan);
   /// execution itself re-checks input ordering at each join and fails
@@ -59,8 +79,18 @@ class Executor {
   Result<TupleSet> Evaluate(const Pattern& pattern, const PhysicalPlan& plan,
                             int index, ExecStats* stats);
 
+  /// Parallel leaf pre-pass: evaluates every reachable index scan — and
+  /// every sort whose input is an index scan, fused — on the pool, caching
+  /// the results in `leaf_cache_` for the serial tree walk to consume.
+  /// Per-task stats are merged into `stats` in plan-node-index order, so
+  /// the merged counters do not depend on worker scheduling.
+  Status PrecomputeLeaves(const Pattern& pattern, const PhysicalPlan& plan,
+                          ExecStats* stats);
+
   const Database& db_;
   ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when options_.num_threads <= 1
+  std::vector<std::optional<TupleSet>> leaf_cache_;  // per Execute() call
 };
 
 }  // namespace sjos

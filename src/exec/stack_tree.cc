@@ -1,7 +1,10 @@
 #include "exec/stack_tree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace sjos {
 
@@ -68,13 +71,8 @@ bool Matches(const Document& doc, NodeId a, NodeId d, Axis axis) {
   return true;  // containment established by the caller's stack discipline
 }
 
-}  // namespace
-
-Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
-                               size_t anc_slot, const TupleSet& desc,
-                               size_t desc_slot, Axis axis,
-                               bool output_by_ancestor, JoinStats* stats,
-                               uint64_t max_output_rows) {
+Status ValidateJoinInputs(const TupleSet& anc, size_t anc_slot,
+                          const TupleSet& desc, size_t desc_slot) {
   if (anc_slot >= anc.arity() || desc_slot >= desc.arity()) {
     return Status::InvalidArgument("join slot out of range");
   }
@@ -89,17 +87,39 @@ Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
   if (!desc.IsSortedBySlot(desc_slot)) {
     return Status::InvalidArgument("descendant input not sorted by join column");
   }
+  return Status::OK();
+}
 
+/// Empty output set carrying the join's schema and ordering property.
+TupleSet MakeOutputSet(const TupleSet& anc, size_t anc_slot,
+                       const TupleSet& desc, size_t desc_slot,
+                       bool output_by_ancestor) {
   std::vector<PatternNodeId> out_slots = anc.slots();
   out_slots.insert(out_slots.end(), desc.slots().begin(), desc.slots().end());
   TupleSet out(std::move(out_slots));
   out.set_ordered_by_slot(
       output_by_ancestor ? static_cast<int>(anc_slot)
                          : static_cast<int>(anc.arity() + desc_slot));
+  return out;
+}
 
-  const std::vector<Group> anc_groups = BuildGroups(anc, anc_slot);
-  const std::vector<Group> desc_groups = BuildGroups(desc, desc_slot);
-  if (anc_groups.empty() || desc_groups.empty()) return out;
+/// The Stack-Tree merge over the group ranges [anc_lo, anc_hi) ×
+/// [desc_lo, desc_hi), appending matches to `out`. This is the serial
+/// kernel; the partitioned join runs one instance per partition. Returns
+/// OutOfRange when `max_output_rows` (0 = unlimited, counted against
+/// `out`'s size) is exceeded. `cancel`, when non-null, is polled once per
+/// descendant group so sibling partitions stop early after one of them
+/// overflowed; a cancelled run returns OK with partial output, which the
+/// caller discards.
+Status RunStackTree(const Document& doc, const TupleSet& anc,
+                    const TupleSet& desc,
+                    const std::vector<Group>& anc_groups,
+                    const std::vector<Group>& desc_groups, size_t anc_lo,
+                    size_t anc_hi, size_t desc_lo, size_t desc_hi, Axis axis,
+                    bool output_by_ancestor, uint64_t max_output_rows,
+                    TupleSet* out, JoinStats* stats,
+                    const std::atomic<bool>* cancel) {
+  if (anc_lo >= anc_hi || desc_lo >= desc_hi) return Status::OK();
 
   // Row-budget enforcement; EmitPair checks per row, so even one huge
   // group cross product cannot outrun the budget.
@@ -107,7 +127,7 @@ Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
   auto emit = [&](const GroupPair& pair) {
     if (overflow) return;
     if (!EmitPair(anc, desc, anc_groups, desc_groups, pair, max_output_rows,
-                  &out, stats)) {
+                  out, stats)) {
       overflow = true;
     }
   };
@@ -148,11 +168,14 @@ Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
     }
   };
 
-  size_t ai = 0;
-  for (uint32_t dg = 0; dg < desc_groups.size() && !overflow; ++dg) {
+  size_t ai = anc_lo;
+  for (size_t dg = desc_lo; dg < desc_hi && !overflow; ++dg) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return Status::OK();
+    }
     const NodeId d = desc_groups[dg].elem;
     // Stack every ancestor candidate that starts before d.
-    while (ai < anc_groups.size() && anc_groups[ai].elem < d) {
+    while (ai < anc_hi && anc_groups[ai].elem < d) {
       const NodeId a = anc_groups[ai].elem;
       while (!stack.empty() && entry_end(stack.back()) < a) pop_entry();
       stack.push_back(StackEntry{static_cast<uint32_t>(ai), {}, {}});
@@ -170,7 +193,7 @@ Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
       const NodeId a = anc_groups[stack[k].ag].elem;
       if (!Matches(doc, a, d, axis)) continue;
       if (stats != nullptr) ++stats->element_pairs;
-      GroupPair pair{stack[k].ag, dg};
+      GroupPair pair{stack[k].ag, static_cast<uint32_t>(dg)};
       if (output_by_ancestor) {
         stack[k].self.push_back(pair);
       } else {
@@ -185,6 +208,184 @@ Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
   if (overflow) {
     return Status::OutOfRange(
         "structural join output exceeded the configured row budget");
+  }
+  return Status::OK();
+}
+
+/// One independently joinable chunk of the input: ancestor groups
+/// [anc_lo, anc_hi) and the descendant groups [desc_lo, desc_hi) whose
+/// elements can fall inside those ancestors' intervals.
+struct JoinPartition {
+  size_t anc_lo;
+  size_t anc_hi;
+  size_t desc_lo;
+  size_t desc_hi;
+  size_t rows;  // anc + desc rows covered, the load-balancing weight
+};
+
+/// Splits the sorted ancestor group list at top-level interval boundaries:
+/// a cut is legal before group i exactly when group i's element starts
+/// after every earlier element has ended (no ancestor's (start, end)
+/// subtree spans the cut). Consecutive top-level regions are then merged
+/// greedily toward `target_partitions` chunks of roughly equal row weight.
+/// Descendant groups outside every region match nothing and are dropped,
+/// exactly as the serial merge would discard them against an empty stack.
+std::vector<JoinPartition> PartitionAtTopLevel(
+    const Document& doc, const std::vector<Group>& anc_groups,
+    const std::vector<Group>& desc_groups, size_t target_partitions) {
+  // Pass 1: maximal regions of overlapping ancestor intervals.
+  std::vector<JoinPartition> regions;
+  size_t i = 0;
+  while (i < anc_groups.size()) {
+    NodeId max_end = doc.EndOf(anc_groups[i].elem);
+    size_t j = i + 1;
+    while (j < anc_groups.size() && anc_groups[j].elem <= max_end) {
+      max_end = std::max(max_end, doc.EndOf(anc_groups[j].elem));
+      ++j;
+    }
+    // Descendants matchable here: first_elem < d <= max_end.
+    const NodeId first_elem = anc_groups[i].elem;
+    auto lo = std::upper_bound(
+        desc_groups.begin(), desc_groups.end(), first_elem,
+        [](NodeId v, const Group& g) { return v < g.elem; });
+    auto hi = std::upper_bound(
+        desc_groups.begin(), desc_groups.end(), max_end,
+        [](NodeId v, const Group& g) { return v < g.elem; });
+    size_t rows = 0;
+    for (size_t k = i; k < j; ++k) {
+      rows += anc_groups[k].row_end - anc_groups[k].row_begin;
+    }
+    for (auto it = lo; it != hi; ++it) rows += it->row_end - it->row_begin;
+    regions.push_back(JoinPartition{
+        i, j, static_cast<size_t>(lo - desc_groups.begin()),
+        static_cast<size_t>(hi - desc_groups.begin()), rows});
+    i = j;
+  }
+
+  // Pass 2: merge consecutive regions into ~target_partitions chunks.
+  if (target_partitions <= 1 || regions.size() <= 1) {
+    if (regions.size() > 1) {
+      JoinPartition merged = regions.front();
+      merged.anc_hi = regions.back().anc_hi;
+      merged.desc_hi = regions.back().desc_hi;
+      for (size_t r = 1; r < regions.size(); ++r) merged.rows += regions[r].rows;
+      return {merged};
+    }
+    return regions;
+  }
+  size_t total_rows = 0;
+  for (const JoinPartition& r : regions) total_rows += r.rows;
+  const size_t target_rows =
+      std::max<size_t>(1, total_rows / target_partitions);
+  std::vector<JoinPartition> chunks;
+  JoinPartition current = regions.front();
+  for (size_t r = 1; r < regions.size(); ++r) {
+    if (current.rows >= target_rows) {
+      chunks.push_back(current);
+      current = regions[r];
+    } else {
+      current.anc_hi = regions[r].anc_hi;
+      current.desc_hi = regions[r].desc_hi;
+      current.rows += regions[r].rows;
+    }
+  }
+  chunks.push_back(current);
+  return chunks;
+}
+
+}  // namespace
+
+Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
+                               size_t anc_slot, const TupleSet& desc,
+                               size_t desc_slot, Axis axis,
+                               bool output_by_ancestor, JoinStats* stats,
+                               uint64_t max_output_rows) {
+  SJOS_RETURN_IF_ERROR(ValidateJoinInputs(anc, anc_slot, desc, desc_slot));
+  TupleSet out =
+      MakeOutputSet(anc, anc_slot, desc, desc_slot, output_by_ancestor);
+  const std::vector<Group> anc_groups = BuildGroups(anc, anc_slot);
+  const std::vector<Group> desc_groups = BuildGroups(desc, desc_slot);
+  if (anc_groups.empty() || desc_groups.empty()) return out;
+  SJOS_RETURN_IF_ERROR(RunStackTree(
+      doc, anc, desc, anc_groups, desc_groups, 0, anc_groups.size(), 0,
+      desc_groups.size(), axis, output_by_ancestor, max_output_rows, &out,
+      stats, /*cancel=*/nullptr));
+  return out;
+}
+
+Result<TupleSet> StackTreeJoinParallel(
+    const Document& doc, const TupleSet& anc, size_t anc_slot,
+    const TupleSet& desc, size_t desc_slot, Axis axis, bool output_by_ancestor,
+    ThreadPool* pool, JoinStats* stats, uint64_t max_output_rows,
+    size_t min_parallel_input_rows) {
+  if (pool == nullptr || pool->num_workers() <= 1 ||
+      anc.size() + desc.size() < min_parallel_input_rows) {
+    return StackTreeJoin(doc, anc, anc_slot, desc, desc_slot, axis,
+                         output_by_ancestor, stats, max_output_rows);
+  }
+  SJOS_RETURN_IF_ERROR(ValidateJoinInputs(anc, anc_slot, desc, desc_slot));
+  TupleSet out =
+      MakeOutputSet(anc, anc_slot, desc, desc_slot, output_by_ancestor);
+  const std::vector<Group> anc_groups = BuildGroups(anc, anc_slot);
+  const std::vector<Group> desc_groups = BuildGroups(desc, desc_slot);
+  if (anc_groups.empty() || desc_groups.empty()) return out;
+
+  const std::vector<JoinPartition> parts = PartitionAtTopLevel(
+      doc, anc_groups, desc_groups, pool->num_workers());
+  if (parts.size() <= 1) {
+    // One top-level region (e.g. a single document root candidate):
+    // nothing to split, run the serial kernel in place.
+    SJOS_RETURN_IF_ERROR(RunStackTree(
+        doc, anc, desc, anc_groups, desc_groups, 0, anc_groups.size(), 0,
+        desc_groups.size(), axis, output_by_ancestor, max_output_rows, &out,
+        stats, /*cancel=*/nullptr));
+    return out;
+  }
+
+  // Partitions join independently: no ancestor interval spans a cut, and
+  // each partition's descendant range is disjoint from every other's, so
+  // concatenating the partition outputs in partition (= document) order
+  // reproduces the serial output byte for byte.
+  std::vector<TupleSet> part_out(parts.size());
+  std::vector<JoinStats> part_stats(parts.size());
+  std::atomic<bool> cancel{false};
+  for (size_t p = 0; p < parts.size(); ++p) {
+    part_out[p] =
+        MakeOutputSet(anc, anc_slot, desc, desc_slot, output_by_ancestor);
+    pool->Submit([&, p]() -> Status {
+      const JoinPartition& part = parts[p];
+      // Each worker enforces the full global budget locally (a partition
+      // alone may exceed it); the post-merge sum check below catches the
+      // case where only the partitions' total does.
+      Status st = RunStackTree(doc, anc, desc, anc_groups, desc_groups,
+                               part.anc_lo, part.anc_hi, part.desc_lo,
+                               part.desc_hi, axis, output_by_ancestor,
+                               max_output_rows, &part_out[p], &part_stats[p],
+                               &cancel);
+      if (!st.ok()) cancel.store(true, std::memory_order_relaxed);
+      return st;
+    });
+  }
+  SJOS_RETURN_IF_ERROR(pool->WaitAll());
+
+  uint64_t total_rows = 0;
+  for (const TupleSet& t : part_out) total_rows += t.size();
+  if (max_output_rows != 0 && total_rows > max_output_rows) {
+    return Status::OutOfRange(
+        "structural join output exceeded the configured row budget");
+  }
+  // Merge in partition order; counter sums (and the max) are independent
+  // of worker scheduling, so merged stats are deterministic.
+  out.Reserve(total_rows);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    out.AppendSet(part_out[p]);
+    if (stats != nullptr) {
+      stats->element_pairs += part_stats[p].element_pairs;
+      stats->output_rows += part_stats[p].output_rows;
+      stats->stack_pushes += part_stats[p].stack_pushes;
+      stats->max_stack_depth =
+          std::max(stats->max_stack_depth, part_stats[p].max_stack_depth);
+    }
   }
   return out;
 }

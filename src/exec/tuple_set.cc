@@ -25,6 +25,11 @@ void TupleSet::AppendConcat(const NodeId* left, size_t left_n,
   data_.insert(data_.end(), right, right + right_n);
 }
 
+void TupleSet::AppendSet(const TupleSet& other) {
+  SJOS_CHECK(other.arity() == arity(), "AppendSet arity mismatch");
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+}
+
 void TupleSet::SortBySlot(size_t slot) {
   const size_t n = size();
   const size_t a = arity();

@@ -48,6 +48,10 @@ class TupleSet {
   void AppendConcat(const NodeId* left, size_t left_n, const NodeId* right,
                     size_t right_n);
 
+  /// Appends every row of `other`, which must have the same arity (checked).
+  /// Used by the partitioned join to concatenate partition outputs.
+  void AppendSet(const TupleSet& other);
+
   void Reserve(size_t rows) { data_.reserve(rows * arity()); }
 
   /// Which slot the rows are sorted by (document order of that column);

@@ -1,0 +1,88 @@
+// Differential correctness: every optimizer in the paper's line-up, on
+// seeded random Pers and Mbench documents, must produce plans whose
+// executed result sets equal the NaiveMatch oracle — the end-to-end check
+// the per-optimizer unit tests don't provide. Runs each plan serially and
+// with the parallel execution layer, so the oracle also pins the threaded
+// paths.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "estimate/positional_histogram.h"
+#include "exec/executor.h"
+#include "exec/naive_matcher.h"
+#include "query/workload.h"
+#include "storage/catalog.h"
+#include "xml/generators/mbench_gen.h"
+#include "xml/generators/pers_gen.h"
+
+namespace sjos {
+namespace {
+
+/// Runs all paper optimizers for every workload query of `dataset_name`
+/// against `db`, asserting each executed result equals the oracle.
+void RunDifferential(const Database& db, const std::string& dataset_name) {
+  PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
+      db.doc(), db.index(), db.stats());
+  for (const BenchQuery& query : PaperWorkload()) {
+    if (query.dataset != dataset_name) continue;
+    SCOPED_TRACE(query.id);
+    const Pattern& pattern = query.pattern;
+    auto expected = std::move(NaiveMatch(db.doc(), pattern)).value();
+
+    Result<PatternEstimates> estimates =
+        PatternEstimates::Make(pattern, db.doc(), estimator);
+    ASSERT_TRUE(estimates.ok()) << estimates.status().ToString();
+    CostModel cost_model;
+    OptimizeContext ctx{&pattern, &estimates.value(), &cost_model};
+
+    for (const std::unique_ptr<Optimizer>& optimizer :
+         MakePaperOptimizers(pattern.NumEdges())) {
+      SCOPED_TRACE(optimizer->name());
+      Result<OptimizeResult> optimized = optimizer->Optimize(ctx);
+      ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+
+      for (int threads : {1, 4}) {
+        ExecOptions options;
+        options.num_threads = threads;
+        options.parallel_min_join_rows = 0;  // partition even small inputs
+        Executor exec(db, options);
+        Result<ExecResult> result =
+            exec.Execute(pattern, optimized.value().plan);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        EXPECT_EQ(result.value().tuples.Canonical(), expected)
+            << "threads=" << threads;
+        EXPECT_EQ(result.value().stats.result_rows, expected.size());
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, PersOptimizersMatchOracle) {
+  for (uint64_t seed : {7u, 19u, 131u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    PersGenConfig config;
+    config.target_nodes = 900;
+    config.seed = seed;
+    Database db = Database::Open(GeneratePers(config).value());
+    RunDifferential(db, "Pers");
+  }
+}
+
+TEST(DifferentialTest, MbenchOptimizersMatchOracle) {
+  for (uint64_t seed : {23u, 47u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    MbenchGenConfig config;
+    config.target_nodes = 1200;
+    config.seed = seed;
+    Database db = Database::Open(GenerateMbench(config).value());
+    RunDifferential(db, "Mbench");
+  }
+}
+
+}  // namespace
+}  // namespace sjos

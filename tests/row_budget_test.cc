@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "exec/stack_tree.h"
 #include "plan/random_plans.h"
@@ -57,6 +58,75 @@ TEST(RowBudgetTest, BudgetAboveOutputIsHarmless) {
                                        false, nullptr, /*max_output_rows=*/3);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out.value().size(), 3u);
+}
+
+TEST(RowBudgetTest, ParallelJoinEnforcesSameGlobalBudget) {
+  PersGenConfig config;
+  config.target_nodes = 4000;
+  Database db = Database::Open(GeneratePers(config).value());
+  TupleSet managers = Candidates(db, "manager", 0);
+  TupleSet names = Candidates(db, "name", 1);
+  ThreadPool pool(4);
+
+  for (bool by_ancestor : {false, true}) {
+    SCOPED_TRACE(by_ancestor ? "Anc" : "Desc");
+    const uint64_t full_rows =
+        std::move(StackTreeJoin(db.doc(), managers, 0, names, 0,
+                                Axis::kDescendant, by_ancestor))
+            .value()
+            .size();
+    ASSERT_GT(full_rows, 100u);
+
+    // Budget exactly at the output size: fine, same as serial.
+    Result<TupleSet> at_budget = StackTreeJoinParallel(
+        db.doc(), managers, 0, names, 0, Axis::kDescendant, by_ancestor, &pool,
+        nullptr, /*max_output_rows=*/full_rows,
+        /*min_parallel_input_rows=*/0);
+    ASSERT_TRUE(at_budget.ok()) << at_budget.status().ToString();
+    EXPECT_EQ(at_budget.value().size(), full_rows);
+
+    // One row less: OutOfRange. The output is spread over several
+    // partitions each under the budget, so this exercises the global sum
+    // check, not just the per-partition cap.
+    Result<TupleSet> capped = StackTreeJoinParallel(
+        db.doc(), managers, 0, names, 0, Axis::kDescendant, by_ancestor, &pool,
+        nullptr, /*max_output_rows=*/full_rows - 1,
+        /*min_parallel_input_rows=*/0);
+    ASSERT_FALSE(capped.ok());
+    EXPECT_EQ(capped.status().code(), StatusCode::kOutOfRange);
+
+    // Tight budget that a single partition already exceeds: the worker
+    // aborts early and the error still surfaces as OutOfRange.
+    Result<TupleSet> tiny = StackTreeJoinParallel(
+        db.doc(), managers, 0, names, 0, Axis::kDescendant, by_ancestor, &pool,
+        nullptr, /*max_output_rows=*/10, /*min_parallel_input_rows=*/0);
+    ASSERT_FALSE(tiny.ok());
+    EXPECT_EQ(tiny.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(RowBudgetTest, ParallelExecutorPropagatesBudget) {
+  PersGenConfig config;
+  config.target_nodes = 2000;
+  Database db = Database::Open(GeneratePers(config).value());
+  Pattern pattern =
+      std::move(ParsePattern("manager[//employee[/name]]")).value();
+  Rng rng(3);
+  PhysicalPlan plan = std::move(RandomPlan(pattern, &rng)).value();
+
+  ExecOptions unlimited_options;
+  unlimited_options.num_threads = 4;
+  unlimited_options.parallel_min_join_rows = 0;
+  Executor unlimited(db, unlimited_options);
+  ExecResult full = std::move(unlimited.Execute(pattern, plan)).value();
+  ASSERT_GT(full.stats.result_rows, 10u);
+
+  ExecOptions options = unlimited_options;
+  options.max_join_output_rows = 10;
+  Executor budgeted(db, options);
+  Result<ExecResult> capped = budgeted.Execute(pattern, plan);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(RowBudgetTest, ExecutorPropagatesBudget) {

@@ -1,0 +1,87 @@
+// The execution thread pool: batch submit/wait semantics, deterministic
+// earliest-submission error selection, exception capture, and reuse.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+
+namespace sjos {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(pool.WaitAll().ok());
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerCountClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] {
+    ++count;
+    return Status::OK();
+  });
+  EXPECT_TRUE(pool.WaitAll().ok());
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReportsEarliestSubmittedError) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([i]() -> Status {
+      if (i == 7) return Status::OutOfRange("task 7 overflowed");
+      if (i == 13) return Status::Internal("task 13 broke");
+      return Status::OK();
+    });
+  }
+  Status status = pool.WaitAll();
+  ASSERT_FALSE(status.ok());
+  // Task 7 was submitted before task 13, so its error wins regardless of
+  // which worker finished first.
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(status.message(), "task 7 overflowed");
+}
+
+TEST(ThreadPoolTest, ExceptionBecomesInternalStatus) {
+  ThreadPool pool(2);
+  pool.Submit([]() -> Status { throw std::runtime_error("boom"); });
+  Status status = pool.WaitAll();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  pool.Submit([]() -> Status { return Status::Internal("first batch fails"); });
+  EXPECT_FALSE(pool.WaitAll().ok());
+  // The error state was consumed; a clean second batch reports OK.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] {
+      ++count;
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(pool.WaitAll().ok());
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitAllWithNothingSubmittedIsOk) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.WaitAll().ok());
+}
+
+}  // namespace
+}  // namespace sjos
