@@ -16,6 +16,7 @@ struct Bar {
   std::string label;
   double opt_ms;
   double eval_ms;
+  uint64_t peak_live_rows;
 };
 
 void PrintAsciiBars(const std::vector<Bar>& bars) {
@@ -65,7 +66,7 @@ int RunTeSweepFigure(int figure_number, uint32_t fold, uint64_t base_nodes,
   std::vector<Bar> bars;
   auto add = [&](const std::string& label, Optimizer* optimizer) {
     Measurement m = MeasureOptimizer(env, optimizer);
-    bars.push_back(Bar{label, m.opt_ms, m.eval_ms});
+    bars.push_back(Bar{label, m.opt_ms, m.eval_ms, m.peak_live_rows});
   };
 
   auto dp = MakeDpOptimizer();
@@ -82,13 +83,18 @@ int RunTeSweepFigure(int figure_number, uint32_t fold, uint64_t base_nodes,
   add("DPAP-LD", ld.get());
   add("FP", fp.get());
 
-  const std::vector<int> widths = {12, 10, 10, 10};
+  // peak-rows is the execution's intermediate-memory high-water mark
+  // (ExecStats::peak_live_rows): pipelined plans stay near the batch size
+  // while Sort-heavy plans buffer whole intermediates.
+  const std::vector<int> widths = {12, 10, 10, 10, 10};
   PrintRule(widths);
-  PrintRow(widths, {"algorithm", "opt(ms)", "eval(ms)", "total(ms)"});
+  PrintRow(widths,
+           {"algorithm", "opt(ms)", "eval(ms)", "total(ms)", "peak-rows"});
   PrintRule(widths);
   for (const Bar& b : bars) {
     PrintRow(widths,
-             {b.label, Ms(b.opt_ms), Ms(b.eval_ms), Ms(b.opt_ms + b.eval_ms)});
+             {b.label, Ms(b.opt_ms), Ms(b.eval_ms), Ms(b.opt_ms + b.eval_ms),
+              std::to_string(b.peak_live_rows)});
   }
   PrintRule(widths);
   PrintAsciiBars(bars);

@@ -71,6 +71,7 @@ void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
     }
     sum_ms += result.value().stats.wall_ms;
     m->result_rows = result.value().stats.result_rows;
+    m->peak_live_rows = result.value().stats.peak_live_rows;
     if (sum_ms >= kMinEvalTimingMs) {
       ++reps;
       break;

@@ -56,6 +56,7 @@ struct Measurement {
   double eval_ms = 0.0;      // plan execution wall time
   uint64_t plans_considered = 0;
   uint64_t result_rows = 0;
+  uint64_t peak_live_rows = 0;  // execution's intermediate-memory high-water
   double modelled_cost = 0.0;
   bool eval_capped = false;  // execution hit the row budget
   std::string signature;     // compact plan shape

@@ -243,9 +243,15 @@ class Shell {
       std::printf("error: %s\n", result.status().ToString().c_str());
       return;
     }
-    std::printf("%llu matches in %.3f ms\n",
+    std::printf("%llu matches in %.3f ms (peak %llu live rows)\n",
                 static_cast<unsigned long long>(result.value().stats.result_rows),
-                result.value().stats.wall_ms);
+                result.value().stats.wall_ms,
+                static_cast<unsigned long long>(
+                    result.value().stats.peak_live_rows));
+    std::printf("measured (EXPLAIN ANALYZE):\n%s",
+                PrintPlanAnalyze(plan.value().plan, pattern,
+                                 result.value().op_stats)
+                    .c_str());
   }
 
   std::unique_ptr<Database> db_;

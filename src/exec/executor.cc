@@ -1,14 +1,29 @@
 #include "exec/executor.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "exec/operator.h"
 #include "exec/operators.h"
 #include "exec/stack_tree.h"
 
 namespace sjos {
+
+namespace {
+
+void FillOp(std::vector<OpStats>* op_stats, int index, uint64_t rows,
+            double time_ms) {
+  OpStats& os = (*op_stats)[static_cast<size_t>(index)];
+  os.rows = rows;
+  os.batches = 1;
+  os.time_ms = time_ms;
+  os.peak_live_rows = rows;
+}
+
+}  // namespace
 
 Executor::Executor(const Database& db, ExecOptions options)
     : db_(db), options_(options) {
@@ -20,8 +35,28 @@ Executor::Executor(const Database& db, ExecOptions options)
 
 Executor::~Executor() = default;
 
+size_t Executor::ResolveBatchRows() const {
+  if (options_.batch_rows > 0) return options_.batch_rows;
+  if (const char* env = std::getenv("SJOS_EXEC_BATCH_ROWS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  return kDefaultExecBatchRows;
+}
+
+void Executor::MatLiveAdd(ExecStats* stats, uint64_t rows) {
+  mat_cur_live_ += rows;
+  if (mat_cur_live_ > stats->peak_live_rows) {
+    stats->peak_live_rows = mat_cur_live_;
+  }
+}
+
+void Executor::MatLiveSub(uint64_t rows) { mat_cur_live_ -= rows; }
+
 Status Executor::PrecomputeLeaves(const Pattern& pattern,
-                                  const PhysicalPlan& plan, ExecStats* stats) {
+                                  const PhysicalPlan& plan, ExecStats* stats,
+                                  std::vector<OpStats>* op_stats) {
   const size_t n = plan.NumOps();
   // Restrict to nodes reachable from the root: plans are trees, but be
   // defensive about unreferenced scratch nodes a builder may have left.
@@ -59,83 +94,99 @@ Status Executor::PrecomputeLeaves(const Pattern& pattern,
 
   std::vector<ExecStats> task_stats(tasks.size());
   for (size_t t = 0; t < tasks.size(); ++t) {
-    pool_->Submit([this, &pattern, &plan, &task_stats, &tasks, t]() -> Status {
+    pool_->Submit([this, &pattern, &plan, &task_stats, &tasks, op_stats,
+                   t]() -> Status {
       const int index = tasks[t];
       const PlanNode& node = plan.At(index);
       ExecStats* local = &task_stats[t];
+      Timer timer;
       if (node.op == PlanOp::kIndexScan) {
         TupleSet set = ScanCandidates(db_, pattern, node.scan_node);
         local->rows_scanned += set.size();
+        FillOp(op_stats, index, set.size(), timer.ElapsedMs());
         leaf_cache_[static_cast<size_t>(index)] = std::move(set);
         return Status::OK();
       }
-      // Fused sort-over-scan.
+      // Fused sort-over-scan; the scan node gets its own op entry.
       TupleSet set =
           ScanCandidates(db_, pattern, plan.At(node.left).scan_node);
       local->rows_scanned += set.size();
-      if (!SortOperator(&set, node.sort_by)) {
-        return Status::Internal(
-            StrFormat("sort by pattern node %d not in input", node.sort_by));
-      }
+      FillOp(op_stats, node.left, set.size(), timer.ElapsedMs());
+      SJOS_RETURN_IF_ERROR(SortTuples(&set, node.sort_by));
       local->rows_sorted += set.size();
       ++local->num_sorts;
+      FillOp(op_stats, index, set.size(), timer.ElapsedMs());
       leaf_cache_[static_cast<size_t>(index)] = std::move(set);
       return Status::OK();
     });
   }
   SJOS_RETURN_IF_ERROR(pool_->WaitAll());
-  // Merge per-task counters in submission (= plan-node-index) order.
-  for (const ExecStats& ts : task_stats) {
+  // Merge per-task counters (and live-row deltas) in submission
+  // (= plan-node-index) order.
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const ExecStats& ts = task_stats[t];
     stats->rows_scanned += ts.rows_scanned;
     stats->rows_sorted += ts.rows_sorted;
     stats->num_sorts += ts.num_sorts;
+    const auto& cached = leaf_cache_[static_cast<size_t>(tasks[t])];
+    if (cached.has_value()) MatLiveAdd(stats, cached->size());
   }
   return Status::OK();
 }
 
 Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
                                     const PhysicalPlan& plan, int index,
-                                    ExecStats* stats) {
+                                    ExecStats* stats,
+                                    std::vector<OpStats>* op_stats) {
   if (static_cast<size_t>(index) < leaf_cache_.size() &&
       leaf_cache_[static_cast<size_t>(index)].has_value()) {
+    // Pre-pass output: op stats and live rows were accounted at merge time.
     TupleSet cached = std::move(*leaf_cache_[static_cast<size_t>(index)]);
     leaf_cache_[static_cast<size_t>(index)].reset();
     return cached;
   }
   const PlanNode& node = plan.At(index);
+  Timer timer;
   switch (node.op) {
     case PlanOp::kIndexScan: {
       TupleSet set = ScanCandidates(db_, pattern, node.scan_node);
       stats->rows_scanned += set.size();
+      MatLiveAdd(stats, set.size());
+      FillOp(op_stats, index, set.size(), timer.ElapsedMs());
       return set;
     }
     case PlanOp::kSort: {
-      Result<TupleSet> input = Evaluate(pattern, plan, node.left, stats);
+      Result<TupleSet> input =
+          Evaluate(pattern, plan, node.left, stats, op_stats);
       if (!input.ok()) return input;
       TupleSet set = std::move(input).value();
-      if (!SortOperator(&set, node.sort_by)) {
-        return Status::Internal(
-            StrFormat("sort by pattern node %d not in input", node.sort_by));
-      }
+      SJOS_RETURN_IF_ERROR(SortTuples(&set, node.sort_by));
       stats->rows_sorted += set.size();
       ++stats->num_sorts;
+      FillOp(op_stats, index, set.size(), timer.ElapsedMs());
       return set;
     }
     case PlanOp::kNavigate: {
-      Result<TupleSet> input = Evaluate(pattern, plan, node.left, stats);
+      Result<TupleSet> input =
+          Evaluate(pattern, plan, node.left, stats, op_stats);
       if (!input.ok()) return input;
       Result<TupleSet> out =
-          NavigateOperator(db_, pattern, input.value(), node.anc_node,
-                           node.desc_node, node.axis, &stats->nodes_navigated);
+          NavigateTuples(db_, pattern, input.value(), node.anc_node,
+                         node.desc_node, node.axis, &stats->nodes_navigated);
       if (!out.ok()) return out;
       ++stats->num_navigates;
+      MatLiveAdd(stats, out.value().size());
+      MatLiveSub(input.value().size());
+      FillOp(op_stats, index, out.value().size(), timer.ElapsedMs());
       return out;
     }
     case PlanOp::kStackTreeAnc:
     case PlanOp::kStackTreeDesc: {
-      Result<TupleSet> left = Evaluate(pattern, plan, node.left, stats);
+      Result<TupleSet> left =
+          Evaluate(pattern, plan, node.left, stats, op_stats);
       if (!left.ok()) return left;
-      Result<TupleSet> right = Evaluate(pattern, plan, node.right, stats);
+      Result<TupleSet> right =
+          Evaluate(pattern, plan, node.right, stats, op_stats);
       if (!right.ok()) return right;
       int anc_slot = left.value().SlotOf(node.anc_node);
       int desc_slot = right.value().SlotOf(node.desc_node);
@@ -153,32 +204,110 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
       stats->join_output_rows += join_stats.output_rows;
       stats->element_pairs += join_stats.element_pairs;
       ++stats->num_joins;
+      MatLiveAdd(stats, out.value().size());
+      MatLiveSub(left.value().size() + right.value().size());
+      FillOp(op_stats, index, out.value().size(), timer.ElapsedMs());
       return out;
     }
   }
   return Status::Internal("unknown plan operator");
 }
 
+Status Executor::RunPipeline(const PhysicalPlan& plan, ExecContext* ctx,
+                             TupleSet* result_schema, const BatchSink& sink) {
+  Result<std::unique_ptr<Operator>> compiled =
+      CompileOperatorTree(ctx, plan, plan.root());
+  if (!compiled.ok()) return compiled.status();
+  Operator* root = compiled.value().get();
+  if (result_schema != nullptr) *result_schema = root->MakeBatch();
+  SJOS_RETURN_IF_ERROR(Operator::OpenTimed(root));
+  TupleSet batch = root->MakeBatch();
+  bool eos = false;
+  while (!eos) {
+    // The in-flight root batch is the driver's contribution to live rows.
+    ctx->SubLive(batch.size());
+    SJOS_RETURN_IF_ERROR(Operator::PullTimed(root, &batch, &eos));
+    ctx->AddLive(batch.size());
+    if (batch.size() > 0) SJOS_RETURN_IF_ERROR(sink(batch));
+  }
+  ctx->SubLive(batch.size());
+  return root->Close();
+}
+
 Result<ExecResult> Executor::Execute(const Pattern& pattern,
                                      const PhysicalPlan& plan) {
   if (plan.Empty()) return Status::InvalidArgument("empty plan");
   ExecResult result;
+  result.op_stats.assign(plan.NumOps(), OpStats{});
   Timer timer;
-  leaf_cache_.assign(plan.NumOps(), std::nullopt);
-  if (pool_ != nullptr) {
-    Status st = PrecomputeLeaves(pattern, plan, &result.stats);
-    if (!st.ok()) {
-      leaf_cache_.clear();
-      return st;
+  if (pool_ == nullptr && !options_.force_materialize) {
+    // Serial execution runs the streaming pipeline; accumulated result
+    // rows count as live, so the peak is honest about total residency.
+    ExecContext ctx;
+    ctx.db = &db_;
+    ctx.pattern = &pattern;
+    ctx.batch_rows = ResolveBatchRows();
+    ctx.max_join_output_rows = options_.max_join_output_rows;
+    ctx.stats = &result.stats;
+    ctx.op_stats = &result.op_stats;
+    Status st = RunPipeline(plan, &ctx, &result.tuples,
+                            [&result, &ctx](const TupleSet& batch) {
+                              result.tuples.AppendSet(batch);
+                              ctx.AddLive(batch.size());
+                              return Status::OK();
+                            });
+    if (!st.ok()) return st;
+    result.stats.peak_live_rows = ctx.peak_live_rows;
+  } else {
+    mat_cur_live_ = 0;
+    leaf_cache_.assign(plan.NumOps(), std::nullopt);
+    if (pool_ != nullptr) {
+      Status st =
+          PrecomputeLeaves(pattern, plan, &result.stats, &result.op_stats);
+      if (!st.ok()) {
+        leaf_cache_.clear();
+        return st;
+      }
     }
+    Result<TupleSet> tuples =
+        Evaluate(pattern, plan, plan.root(), &result.stats, &result.op_stats);
+    leaf_cache_.clear();
+    if (!tuples.ok()) return tuples.status();
+    result.tuples = std::move(tuples).value();
   }
-  Result<TupleSet> tuples = Evaluate(pattern, plan, plan.root(), &result.stats);
-  leaf_cache_.clear();
-  if (!tuples.ok()) return tuples.status();
-  result.tuples = std::move(tuples).value();
   result.stats.wall_ms = timer.ElapsedMs();
   result.stats.result_rows = result.tuples.size();
   return result;
+}
+
+Result<ExecStats> Executor::ExecuteStreaming(const Pattern& pattern,
+                                             const PhysicalPlan& plan,
+                                             const BatchSink& sink,
+                                             std::vector<OpStats>* op_stats) {
+  if (plan.Empty()) return Status::InvalidArgument("empty plan");
+  ExecStats stats;
+  std::vector<OpStats> local_ops;
+  std::vector<OpStats>* ops = op_stats != nullptr ? op_stats : &local_ops;
+  ops->assign(plan.NumOps(), OpStats{});
+  Timer timer;
+  ExecContext ctx;
+  ctx.db = &db_;
+  ctx.pattern = &pattern;
+  ctx.batch_rows = ResolveBatchRows();
+  ctx.max_join_output_rows = options_.max_join_output_rows;
+  ctx.stats = &stats;
+  ctx.op_stats = ops;
+  uint64_t delivered = 0;
+  Status st = RunPipeline(plan, &ctx, /*result_schema=*/nullptr,
+                          [&delivered, &sink](const TupleSet& batch) {
+                            delivered += batch.size();
+                            return sink(batch);
+                          });
+  if (!st.ok()) return st;
+  stats.peak_live_rows = ctx.peak_live_rows;
+  stats.wall_ms = timer.ElapsedMs();
+  stats.result_rows = delivered;
+  return stats;
 }
 
 }  // namespace sjos

@@ -1,18 +1,26 @@
-// Plan execution. Operators exchange materialized TupleSets; "fully
-// pipelined" plans differ physically by containing no Sort operator, which
-// is the blocking cost the paper's Sec. 4.3 identifies as dominant. The
-// executor reports wall time plus operator-level counters so benches can
-// decompose where time went.
+// Plan execution. The serial engine is a streaming operator pipeline
+// (exec/operator.h): Execute compiles the PhysicalPlan into an
+// Open/NextBatch/Close tree and pulls fixed-capacity row batches from the
+// root, so "fully pipelined" plans — no Sort, the blocking cost the
+// paper's Sec. 4.3 identifies as dominant — run in O(batch × plan depth)
+// intermediate memory. With num_threads > 1 (or force_materialize) the
+// executor falls back to the one-shot materializing engine whose leaf
+// pre-pass and partitioned joins parallelize; both engines produce
+// byte-identical tuples and identical counters. Wall time plus
+// operator-level counters let benches decompose where time and memory
+// went.
 
 #ifndef SJOS_EXEC_EXECUTOR_H_
 #define SJOS_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/status.h"
+#include "exec/op_stats.h"
 #include "exec/stack_tree.h"
 #include "exec/tuple_set.h"
 #include "plan/plan.h"
@@ -21,11 +29,14 @@
 
 namespace sjos {
 class ThreadPool;
+struct ExecContext;
 }
 
 namespace sjos {
 
-/// Counters from one plan execution.
+/// Counters from one plan execution. Every field except wall_ms and
+/// peak_live_rows is identical across engines and thread counts;
+/// peak_live_rows is deterministic for a fixed engine configuration.
 struct ExecStats {
   double wall_ms = 0.0;
   uint64_t result_rows = 0;
@@ -37,12 +48,21 @@ struct ExecStats {
   size_t num_sorts = 0;
   size_t num_joins = 0;
   size_t num_navigates = 0;
+  /// High-water mark of rows simultaneously resident in intermediates
+  /// (batches, sort buffers, join state, accumulated results). The
+  /// streaming engine's figure for a pipelined plan is bounded by
+  /// O(batch × depth) + result size; the materializing engine counts every
+  /// live TupleSet, merged deterministically under parallelism.
+  uint64_t peak_live_rows = 0;
 };
 
 /// A finished execution: the result bindings plus counters.
 struct ExecResult {
   TupleSet tuples;
   ExecStats stats;
+  /// Per-plan-node counters (indexed like PhysicalPlan nodes); feed them
+  /// to PrintPlanAnalyze for an EXPLAIN ANALYZE rendering.
+  std::vector<OpStats> op_stats;
 };
 
 /// Execution knobs.
@@ -54,19 +74,34 @@ struct ExecOptions {
   /// Worker threads for intra-query parallelism (1 = fully serial, the
   /// default). With more than one thread the executor evaluates leaf
   /// index scans (and sorts sitting directly on them) concurrently and
-  /// partitions every Stack-Tree join across the pool. Results and merged
-  /// stats counters are identical for every thread count.
+  /// partitions every Stack-Tree join across the pool — materializing at
+  /// operator boundaries. Results and merged stats counters are identical
+  /// for every thread count.
   int num_threads = 1;
 
   /// Joins whose combined input is smaller than this run serially even
   /// when num_threads > 1 (partition dispatch overhead dominates).
   /// Tests set it to 0 to force partitioning on small documents.
   size_t parallel_min_join_rows = kParallelJoinMinInputRows;
+
+  /// NextBatch row capacity for the streaming engine. 0 = auto: the
+  /// SJOS_EXEC_BATCH_ROWS environment variable if set, else
+  /// kDefaultExecBatchRows. Explicit values always win over the env var.
+  size_t batch_rows = 0;
+
+  /// Forces the one-shot materializing engine even for serial execution
+  /// (the streaming pipeline is the serial default). The differential
+  /// tests use it as the reference path.
+  bool force_materialize = false;
 };
 
 /// Executes plans against one database.
 class Executor {
  public:
+  /// Receives each non-empty result batch of a streaming execution. The
+  /// batch is only valid for the duration of the call.
+  using BatchSink = std::function<Status(const TupleSet&)>;
+
   explicit Executor(const Database& db, ExecOptions options = {});
   ~Executor();
 
@@ -75,9 +110,30 @@ class Executor {
   /// loudly on violations rather than producing wrong answers.
   Result<ExecResult> Execute(const Pattern& pattern, const PhysicalPlan& plan);
 
+  /// Streaming execution without result accumulation: pulls batches from
+  /// the plan root and hands each to `sink`. Because consumed batches are
+  /// released, stats.peak_live_rows reflects only the pipeline's working
+  /// set — the memory-boundedness figure for pipelined plans. Always runs
+  /// the serial streaming engine regardless of num_threads /
+  /// force_materialize. `op_stats`, when non-null, receives the
+  /// per-plan-node counters.
+  Result<ExecStats> ExecuteStreaming(const Pattern& pattern,
+                                     const PhysicalPlan& plan,
+                                     const BatchSink& sink,
+                                     std::vector<OpStats>* op_stats = nullptr);
+
  private:
+  /// Compiles the plan and pulls batches from the root into `sink`.
+  /// `result_schema`, when non-null, is set to an empty TupleSet carrying
+  /// the root operator's schema and ordering property before any pull.
+  Status RunPipeline(const PhysicalPlan& plan, ExecContext* ctx,
+                     TupleSet* result_schema, const BatchSink& sink);
+
+  size_t ResolveBatchRows() const;
+
   Result<TupleSet> Evaluate(const Pattern& pattern, const PhysicalPlan& plan,
-                            int index, ExecStats* stats);
+                            int index, ExecStats* stats,
+                            std::vector<OpStats>* op_stats);
 
   /// Parallel leaf pre-pass: evaluates every reachable index scan — and
   /// every sort whose input is an index scan, fused — on the pool, caching
@@ -85,12 +141,20 @@ class Executor {
   /// Per-task stats are merged into `stats` in plan-node-index order, so
   /// the merged counters do not depend on worker scheduling.
   Status PrecomputeLeaves(const Pattern& pattern, const PhysicalPlan& plan,
-                          ExecStats* stats);
+                          ExecStats* stats, std::vector<OpStats>* op_stats);
+
+  /// Deterministic live-row accounting for the materializing engine:
+  /// deltas are applied at fixed points of the serial tree walk (and, for
+  /// precomputed leaves, after WaitAll in plan-node-index order), so the
+  /// resulting peak does not depend on worker scheduling.
+  void MatLiveAdd(ExecStats* stats, uint64_t rows);
+  void MatLiveSub(uint64_t rows);
 
   const Database& db_;
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when options_.num_threads <= 1
   std::vector<std::optional<TupleSet>> leaf_cache_;  // per Execute() call
+  uint64_t mat_cur_live_ = 0;  // materializing engine's live-row counter
 };
 
 }  // namespace sjos

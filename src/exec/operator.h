@@ -1,0 +1,315 @@
+// The streaming physical operator interface: Open() / NextBatch() /
+// Close() over fixed-capacity row batches, Volcano-style but batched the
+// way RadegastXDB structures its operators. This is the physical
+// realization of the paper's Sec. 4.3 distinction: a "fully pipelined"
+// plan (no Sort) runs in O(batch × plan depth) intermediate memory because
+// the Stack-Tree join operators carry their stack state *across* input
+// batches instead of demanding whole inputs, exactly as Timber streams
+// Stack-Tree-Desc output into the next join.
+//
+// Contracts every operator obeys:
+//   * NextBatch appends at most ExecContext::batch_rows rows to `out`
+//     (which the caller cleared) and sets `*eos` once the stream is
+//     exhausted; rows may still be appended on the eos call. An operator
+//     never returns an empty batch without eos.
+//   * Operators fully drain their children before reporting eos, so
+//     engine-level counters (rows scanned, join outputs, element pairs)
+//     are identical to a one-shot materializing execution of the same
+//     plan — the property the differential tests pin.
+//   * Output rows appear in exactly the order the materializing engine
+//     would produce, so the two engines are byte-identical.
+//
+// Live-row accounting: every row resident in an operator's own buffers is
+// registered with the shared ExecContext, whose high-water mark becomes
+// ExecStats::peak_live_rows.
+
+#ifndef SJOS_EXEC_OPERATOR_H_
+#define SJOS_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/op_stats.h"
+#include "exec/tuple_set.h"
+#include "plan/plan.h"
+#include "query/pattern.h"
+#include "storage/catalog.h"
+
+namespace sjos {
+
+/// Default NextBatch row capacity. The SJOS_EXEC_BATCH_ROWS environment
+/// variable overrides it when ExecOptions::batch_rows is 0 (auto); CI runs
+/// the suite once at 1 to shake out batch-boundary bugs.
+inline constexpr size_t kDefaultExecBatchRows = 1024;
+
+struct ExecStats;
+
+/// Shared state for one streaming execution: the database, batch capacity,
+/// engine-level counters, per-operator counters, and the live-row
+/// high-water mark.
+struct ExecContext {
+  const Database* db = nullptr;
+  const Pattern* pattern = nullptr;
+  size_t batch_rows = kDefaultExecBatchRows;
+  uint64_t max_join_output_rows = 0;  // 0 = unlimited
+  ExecStats* stats = nullptr;         // engine-level counters (required)
+  std::vector<OpStats>* op_stats = nullptr;  // per plan node (required)
+
+  uint64_t cur_live_rows = 0;
+  uint64_t peak_live_rows = 0;
+
+  void AddLive(uint64_t rows) {
+    cur_live_rows += rows;
+    if (cur_live_rows > peak_live_rows) peak_live_rows = cur_live_rows;
+  }
+  void SubLive(uint64_t rows) { cur_live_rows -= rows; }
+};
+
+/// Base class of all streaming operators.
+class Operator {
+ public:
+  Operator(ExecContext* ctx, int plan_index, std::vector<PatternNodeId> slots,
+           int ordered_by_slot);
+  virtual ~Operator();
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  virtual Status Open() = 0;
+  /// Appends up to ctx->batch_rows rows to `out` (cleared by the caller,
+  /// carrying this operator's schema) and sets `*eos` when exhausted.
+  virtual Status NextBatch(TupleSet* out, bool* eos) = 0;
+  virtual Status Close() = 0;
+
+  const std::vector<PatternNodeId>& slots() const { return slots_; }
+  size_t arity() const { return slots_.size(); }
+  int ordered_by_slot() const { return ordered_by_slot_; }
+  int plan_index() const { return plan_index_; }
+
+  /// Empty batch carrying this operator's schema and ordering property.
+  TupleSet MakeBatch() const;
+
+  /// Times `op->Open()` into its OpStats.
+  static Status OpenTimed(Operator* op);
+  /// Clears `out`, times `op->NextBatch` into its OpStats, and accumulates
+  /// rows/batches. `out` must carry `op`'s schema.
+  static Status PullTimed(Operator* op, TupleSet* out, bool* eos);
+
+ protected:
+  OpStats& op_stats() { return (*ctx_->op_stats)[size_t(plan_index_)]; }
+
+  /// Registers `rows` as resident in this operator's buffers (and the
+  /// global live count); OwnSub releases them.
+  void OwnAdd(uint64_t rows);
+  void OwnSub(uint64_t rows);
+
+  /// Refills `*batch` (owned by this operator and registered via
+  /// OwnAdd/OwnSub) from `child` unless `*child_eos`; no-op at eos.
+  Status PullChild(Operator* child, TupleSet* batch, size_t* cursor,
+                   bool* child_eos);
+
+  ExecContext* ctx_;
+
+ private:
+  int plan_index_;
+  std::vector<PatternNodeId> slots_;
+  int ordered_by_slot_;
+  uint64_t own_live_rows_ = 0;
+};
+
+/// Streaming index scan: walks the tag's posting list batch by batch,
+/// applying the pattern node's value predicate. Never holds rows.
+class ScanOperator : public Operator {
+ public:
+  ScanOperator(ExecContext* ctx, int plan_index, PatternNodeId node);
+  Status Open() override;
+  Status NextBatch(TupleSet* out, bool* eos) override;
+  Status Close() override;
+
+ private:
+  PatternNodeId node_;
+  const PatternNode* pnode_ = nullptr;
+  const NodeId* data_ = nullptr;
+  size_t count_ = 0;
+  size_t pos_ = 0;
+};
+
+/// Sort: the only blocking operator. Open() drains the child into a
+/// buffer, sorts it by the requested pattern node, and NextBatch slices
+/// the buffer out; the buffer is the node's peak_live_rows.
+class SortOperator : public Operator {
+ public:
+  /// Fails (Internal) at construction-time validation in Compile if
+  /// `sort_by` is not in the child schema; see CompileOperatorTree.
+  SortOperator(ExecContext* ctx, int plan_index, PatternNodeId sort_by,
+               size_t sort_slot, std::unique_ptr<Operator> child);
+  Status Open() override;
+  Status NextBatch(TupleSet* out, bool* eos) override;
+  Status Close() override;
+
+ private:
+  size_t sort_slot_;
+  std::unique_ptr<Operator> child_;
+  TupleSet buffer_;
+  size_t emit_row_ = 0;
+};
+
+/// Streaming navigation: per input tuple, scans the anchor's subtree for
+/// matches of the target pattern node, resuming mid-subtree across batch
+/// boundaries. Holds one input batch; preserves the input's order.
+class NavigateOperator : public Operator {
+ public:
+  NavigateOperator(ExecContext* ctx, int plan_index, PatternNodeId anchor,
+                   size_t anchor_slot, PatternNodeId target, Axis axis,
+                   std::unique_ptr<Operator> child);
+  Status Open() override;
+  Status NextBatch(TupleSet* out, bool* eos) override;
+  Status Close() override;
+
+ private:
+  PatternNodeId target_;
+  size_t anchor_slot_;
+  Axis axis_;
+  std::unique_ptr<Operator> child_;
+  TagId tag_ = 0;
+  bool tag_valid_ = false;
+
+  TupleSet input_;
+  size_t input_row_ = 0;
+  bool child_eos_ = false;
+  bool row_active_ = false;  // true while cand_ walks the current subtree
+  NodeId cand_ = 0;
+  NodeId cand_end_ = 0;
+  std::vector<NodeId> row_scratch_;
+};
+
+/// The streaming Stack-Tree structural join. Both children stream in
+/// batches; the in-memory stack of open ancestor groups persists across
+/// batch boundaries, so no input is ever fully materialized. Emission
+/// order and all counters are identical to the materializing
+/// StackTreeJoin kernel.
+///
+/// The Desc variant emits pairs as each descendant group completes
+/// (output ordered by descendant). The Anc variant buffers expanded pairs
+/// in per-stack-entry self/inherit lists and releases them as entries pop
+/// (output ordered by ancestor), so its memory is bounded by the buffered
+/// output — the inherent cost of ancestor ordering, not of batching.
+class StackTreeJoinBase : public Operator {
+ public:
+  StackTreeJoinBase(ExecContext* ctx, int plan_index, bool output_by_ancestor,
+                    Axis axis, size_t anc_slot, size_t desc_slot,
+                    std::unique_ptr<Operator> left,
+                    std::unique_ptr<Operator> right);
+  Status Open() override;
+  Status NextBatch(TupleSet* out, bool* eos) override;
+  Status Close() override;
+
+ private:
+  /// A run of input rows sharing one join element, rows stored flat.
+  struct RowGroup {
+    NodeId elem = 0;
+    std::vector<NodeId> rows;
+  };
+  struct StackEntry {
+    RowGroup group;
+    // Anc variant: expanded output rows buffered until the entry pops.
+    std::vector<NodeId> self;
+    std::vector<NodeId> inherit;
+  };
+  enum class Phase {
+    kCollectDesc,  // accumulate one complete descendant group
+    kAdvanceAnc,   // push every ancestor group starting before it
+    kMatch,        // emit/buffer the group's matches (resumable)
+    kFinalPops,    // desc exhausted: drain the stack
+    kDrainLeft,    // consume the ancestor tail (counter parity)
+    kDone,
+  };
+
+  Status Step();
+  Status CollectDescGroup();
+  Status AdvanceAncTo(NodeId d);
+  Status MatchDescGroup();
+  Status FinalPops();
+  Status DrainLeft();
+
+  /// Pulls ancestor rows until either a finalized group precedes `d`, the
+  /// next (possibly unfinished) group provably starts at or after `d`, or
+  /// the ancestor stream ends.
+  Status RefillAncGroups(NodeId d);
+  Status PopEntry();
+  bool Matches(NodeId a, NodeId d) const;
+  /// Appends one expanded output row to `dst`, charging the row budget and
+  /// output counters iff `dst` is the output stage.
+  Status EmitRows(const RowGroup& anc_group, const RowGroup& desc_group,
+                  size_t cap_hint, bool* paused);
+  Status StageRows(std::vector<NodeId>&& rows);
+  void DrainStage(TupleSet* out);
+  Status ChargeBudget(uint64_t rows);
+
+  bool by_ancestor_;
+  Axis axis_;
+  size_t anc_slot_, desc_slot_;
+  size_t left_arity_, right_arity_;
+  std::unique_ptr<Operator> left_, right_;
+
+  TupleSet anc_batch_, desc_batch_;
+  size_t anc_row_ = 0, desc_row_ = 0;
+  bool anc_eos_ = false, desc_eos_ = false;
+  bool anc_have_prev_ = false, desc_have_prev_ = false;
+  NodeId anc_prev_ = 0, desc_prev_ = 0;
+
+  bool pending_anc_valid_ = false;
+  RowGroup pending_anc_;
+  std::deque<RowGroup> ready_anc_;
+  bool desc_group_valid_ = false;
+  RowGroup desc_group_;
+
+  std::vector<StackEntry> stack_;
+
+  // Output stage: chunks of expanded rows awaiting drain into out batches.
+  std::deque<std::vector<NodeId>> stage_;
+  size_t stage_front_row_ = 0;
+  uint64_t staged_rows_ = 0;
+  uint64_t emitted_rows_ = 0;  // total rows ever staged (budget + stats)
+
+  // Resumable match cursors (kMatch only).
+  size_t match_k_ = 0;
+  size_t match_ar_ = 0, match_dr_ = 0;
+  bool match_entry_open_ = false;
+
+  Phase phase_ = Phase::kCollectDesc;
+};
+
+class StackTreeDescOp : public StackTreeJoinBase {
+ public:
+  StackTreeDescOp(ExecContext* ctx, int plan_index, Axis axis, size_t anc_slot,
+                  size_t desc_slot, std::unique_ptr<Operator> left,
+                  std::unique_ptr<Operator> right)
+      : StackTreeJoinBase(ctx, plan_index, /*output_by_ancestor=*/false, axis,
+                          anc_slot, desc_slot, std::move(left),
+                          std::move(right)) {}
+};
+
+class StackTreeAncOp : public StackTreeJoinBase {
+ public:
+  StackTreeAncOp(ExecContext* ctx, int plan_index, Axis axis, size_t anc_slot,
+                 size_t desc_slot, std::unique_ptr<Operator> left,
+                 std::unique_ptr<Operator> right)
+      : StackTreeJoinBase(ctx, plan_index, /*output_by_ancestor=*/true, axis,
+                          anc_slot, desc_slot, std::move(left),
+                          std::move(right)) {}
+};
+
+/// Compiles the plan subtree rooted at `index` into a streaming operator
+/// tree, validating schemas exactly as the materializing engine does (same
+/// Status codes and messages, surfaced before any row is produced).
+Result<std::unique_ptr<Operator>> CompileOperatorTree(ExecContext* ctx,
+                                                      const PhysicalPlan& plan,
+                                                      int index);
+
+}  // namespace sjos
+
+#endif  // SJOS_EXEC_OPERATOR_H_

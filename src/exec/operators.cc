@@ -1,5 +1,7 @@
 #include "exec/operators.h"
 
+#include "common/str_util.h"
+
 namespace sjos {
 
 TupleSet ScanCandidates(const Database& db, const Pattern& pattern,
@@ -20,10 +22,10 @@ TupleSet ScanCandidates(const Database& db, const Pattern& pattern,
   return set;
 }
 
-Result<TupleSet> NavigateOperator(const Database& db, const Pattern& pattern,
-                                  const TupleSet& input, PatternNodeId anchor,
-                                  PatternNodeId target, Axis axis,
-                                  uint64_t* nodes_visited) {
+Result<TupleSet> NavigateTuples(const Database& db, const Pattern& pattern,
+                                const TupleSet& input, PatternNodeId anchor,
+                                PatternNodeId target, Axis axis,
+                                uint64_t* nodes_visited) {
   const int anchor_slot = input.SlotOf(anchor);
   if (anchor_slot < 0) {
     return Status::InvalidArgument("navigate anchor missing from input");
@@ -64,11 +66,14 @@ Result<TupleSet> NavigateOperator(const Database& db, const Pattern& pattern,
   return out;
 }
 
-bool SortOperator(TupleSet* set, PatternNodeId by_node) {
+Status SortTuples(TupleSet* set, PatternNodeId by_node) {
   int slot = set->SlotOf(by_node);
-  if (slot < 0) return false;
+  if (slot < 0) {
+    return Status::Internal(
+        StrFormat("sort by pattern node %d not in input", by_node));
+  }
   set->SortBySlot(static_cast<size_t>(slot));
-  return true;
+  return Status::OK();
 }
 
 }  // namespace sjos

@@ -1,9 +1,14 @@
-// Leaf/unary physical operators: index scan and sort. The join operator
-// lives in stack_tree.h; the executor composes all of them over a plan.
+// Materializing leaf/unary operators: index scan, sort and navigation over
+// whole TupleSets. The streaming engine's batched counterparts live in
+// operator.h; these remain the building blocks of the materializing path
+// (used by the parallel leaf pre-pass) and of tests. The whole surface
+// reports failures through Status/Result so pipeline errors propagate
+// uniformly.
 
 #ifndef SJOS_EXEC_OPERATORS_H_
 #define SJOS_EXEC_OPERATORS_H_
 
+#include "common/status.h"
 #include "exec/tuple_set.h"
 #include "query/pattern.h"
 #include "storage/catalog.h"
@@ -18,18 +23,18 @@ TupleSet ScanCandidates(const Database& db, const Pattern& pattern,
                         PatternNodeId node);
 
 /// Sort operator: reorders `set` by the column bound to pattern node
-/// `by_node`. Returns false if the set does not cover that node.
-bool SortOperator(TupleSet* set, PatternNodeId by_node);
+/// `by_node`. Internal error if the set does not cover that node.
+Status SortTuples(TupleSet* set, PatternNodeId by_node);
 
 /// Navigation operator (Example 2.2's subtree scan): for every input
 /// tuple, scans the subtree of its `anchor` binding and emits one output
 /// tuple per element matching pattern node `target` (tag + predicate +
 /// axis). Output preserves the input's physical order. `nodes_visited`
 /// (optional) accumulates the scan effort.
-Result<TupleSet> NavigateOperator(const Database& db, const Pattern& pattern,
-                                  const TupleSet& input, PatternNodeId anchor,
-                                  PatternNodeId target, Axis axis,
-                                  uint64_t* nodes_visited = nullptr);
+Result<TupleSet> NavigateTuples(const Database& db, const Pattern& pattern,
+                                const TupleSet& input, PatternNodeId anchor,
+                                PatternNodeId target, Axis axis,
+                                uint64_t* nodes_visited = nullptr);
 
 }  // namespace sjos
 

@@ -52,6 +52,15 @@ class TupleSet {
   /// Used by the partitioned join to concatenate partition outputs.
   void AppendSet(const TupleSet& other);
 
+  /// Appends `nrows` rows stored flat (nrows * arity() NodeIds).
+  void AppendRows(const NodeId* rows, size_t nrows) {
+    data_.insert(data_.end(), rows, rows + nrows * arity());
+  }
+
+  /// Drops all rows, keeping the schema and ordering property. Batches in
+  /// the streaming engine are cleared and refilled between NextBatch calls.
+  void Clear() { data_.clear(); }
+
   void Reserve(size_t rows) { data_.reserve(rows * arity()); }
 
   /// Which slot the rows are sorted by (document order of that column);

@@ -13,8 +13,8 @@ std::string NodeLabel(const Pattern& pattern, PatternNodeId id) {
 }
 
 void PrintNode(const PhysicalPlan& plan, const Pattern& pattern,
-               const PlanProps* props, int index, int depth,
-               std::string* out) {
+               const PlanProps* props, const std::vector<OpStats>* op_stats,
+               int index, int depth, std::string* out) {
   const PlanNode& node = plan.At(index);
   out->append(static_cast<size_t>(depth) * 2, ' ');
   switch (node.op) {
@@ -42,10 +42,20 @@ void PrintNode(const PhysicalPlan& plan, const Pattern& pattern,
     *out += StrFormat("  [rows~%.0f cost~%.0f ordered-by %s]", op.est_rows,
                       op.est_cost, NodeLabel(pattern, op.ordered_by).c_str());
   }
+  if (op_stats != nullptr && static_cast<size_t>(index) < op_stats->size()) {
+    const OpStats& os = (*op_stats)[static_cast<size_t>(index)];
+    *out += StrFormat(
+        "  [rows=%llu batches=%llu time=%.3fms peak-live=%llu]",
+        static_cast<unsigned long long>(os.rows),
+        static_cast<unsigned long long>(os.batches), os.time_ms,
+        static_cast<unsigned long long>(os.peak_live_rows));
+  }
   *out += '\n';
-  if (node.left >= 0) PrintNode(plan, pattern, props, node.left, depth + 1, out);
+  if (node.left >= 0) {
+    PrintNode(plan, pattern, props, op_stats, node.left, depth + 1, out);
+  }
   if (node.right >= 0) {
-    PrintNode(plan, pattern, props, node.right, depth + 1, out);
+    PrintNode(plan, pattern, props, op_stats, node.right, depth + 1, out);
   }
 }
 
@@ -88,7 +98,7 @@ void SignatureOf(const PhysicalPlan& plan, const Pattern& pattern, int index,
 std::string PrintPlan(const PhysicalPlan& plan, const Pattern& pattern) {
   if (plan.Empty()) return "<empty plan>\n";
   std::string out;
-  PrintNode(plan, pattern, nullptr, plan.root(), 0, &out);
+  PrintNode(plan, pattern, nullptr, nullptr, plan.root(), 0, &out);
   return out;
 }
 
@@ -101,12 +111,20 @@ std::string PrintPlanWithEstimates(const PhysicalPlan& plan,
   std::string out;
   if (!props.ok()) {
     out = "<invalid plan: " + props.status().ToString() + ">\n";
-    PrintNode(plan, pattern, nullptr, plan.root(), 0, &out);
+    PrintNode(plan, pattern, nullptr, nullptr, plan.root(), 0, &out);
     return out;
   }
-  PrintNode(plan, pattern, &props.value(), plan.root(), 0, &out);
+  PrintNode(plan, pattern, &props.value(), nullptr, plan.root(), 0, &out);
   out += StrFormat("total modelled cost: %.1f%s\n", props.value().total_cost,
                    props.value().fully_pipelined ? " (fully pipelined)" : "");
+  return out;
+}
+
+std::string PrintPlanAnalyze(const PhysicalPlan& plan, const Pattern& pattern,
+                             const std::vector<OpStats>& op_stats) {
+  if (plan.Empty()) return "<empty plan>\n";
+  std::string out;
+  PrintNode(plan, pattern, nullptr, &op_stats, plan.root(), 0, &out);
   return out;
 }
 

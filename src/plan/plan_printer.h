@@ -6,8 +6,10 @@
 #define SJOS_PLAN_PLAN_PRINTER_H_
 
 #include <string>
+#include <vector>
 
 #include "estimate/composite.h"
+#include "exec/op_stats.h"
 #include "plan/cost_model.h"
 #include "plan/plan.h"
 #include "query/pattern.h"
@@ -23,6 +25,14 @@ std::string PrintPlanWithEstimates(const PhysicalPlan& plan,
                                    const Pattern& pattern,
                                    const PatternEstimates& estimates,
                                    const CostModel& cost_model);
+
+/// EXPLAIN ANALYZE: the plan tree annotated with the measured per-operator
+/// counters of one execution (ExecResult::op_stats, indexed by plan node):
+/// rows emitted, batches served, inclusive wall time, and the operator's
+/// own peak live rows. Blocking operators stand out by their peak
+/// (rows-sized for Sort, ~batch-sized for streaming nodes).
+std::string PrintPlanAnalyze(const PhysicalPlan& plan, const Pattern& pattern,
+                             const std::vector<OpStats>& op_stats);
 
 /// One-line summary: join order as a parenthesized expression, e.g.
 /// "((A STD B) STA (D STD E))". Useful in bench output tables.

@@ -1,12 +1,15 @@
 // Differential correctness: every optimizer in the paper's line-up, on
-// seeded random Pers and Mbench documents, must produce plans whose
+// seeded random Pers, DBLP and Mbench documents, must produce plans whose
 // executed result sets equal the NaiveMatch oracle — the end-to-end check
-// the per-optimizer unit tests don't provide. Runs each plan serially and
-// with the parallel execution layer, so the oracle also pins the threaded
-// paths.
+// the per-optimizer unit tests don't provide. Each plan runs on the
+// materializing engine (the reference), on the streaming engine at several
+// batch sizes, and with the parallel execution layer at 2 and 4 threads;
+// all executions must be byte-identical with identical stats counters, so
+// the oracle pins every engine and thread count at once.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,14 +20,42 @@
 #include "exec/naive_matcher.h"
 #include "query/workload.h"
 #include "storage/catalog.h"
+#include "xml/generators/dblp_gen.h"
 #include "xml/generators/mbench_gen.h"
 #include "xml/generators/pers_gen.h"
 
 namespace sjos {
 namespace {
 
+/// Asserts a and b are physically identical (not just set-equal).
+void ExpectIdenticalTuples(const TupleSet& a, const TupleSet& b) {
+  ASSERT_EQ(a.slots(), b.slots());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.ordered_by_slot(), b.ordered_by_slot());
+  if (a.size() == 0) return;
+  const size_t n = a.size() * a.arity();
+  EXPECT_TRUE(std::equal(a.Row(0), a.Row(0) + n, b.Row(0)))
+      << "tuple payload differs";
+}
+
+/// Every counter except wall_ms (timing) and peak_live_rows (an engine
+/// property, not a result property) must match across engines.
+void ExpectIdenticalCounters(const ExecStats& a, const ExecStats& b) {
+  EXPECT_EQ(a.result_rows, b.result_rows);
+  EXPECT_EQ(a.rows_scanned, b.rows_scanned);
+  EXPECT_EQ(a.rows_sorted, b.rows_sorted);
+  EXPECT_EQ(a.join_output_rows, b.join_output_rows);
+  EXPECT_EQ(a.element_pairs, b.element_pairs);
+  EXPECT_EQ(a.nodes_navigated, b.nodes_navigated);
+  EXPECT_EQ(a.num_sorts, b.num_sorts);
+  EXPECT_EQ(a.num_joins, b.num_joins);
+  EXPECT_EQ(a.num_navigates, b.num_navigates);
+}
+
 /// Runs all paper optimizers for every workload query of `dataset_name`
-/// against `db`, asserting each executed result equals the oracle.
+/// against `db`. The materializing engine's result is checked against the
+/// oracle, then every other engine configuration is checked byte-for-byte
+/// against that reference.
 void RunDifferential(const Database& db, const std::string& dataset_name) {
   PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
       db.doc(), db.index(), db.stats());
@@ -45,18 +76,40 @@ void RunDifferential(const Database& db, const std::string& dataset_name) {
       SCOPED_TRACE(optimizer->name());
       Result<OptimizeResult> optimized = optimizer->Optimize(ctx);
       ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+      const PhysicalPlan& plan = optimized.value().plan;
 
-      for (int threads : {1, 4}) {
+      // Reference: the pre-refactor one-shot materializing engine.
+      ExecOptions ref_options;
+      ref_options.force_materialize = true;
+      Executor ref_exec(db, ref_options);
+      Result<ExecResult> ref = ref_exec.Execute(pattern, plan);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      EXPECT_EQ(ref.value().tuples.Canonical(), expected);
+      EXPECT_EQ(ref.value().stats.result_rows, expected.size());
+
+      // Streaming engine, including degenerate one-row batches.
+      for (size_t batch_rows : {size_t{1}, size_t{3}, size_t{1024}}) {
+        SCOPED_TRACE("batch_rows=" + std::to_string(batch_rows));
+        ExecOptions options;
+        options.batch_rows = batch_rows;
+        Executor exec(db, options);
+        Result<ExecResult> result = exec.Execute(pattern, plan);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ExpectIdenticalTuples(ref.value().tuples, result.value().tuples);
+        ExpectIdenticalCounters(ref.value().stats, result.value().stats);
+      }
+
+      // Parallel leaf pre-pass + partitioned joins.
+      for (int threads : {2, 4}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
         ExecOptions options;
         options.num_threads = threads;
         options.parallel_min_join_rows = 0;  // partition even small inputs
         Executor exec(db, options);
-        Result<ExecResult> result =
-            exec.Execute(pattern, optimized.value().plan);
+        Result<ExecResult> result = exec.Execute(pattern, plan);
         ASSERT_TRUE(result.ok()) << result.status().ToString();
-        EXPECT_EQ(result.value().tuples.Canonical(), expected)
-            << "threads=" << threads;
-        EXPECT_EQ(result.value().stats.result_rows, expected.size());
+        ExpectIdenticalTuples(ref.value().tuples, result.value().tuples);
+        ExpectIdenticalCounters(ref.value().stats, result.value().stats);
       }
     }
   }
@@ -70,6 +123,17 @@ TEST(DifferentialTest, PersOptimizersMatchOracle) {
     config.seed = seed;
     Database db = Database::Open(GeneratePers(config).value());
     RunDifferential(db, "Pers");
+  }
+}
+
+TEST(DifferentialTest, DblpOptimizersMatchOracle) {
+  for (uint64_t seed : {11u, 59u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    DblpGenConfig config;
+    config.target_nodes = 1500;
+    config.seed = seed;
+    Database db = Database::Open(GenerateDblp(config).value());
+    RunDifferential(db, "DBLP");
   }
 }
 

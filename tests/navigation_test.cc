@@ -47,7 +47,7 @@ TEST(NavigateOperatorTest, ExtendsTuplesWithinSubtrees) {
   Pattern p = Pat("b[//c]");
   TupleSet input = ScanCandidates(db, p, 0);  // the two b elements
   uint64_t visited = 0;
-  TupleSet out = std::move(NavigateOperator(db, p, input, 0, 1,
+  TupleSet out = std::move(NavigateTuples(db, p, input, 0, 1,
                                             Axis::kDescendant, &visited))
                      .value();
   EXPECT_EQ(out.size(), 3u);  // 2 + 1 c's inside b subtrees; top-level c no
@@ -61,13 +61,13 @@ TEST(NavigateOperatorTest, ChildAxisAndPredicate) {
   Database db = Db("<a><b><c>x</c><d><c>y</c></d></b></a>");
   Pattern child_only = Pat("b[/c]");
   TupleSet b = ScanCandidates(db, child_only, 0);
-  TupleSet direct = std::move(NavigateOperator(db, child_only, b, 0, 1,
+  TupleSet direct = std::move(NavigateTuples(db, child_only, b, 0, 1,
                                                Axis::kChild, nullptr))
                         .value();
   EXPECT_EQ(direct.size(), 1u);  // only the c directly under b
 
   Pattern with_pred = Pat("b[//c='y']");
-  TupleSet pred = std::move(NavigateOperator(db, with_pred, b, 0, 1,
+  TupleSet pred = std::move(NavigateTuples(db, with_pred, b, 0, 1,
                                              Axis::kDescendant, nullptr))
                       .value();
   ASSERT_EQ(pred.size(), 1u);
@@ -78,9 +78,9 @@ TEST(NavigateOperatorTest, ErrorsOnBadSlots) {
   Database db = Db("<a><b/></a>");
   Pattern p = Pat("a[//b]");
   TupleSet a = ScanCandidates(db, p, 0);
-  EXPECT_FALSE(NavigateOperator(db, p, a, 1, 0, Axis::kDescendant).ok());
+  EXPECT_FALSE(NavigateTuples(db, p, a, 1, 0, Axis::kDescendant).ok());
   TupleSet both({0, 1});
-  EXPECT_FALSE(NavigateOperator(db, p, both, 0, 1, Axis::kDescendant).ok());
+  EXPECT_FALSE(NavigateTuples(db, p, both, 0, 1, Axis::kDescendant).ok());
 }
 
 TEST(NavigationMoveGenTest, JoinOnlySpaceWhenAllIndexed) {

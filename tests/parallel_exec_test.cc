@@ -152,14 +152,30 @@ TEST_F(ParallelExecutorTest, PlansDeterministicAcrossThreadCounts) {
   for (int i = 0; i < 6; ++i) {
     PhysicalPlan plan = std::move(RandomPlan(pattern, &rng)).value();
 
+    // Serial default = the streaming pipeline engine.
     ExecOptions serial_options;
     Executor serial_exec(*db_, serial_options);
     ExecResult serial =
         std::move(serial_exec.Execute(pattern, plan)).value();
     // The serial result is itself correct (oracle check), so byte equality
-    // below pins every thread count to the right answer.
+    // below pins every engine and thread count to the right answer.
     ASSERT_EQ(serial.tuples.Canonical(), expected) << "plan " << i;
 
+    // The one-shot materializing engine must agree byte-for-byte with the
+    // streaming pipeline on tuples and counters (not on peak_live_rows,
+    // which is the point of the streaming engine).
+    ExecOptions mat_options;
+    mat_options.force_materialize = true;
+    Executor mat_exec(*db_, mat_options);
+    ExecResult materialized =
+        std::move(mat_exec.Execute(pattern, plan)).value();
+    ExpectIdenticalTuples(serial.tuples, materialized.tuples);
+    ExpectIdenticalCounters(serial.stats, materialized.stats);
+
+    // Threaded runs share the materializing engine's pre-pass task set, so
+    // their deterministic peak_live_rows must agree with each other (the
+    // serial engines legitimately differ).
+    uint64_t threaded_peak = 0;
     for (int threads : {2, 4, 8}) {
       ExecOptions options;
       options.num_threads = threads;
@@ -169,6 +185,12 @@ TEST_F(ParallelExecutorTest, PlansDeterministicAcrossThreadCounts) {
       ExecResult result = std::move(exec.Execute(pattern, plan)).value();
       ExpectIdenticalTuples(serial.tuples, result.tuples);
       ExpectIdenticalCounters(serial.stats, result.stats);
+      if (threads == 2) {
+        threaded_peak = result.stats.peak_live_rows;
+      } else {
+        EXPECT_EQ(result.stats.peak_live_rows, threaded_peak)
+            << "threads=" << threads;
+      }
     }
   }
 }
@@ -189,6 +211,7 @@ TEST_F(ParallelExecutorTest, RepeatedParallelRunsAreStable) {
     ExecResult again = std::move(exec.Execute(pattern, plan)).value();
     ExpectIdenticalTuples(first.tuples, again.tuples);
     ExpectIdenticalCounters(first.stats, again.stats);
+    EXPECT_EQ(first.stats.peak_live_rows, again.stats.peak_live_rows);
   }
 }
 
