@@ -24,7 +24,8 @@ constexpr size_t kBadPlanSamples = 100;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report("table1", ParseJsonFlag(&argc, argv));
   std::printf(
       "Table 1: Query Optimization and Query Plan Evaluation Times (ms)\n"
       "Data sets at the paper's sizes: Mbench ~740K nodes, DBLP ~500K, "
@@ -55,11 +56,13 @@ int main() {
     for (const auto& optimizer :
          MakePaperOptimizers(query.pattern.NumEdges())) {
       Measurement m = MeasureOptimizer(env, optimizer.get());
+      report.Add(query.id, m);
       cells.push_back(Ms(m.opt_ms));
       cells.push_back(Ms(m.eval_ms));
     }
     Measurement bad =
         MeasureBadPlan(env, kBadPlanSamples, /*seed=*/777, kBadPlanRowBudget);
+    report.Add(query.id, bad);
     cells.push_back((bad.eval_capped ? ">" : "") + Ms(bad.eval_ms));
     PrintRow(widths, cells);
   }
@@ -81,5 +84,5 @@ int main() {
     std::printf("  %-14s FP : %s\n", "", m_fp.signature.c_str());
     std::printf("  %-14s LD : %s\n", "", m_ld.signature.c_str());
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

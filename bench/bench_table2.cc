@@ -14,7 +14,8 @@
 using namespace sjos;
 using namespace sjos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report("table2", ParseJsonFlag(&argc, argv));
   std::printf(
       "Table 2: Optimization Time and Number of Alternative Plans "
       "Considered, Query Q.Pers.3.d\n\n");
@@ -35,6 +36,7 @@ int main() {
   std::vector<Measurement> results;
   for (const auto& optimizer : optimizers) {
     results.push_back(MeasureOptimizer(env, optimizer.get()));
+    report.Add(query.id, results.back());
   }
 
   const std::vector<int> widths = {12, 8, 8, 8, 8, 8, 8};
@@ -58,5 +60,5 @@ int main() {
                 m.algo.c_str(), m.modelled_cost, Ms(m.eval_ms).c_str(),
                 m.signature.c_str());
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "exec/executor.h"
@@ -116,6 +117,83 @@ Measurement MeasureBadPlan(const QueryEnv& env, size_t samples, uint64_t seed,
   m.signature = PlanSignature(worst.value().plan, env.pattern());
   TimeExecution(env, worst.value().plan, eval_row_budget, &m, num_threads);
   return m;
+}
+
+std::string ParseJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string bench, std::string path)
+    : bench_(std::move(bench)), path_(std::move(path)) {}
+
+void JsonReport::Add(const std::string& query, const Measurement& m) {
+  if (!active()) return;
+  rows_.emplace_back(query, m);
+}
+
+bool JsonReport::Write() const {
+  if (!active()) return true;
+  std::string out = "{\n  \"bench\": ";
+  AppendJsonString(bench_, &out);
+  out += ",\n  \"results\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Measurement& m = rows_[i].second;
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"query\": ";
+    AppendJsonString(rows_[i].first, &out);
+    out += ", \"algo\": ";
+    AppendJsonString(m.algo, &out);
+    out += StrFormat(
+        ", \"opt_ms\": %.6f, \"eval_ms\": %.6f, \"out_rows\": %llu, "
+        "\"peak_live_rows\": %llu, \"plans_considered\": %llu, "
+        "\"modelled_cost\": %.6f, \"capped\": %s, \"signature\": ",
+        m.opt_ms, m.eval_ms, static_cast<unsigned long long>(m.result_rows),
+        static_cast<unsigned long long>(m.peak_live_rows),
+        static_cast<unsigned long long>(m.plans_considered), m.modelled_cost,
+        m.eval_capped ? "true" : "false");
+    AppendJsonString(m.signature, &out);
+    out += '}';
+  }
+  out += "\n  ],\n  \"metrics\": ";
+  out += MetricsRegistry::Global().Snapshot().ToJson();
+  out += "\n}\n";
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path_.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "bench: short write to %s\n", path_.c_str());
+  }
+  return ok;
 }
 
 int ParseThreadsFlag(int* argc, char** argv, int default_threads) {

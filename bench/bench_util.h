@@ -85,6 +85,30 @@ void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
 /// `default_threads` when the flag is absent.
 int ParseThreadsFlag(int* argc, char** argv, int default_threads = 1);
 
+/// Parses and strips a `--json <file>` / `--json=<file>` flag from argv.
+/// Returns the path, or empty when absent.
+std::string ParseJsonFlag(int* argc, char** argv);
+
+/// Accumulates per-query measurements and writes them as one JSON object
+/// ({"bench", "results": [...], "metrics": <registry snapshot>}) so the
+/// BENCH_*.json trajectory tooling can diff runs. Inactive (Add/Write are
+/// no-ops) when constructed with an empty path.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, std::string path);
+
+  bool active() const { return !path_.empty(); }
+  void Add(const std::string& query, const Measurement& m);
+  /// Writes the report file; returns false (with a note on stderr) when
+  /// the file cannot be written. No-op returning true when inactive.
+  bool Write() const;
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, Measurement>> rows_;
+};
+
 /// printf-style table output: pads `text` to `width` (right-aligned for
 /// numbers via FormatCell helpers).
 void PrintRule(const std::vector<int>& widths);

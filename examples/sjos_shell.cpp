@@ -21,7 +21,9 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "core/optimizer.h"
 #include "estimate/positional_histogram.h"
 #include "exec/executor.h"
@@ -77,6 +79,12 @@ class Shell {
       RunQuery(command, Rest(line, command));
     } else if (command == "xpath") {
       RunXPath(Rest(line, command));
+    } else if (command == "\\metrics") {
+      std::printf("%s", MetricsRegistry::Global().Snapshot()
+                            .ToPrometheus()
+                            .c_str());
+    } else if (command == "\\trace") {
+      Trace(words);
     } else {
       std::printf("unknown command '%s' — try 'help'\n", command.c_str());
     }
@@ -97,8 +105,36 @@ class Shell {
         "  xpath <xpath>       e.g. xpath //manager[.//employee]/name\n"
         "  twig <pattern>      holistic twig join, no optimizer\n"
         "  plan <pattern>      explain without executing\n"
+        "  \\metrics            dump the metrics registry (Prometheus text)\n"
+        "  \\trace on <file>    start recording a Chrome trace\n"
+        "  \\trace off          stop recording and flush the trace file\n"
         "  quit\n",
         optimizer_->name());
+  }
+
+  void Trace(std::istringstream* words) {
+    std::string verb;
+    *words >> verb;
+    if (verb == "on") {
+      std::string path;
+      *words >> path;
+      Status st = Tracer::Global().Start(path);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        return;
+      }
+      std::printf("tracing to %s — load the file at ui.perfetto.dev\n",
+                  path.c_str());
+    } else if (verb == "off") {
+      Status st = Tracer::Global().Stop();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        return;
+      }
+      std::printf("trace stopped\n");
+    } else {
+      std::printf("usage: \\trace on <file> | \\trace off\n");
+    }
   }
 
   void Generate(std::istringstream* words) {

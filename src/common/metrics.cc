@@ -1,0 +1,163 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace sjos {
+
+void Histogram::Observe(uint64_t value) {
+  const size_t bucket = value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kNumBuckets - 1) return std::numeric_limits<uint64_t>::max();
+  return (uint64_t{1} << i) - 1;
+}
+
+void Histogram::ResetForTest() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.count = histogram->Count();
+    data.sum = histogram->Sum();
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t c = histogram->BucketCount(i);
+      if (c > 0) {
+        data.buckets.emplace_back(Histogram::BucketUpperBound(i), c);
+      }
+    }
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTest();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
+  for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
+}
+
+namespace {
+
+std::string U64(uint64_t v) {
+  return StrFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  // Instrument names are identifier-like by convention, so no escaping is
+  // needed beyond quoting.
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + counters[i].first + "\":" + U64(counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + gauges[i].first + "\":" +
+           StrFormat("%lld", static_cast<long long>(gauges[i].second));
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramData& h = histograms[i];
+    if (i > 0) out += ',';
+    out += '"' + h.name + "\":{\"count\":" + U64(h.count) +
+           ",\"sum\":" + U64(h.sum) + ",\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ',';
+      out += "[" + U64(h.buckets[b].first) + "," + U64(h.buckets[b].second) +
+             "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + U64(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + StrFormat("%lld", static_cast<long long>(value)) +
+           "\n";
+  }
+  for (const HistogramData& h : histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [bound, count] : h.buckets) {
+      cumulative += count;
+      out += h.name + "_bucket{le=\"" + U64(bound) + "\"} " +
+             U64(cumulative) + "\n";
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} " + U64(h.count) + "\n";
+    out += h.name + "_sum " + U64(h.sum) + "\n";
+    out += h.name + "_count " + U64(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace sjos

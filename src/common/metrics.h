@@ -1,0 +1,128 @@
+// Process-wide metrics: counters, gauges, and log2-bucketed histograms
+// behind a thread-safe registry, snapshot-able and exportable as JSON and
+// Prometheus text. Instruments are created once (first GetX call) and live
+// for the registry's lifetime, so call sites cache the returned reference
+// and update it with a single relaxed atomic operation — cheap enough for
+// per-batch and per-task paths.
+//
+// Naming scheme (see DESIGN.md §7): `sjos_<area>_<noun>[_total|_us|_rows]`
+// with `_total` for monotonic counters, histograms named after the
+// observed quantity. Reset() zeroes values but never destroys instruments,
+// so cached references stay valid across test cases.
+
+#ifndef SJOS_COMMON_METRICS_H_
+#define SJOS_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sjos {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed value (queue depths, in-flight work).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Sub(int64_t delta) {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram over uint64 observations: bucket 0 counts the
+/// value 0 and bucket i (i >= 1) counts values in [2^(i-1), 2^i). 65
+/// buckets cover the whole uint64 range; count and sum are tracked too.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  void Observe(uint64_t value);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (UINT64_MAX for the last bucket).
+  static uint64_t BucketUpperBound(size_t i);
+  void ResetForTest();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered instrument.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /// Non-empty buckets only, as (inclusive upper bound, count) pairs in
+    /// ascending bound order.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramData> histograms;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+  /// Prometheus text exposition format (counters, gauges, and cumulative
+  /// histogram buckets with `le` labels).
+  std::string ToPrometheus() const;
+};
+
+/// Thread-safe instrument registry. Use Global() for process metrics;
+/// separate instances exist only for registry-level tests.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the named instrument. The reference stays valid (and
+  /// keeps its identity) for the registry's lifetime — cache it.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument without destroying it.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_COMMON_METRICS_H_

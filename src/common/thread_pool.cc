@@ -2,11 +2,19 @@
 
 #include <exception>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace sjos {
 
-ThreadPool::ThreadPool(size_t num_workers) {
+ThreadPool::ThreadPool(size_t num_workers)
+    : tasks_submitted_(&MetricsRegistry::Global().GetCounter(
+          "sjos_threadpool_tasks_submitted_total")),
+      tasks_run_(&MetricsRegistry::Global().GetCounter(
+          "sjos_threadpool_tasks_run_total")),
+      queue_depth_(&MetricsRegistry::Global().GetGauge(
+          "sjos_threadpool_queue_depth")) {
   if (num_workers == 0) num_workers = 1;
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
@@ -29,6 +37,8 @@ void ThreadPool::Submit(std::function<Status()> task) {
     queue_.push_back(PendingTask{next_seq_++, std::move(task)});
     ++in_flight_;
   }
+  tasks_submitted_->Add(1);
+  queue_depth_->Add(1);
   task_cv_.notify_one();
 }
 
@@ -52,8 +62,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_->Sub(1);
+    tasks_run_->Add(1);
     Status status;
     try {
+      TraceSpan span("pool.task");
       status = task.fn();
     } catch (const std::exception& e) {
       status = Status::Internal(StrFormat("task threw: %s", e.what()));

@@ -20,6 +20,9 @@
 
 namespace sjos {
 
+class Counter;
+class Gauge;
+
 /// Fixed worker count, FIFO queue, batch-synchronous usage:
 ///
 ///   ThreadPool pool(4);
@@ -68,6 +71,13 @@ class ThreadPool {
   Status first_error_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  // Process metrics (owned by MetricsRegistry::Global(), cached here):
+  // sjos_threadpool_tasks_{submitted,run}_total and the instantaneous
+  // sjos_threadpool_queue_depth across all pools.
+  Counter* tasks_submitted_;
+  Counter* tasks_run_;
+  Gauge* queue_depth_;
 };
 
 }  // namespace sjos

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/move_gen.h"
 #include "core/opt_status.h"
 #include "core/optimizer.h"
@@ -23,6 +24,7 @@ class DpOptimizer : public Optimizer {
   const char* name() const override { return "DP"; }
 
   Result<OptimizeResult> Optimize(const OptimizeContext& ctx) override {
+    TraceSpan span("optimize:", name());
     Timer timer;
     SJOS_RETURN_IF_ERROR(ctx.pattern->Validate());
     if (ctx.pattern->NumNodes() > kMaxPatternNodes) {
@@ -46,26 +48,29 @@ class DpOptimizer : public Optimizer {
     ++stats.statuses_generated;
 
     std::vector<Move> moves;
-    for (size_t lv = 0; lv < num_edges; ++lv) {
-      std::unordered_map<StatusKey, size_t, StatusKeyHash> index;
-      for (size_t i = 0; i < levels[lv].size(); ++i) {
-        const Entry& entry = levels[lv][i];
-        moves.clear();
-        stats.plans_considered += gen.Enumerate(entry.status, {}, &moves);
-        ++stats.statuses_expanded;
-        for (const Move& move : moves) {
-          OptStatus next = gen.Apply(entry.status, move);
-          const double cost = entry.cost + move.cost;
-          ++stats.statuses_generated;
-          StatusKey key = next.Key();
-          auto it = index.find(key);
-          if (it == index.end()) {
-            index.emplace(key, levels[lv + 1].size());
-            levels[lv + 1].push_back(
-                Entry{next, cost, static_cast<int>(i), move});
-          } else if (cost < levels[lv + 1][it->second].cost) {
-            levels[lv + 1][it->second] =
-                Entry{next, cost, static_cast<int>(i), move};
+    {
+      TraceSpan search_span("optimize.search:", name());
+      for (size_t lv = 0; lv < num_edges; ++lv) {
+        std::unordered_map<StatusKey, size_t, StatusKeyHash> index;
+        for (size_t i = 0; i < levels[lv].size(); ++i) {
+          const Entry& entry = levels[lv][i];
+          moves.clear();
+          stats.plans_considered += gen.Enumerate(entry.status, {}, &moves);
+          ++stats.statuses_expanded;
+          for (const Move& move : moves) {
+            OptStatus next = gen.Apply(entry.status, move);
+            const double cost = entry.cost + move.cost;
+            ++stats.statuses_generated;
+            StatusKey key = next.Key();
+            auto it = index.find(key);
+            if (it == index.end()) {
+              index.emplace(key, levels[lv + 1].size());
+              levels[lv + 1].push_back(
+                  Entry{next, cost, static_cast<int>(i), move});
+            } else if (cost < levels[lv + 1][it->second].cost) {
+              levels[lv + 1][it->second] =
+                  Entry{next, cost, static_cast<int>(i), move};
+            }
           }
         }
       }
@@ -101,6 +106,7 @@ class DpOptimizer : public Optimizer {
     if (!result.ok()) return result;
     result.value().stats = stats;
     result.value().stats.opt_time_ms = timer.ElapsedMs();
+    RecordOptimizerMetrics(result.value().stats);
     return result;
   }
 };

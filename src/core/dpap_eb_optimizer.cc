@@ -5,6 +5,7 @@
 // per-level expansion keeps the cheap ones and discards the tail.
 
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "core/best_first.h"
 
 namespace sjos {
@@ -23,6 +24,7 @@ class DpapEbOptimizer : public Optimizer {
   uint32_t expansion_bound() const { return expansion_bound_; }
 
   Result<OptimizeResult> Optimize(const OptimizeContext& ctx) override {
+    TraceSpan span("optimize:", name());
     BestFirstOptions options;
     options.lookahead = true;
     options.expansion_bound = expansion_bound_;

@@ -4,6 +4,7 @@
 // candidate list. The paper's experiments show this heuristic, unlike in
 // the relational world, misses the optimum badly on larger data sets.
 
+#include "common/trace.h"
 #include "core/best_first.h"
 
 namespace sjos {
@@ -15,6 +16,7 @@ class DpapLdOptimizer : public Optimizer {
   const char* name() const override { return "DPAP-LD"; }
 
   Result<OptimizeResult> Optimize(const OptimizeContext& ctx) override {
+    TraceSpan span("optimize:", name());
     BestFirstOptions options;
     options.lookahead = true;
     options.left_deep_only = true;

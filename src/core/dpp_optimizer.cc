@@ -6,6 +6,7 @@
 
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/best_first.h"
 #include "core/move_gen.h"
 #include "core/opt_status.h"
@@ -70,6 +71,8 @@ Result<OptimizeResult> BestFirstOptimize(const OptimizeContext& ctx,
   ++stats.statuses_generated;
 
   std::vector<Move> moves;
+  const bool tracing = Tracer::Global().enabled();
+  const int64_t search_start_us = tracing ? Tracer::Global().NowMicros() : 0;
   while (!queue.empty()) {
     const QueueEntry top = queue.top();
     queue.pop();
@@ -135,6 +138,12 @@ Result<OptimizeResult> BestFirstOptimize(const OptimizeContext& ctx,
     }
   }
 
+  if (tracing && Tracer::Global().enabled()) {
+    Tracer::Global().RecordSpan(
+        "optimize.search:best-first", nullptr, search_start_us,
+        Tracer::Global().NowMicros() - search_start_us);
+  }
+
   if (best_final < 0) {
     return Status::NotFound(StrFormat(
         "no complete plan found in the restricted search space (bound=%u, "
@@ -154,6 +163,7 @@ Result<OptimizeResult> BestFirstOptimize(const OptimizeContext& ctx,
   if (!result.ok()) return result;
   result.value().stats = stats;
   result.value().stats.opt_time_ms = timer.ElapsedMs();
+  RecordOptimizerMetrics(result.value().stats);
   return result;
 }
 
@@ -170,6 +180,7 @@ class DppOptimizer : public Optimizer {
   }
 
   Result<OptimizeResult> Optimize(const OptimizeContext& ctx) override {
+    TraceSpan span("optimize:", name());
     BestFirstOptions options;
     options.lookahead = lookahead_;
     options.navigation_everywhere = navigation_everywhere_;

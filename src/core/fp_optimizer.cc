@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/opt_status.h"
 #include "core/optimizer.h"
 #include "plan/plan_props.h"
@@ -32,6 +33,7 @@ class FpOptimizer : public Optimizer {
   const char* name() const override { return "FP"; }
 
   Result<OptimizeResult> Optimize(const OptimizeContext& ctx) override {
+    TraceSpan span("optimize:", name());
     Timer timer;
     SJOS_RETURN_IF_ERROR(ctx.pattern->Validate());
     if (ctx.pattern->NumNodes() > kMaxPatternNodes) {
@@ -85,8 +87,10 @@ class FpOptimizer : public Optimizer {
     if (!props.ok()) return props.status();
     SJOS_CHECK(props.value().fully_pipelined, "FP produced a blocking plan");
     result.modelled_cost = props.value().total_cost;
+    AnnotatePlanEstimates(&result.plan, props.value());
     result.stats = stats_;
     result.stats.opt_time_ms = timer.ElapsedMs();
+    RecordOptimizerMetrics(result.stats);
     return result;
   }
 

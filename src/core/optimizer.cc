@@ -1,8 +1,26 @@
 #include "core/optimizer.h"
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 
 namespace sjos {
+
+void RecordOptimizerMetrics(const OptimizerStats& stats) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter& runs = registry.GetCounter("sjos_opt_runs_total");
+  static Counter& plans =
+      registry.GetCounter("sjos_opt_plans_considered_total");
+  static Counter& generated =
+      registry.GetCounter("sjos_opt_statuses_generated_total");
+  static Counter& expanded =
+      registry.GetCounter("sjos_opt_statuses_expanded_total");
+  static Histogram& time_us = registry.GetHistogram("sjos_opt_time_us");
+  runs.Add(1);
+  plans.Add(stats.plans_considered);
+  generated.Add(stats.statuses_generated);
+  expanded.Add(stats.statuses_expanded);
+  time_us.Observe(static_cast<uint64_t>(stats.opt_time_ms * 1000.0));
+}
 
 std::string OptimizerStats::ToString() const {
   return StrFormat(

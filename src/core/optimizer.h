@@ -35,6 +35,12 @@ struct OptimizerStats {
   std::string ToString() const;
 };
 
+/// Publishes one run's statistics to the global MetricsRegistry
+/// (sjos_opt_runs_total, plans-considered/statuses counters, and the
+/// sjos_opt_time_us histogram). Every algorithm calls it once per
+/// successful Optimize.
+void RecordOptimizerMetrics(const OptimizerStats& stats);
+
 /// The outcome of one optimization.
 struct OptimizeResult {
   PhysicalPlan plan;

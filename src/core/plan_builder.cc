@@ -1,5 +1,8 @@
 #include "core/plan_builder.h"
 
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "plan/plan_props.h"
 
 namespace sjos {
@@ -8,6 +11,8 @@ Result<OptimizeResult> BuildResultFromMoves(const OptimizeContext& ctx,
                                             const MoveGenerator& gen,
                                             const std::vector<Move>& moves,
                                             double search_cost) {
+  TraceSpan span("optimize.build_plan");
+  Timer build_timer;
   const Pattern& pattern = *ctx.pattern;
   if (moves.size() != pattern.NumEdges()) {
     return Status::Internal("move sequence does not cover all pattern edges");
@@ -105,6 +110,13 @@ Result<OptimizeResult> BuildResultFromMoves(const OptimizeContext& ctx,
                                              *ctx.estimates, *ctx.cost_model);
   if (!props.ok()) return props.status();
   result.modelled_cost = props.value().total_cost;
+  AnnotatePlanEstimates(&result.plan, props.value());
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter& built = registry.GetCounter("sjos_opt_plans_built_total");
+  static Histogram& build_us =
+      registry.GetHistogram("sjos_opt_build_plan_us");
+  built.Add(1);
+  build_us.Observe(static_cast<uint64_t>(build_timer.ElapsedMicros()));
   return result;
 }
 

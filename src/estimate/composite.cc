@@ -1,5 +1,7 @@
 #include "estimate/composite.h"
 
+#include "common/metrics.h"
+
 namespace sjos {
 
 Result<PatternEstimates> PatternEstimates::Make(
@@ -47,6 +49,9 @@ Result<PatternEstimates> PatternEstimates::Make(
 }
 
 double PatternEstimates::ClusterCard(NodeMask mask) const {
+  static Counter& calls = MetricsRegistry::Global().GetCounter(
+      "sjos_est_cluster_card_calls_total");
+  calls.Add(1);
   auto it = cluster_memo_.find(mask);
   if (it != cluster_memo_.end()) return it->second;
   double card = 1.0;

@@ -1,14 +1,19 @@
 #include "exec/executor.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "exec/operator.h"
 #include "exec/operators.h"
 #include "exec/stack_tree.h"
+#include "plan/plan_props.h"
 
 namespace sjos {
 
@@ -23,6 +28,61 @@ void FillOp(std::vector<OpStats>* op_stats, int index, uint64_t rows,
   os.peak_live_rows = rows;
 }
 
+void ObserveSortSpill(uint64_t rows) {
+  static Histogram& spill = MetricsRegistry::Global().GetHistogram(
+      "sjos_exec_sort_spill_rows");
+  spill.Observe(rows);
+}
+
+/// Worst q-error over the plan's annotated joins; the actual is the join's
+/// measured output rows (identical across engines and thread counts), so
+/// the figure is too. 0 when no join carries an estimate.
+double ComputeMaxQError(const PhysicalPlan& plan,
+                        const std::vector<OpStats>& op_stats) {
+  double max_q = 0.0;
+  for (size_t i = 0; i < plan.NumOps(); ++i) {
+    const PlanNode& node = plan.At(static_cast<int>(i));
+    if (node.op != PlanOp::kStackTreeAnc &&
+        node.op != PlanOp::kStackTreeDesc) {
+      continue;
+    }
+    if (node.est_rows < 0.0) continue;
+    max_q = std::max(
+        max_q, QError(node.est_rows, static_cast<double>(op_stats[i].rows)));
+  }
+  return max_q;
+}
+
+void RecordExecutionMetrics(const ExecStats& stats,
+                            const std::vector<OpStats>& op_stats) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter& queries = registry.GetCounter("sjos_exec_queries_total");
+  static Counter& result_rows =
+      registry.GetCounter("sjos_exec_result_rows_total");
+  static Counter& batches = registry.GetCounter("sjos_exec_batches_total");
+  static Counter& op_rows =
+      registry.GetCounter("sjos_exec_operator_rows_total");
+  static Histogram& peak =
+      registry.GetHistogram("sjos_exec_peak_live_rows");
+  static Histogram& q_error =
+      registry.GetHistogram("sjos_exec_max_q_error_milli");
+  queries.Add(1);
+  result_rows.Add(stats.result_rows);
+  uint64_t total_batches = 0;
+  uint64_t total_rows = 0;
+  for (const OpStats& os : op_stats) {
+    total_batches += os.batches;
+    total_rows += os.rows;
+  }
+  batches.Add(total_batches);
+  op_rows.Add(total_rows);
+  peak.Observe(stats.peak_live_rows);
+  if (stats.max_q_error > 0.0) {
+    q_error.Observe(
+        static_cast<uint64_t>(std::llround(stats.max_q_error * 1000.0)));
+  }
+}
+
 }  // namespace
 
 Executor::Executor(const Database& db, ExecOptions options)
@@ -31,9 +91,14 @@ Executor::Executor(const Database& db, ExecOptions options)
     pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(options_.num_threads));
   }
+  if (!options_.trace_path.empty() && !Tracer::Global().enabled()) {
+    owns_trace_ = Tracer::Global().Start(options_.trace_path).ok();
+  }
 }
 
-Executor::~Executor() = default;
+Executor::~Executor() {
+  if (owns_trace_) (void)Tracer::Global().Stop();
+}
 
 size_t Executor::ResolveBatchRows() const {
   if (options_.batch_rows > 0) return options_.batch_rows;
@@ -115,6 +180,7 @@ Status Executor::PrecomputeLeaves(const Pattern& pattern,
       SJOS_RETURN_IF_ERROR(SortTuples(&set, node.sort_by));
       local->rows_sorted += set.size();
       ++local->num_sorts;
+      ObserveSortSpill(set.size());
       FillOp(op_stats, index, set.size(), timer.ElapsedMs());
       leaf_cache_[static_cast<size_t>(index)] = std::move(set);
       return Status::OK();
@@ -146,6 +212,7 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
     return cached;
   }
   const PlanNode& node = plan.At(index);
+  TraceSpan span("eval:", PlanOpName(node.op));
   Timer timer;
   switch (node.op) {
     case PlanOp::kIndexScan: {
@@ -163,6 +230,7 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
       SJOS_RETURN_IF_ERROR(SortTuples(&set, node.sort_by));
       stats->rows_sorted += set.size();
       ++stats->num_sorts;
+      ObserveSortSpill(set.size());
       FillOp(op_stats, index, set.size(), timer.ElapsedMs());
       return set;
     }
@@ -231,16 +299,19 @@ Status Executor::RunPipeline(const PhysicalPlan& plan, ExecContext* ctx,
     if (batch.size() > 0) SJOS_RETURN_IF_ERROR(sink(batch));
   }
   ctx->SubLive(batch.size());
+  TraceSpan close_span("Close:", root->Name());
   return root->Close();
 }
 
 Result<ExecResult> Executor::Execute(const Pattern& pattern,
                                      const PhysicalPlan& plan) {
   if (plan.Empty()) return Status::InvalidArgument("empty plan");
+  const bool streaming = pool_ == nullptr && !options_.force_materialize;
+  TraceSpan span(streaming ? "execute.streaming" : "execute.materialize");
   ExecResult result;
   result.op_stats.assign(plan.NumOps(), OpStats{});
   Timer timer;
-  if (pool_ == nullptr && !options_.force_materialize) {
+  if (streaming) {
     // Serial execution runs the streaming pipeline; accumulated result
     // rows count as live, so the peak is honest about total residency.
     ExecContext ctx;
@@ -277,6 +348,8 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
   }
   result.stats.wall_ms = timer.ElapsedMs();
   result.stats.result_rows = result.tuples.size();
+  result.stats.max_q_error = ComputeMaxQError(plan, result.op_stats);
+  RecordExecutionMetrics(result.stats, result.op_stats);
   return result;
 }
 
@@ -285,6 +358,7 @@ Result<ExecStats> Executor::ExecuteStreaming(const Pattern& pattern,
                                              const BatchSink& sink,
                                              std::vector<OpStats>* op_stats) {
   if (plan.Empty()) return Status::InvalidArgument("empty plan");
+  TraceSpan span("execute.streaming");
   ExecStats stats;
   std::vector<OpStats> local_ops;
   std::vector<OpStats>* ops = op_stats != nullptr ? op_stats : &local_ops;
@@ -307,6 +381,8 @@ Result<ExecStats> Executor::ExecuteStreaming(const Pattern& pattern,
   stats.peak_live_rows = ctx.peak_live_rows;
   stats.wall_ms = timer.ElapsedMs();
   stats.result_rows = delivered;
+  stats.max_q_error = ComputeMaxQError(plan, *ops);
+  RecordExecutionMetrics(stats, *ops);
   return stats;
 }
 

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -54,6 +55,11 @@ struct ExecStats {
   /// O(batch × depth) + result size; the materializing engine counts every
   /// live TupleSet, merged deterministically under parallelism.
   uint64_t peak_live_rows = 0;
+  /// Worst q-error (max(est/act, act/est), clamped finite — see QError)
+  /// over the plan's annotated join nodes; 0 when the plan carries no
+  /// estimates. Depends only on the plan and its join output counters, so
+  /// it is identical across engines and thread counts.
+  double max_q_error = 0.0;
 };
 
 /// A finished execution: the result bindings plus counters.
@@ -93,6 +99,12 @@ struct ExecOptions {
   /// (the streaming pipeline is the serial default). The differential
   /// tests use it as the reference path.
   bool force_materialize = false;
+
+  /// When non-empty, the executor starts a global trace session (see
+  /// common/trace.h) writing to this path, flushed when the executor is
+  /// destroyed. Ignored if a session (e.g. from SJOS_TRACE) is already
+  /// active — that session keeps collecting the spans instead.
+  std::string trace_path;
 };
 
 /// Executes plans against one database.
@@ -155,6 +167,7 @@ class Executor {
   std::unique_ptr<ThreadPool> pool_;  // null when options_.num_threads <= 1
   std::vector<std::optional<TupleSet>> leaf_cache_;  // per Execute() call
   uint64_t mat_cur_live_ = 0;  // materializing engine's live-row counter
+  bool owns_trace_ = false;    // this executor started the trace session
 };
 
 }  // namespace sjos

@@ -9,8 +9,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "exec/executor.h"
 
 namespace sjos {
@@ -59,6 +61,7 @@ TupleSet Operator::MakeBatch() const {
 }
 
 Status Operator::OpenTimed(Operator* op) {
+  TraceSpan span("Open:", op->Name());
   Timer t;
   Status st = op->Open();
   op->op_stats().time_ms += t.ElapsedMs();
@@ -66,6 +69,7 @@ Status Operator::OpenTimed(Operator* op) {
 }
 
 Status Operator::PullTimed(Operator* op, TupleSet* out, bool* eos) {
+  TraceSpan span("NextBatch:", op->Name());
   out->Clear();
   Timer t;
   Status st = op->NextBatch(out, eos);
@@ -159,6 +163,9 @@ Status SortOperator::Open() {
     OwnAdd(batch.size());
   }
   buffer_.SortBySlot(sort_slot_);
+  static Histogram& spill = MetricsRegistry::Global().GetHistogram(
+      "sjos_exec_sort_spill_rows");
+  spill.Observe(buffer_.size());
   ctx_->stats->rows_sorted += buffer_.size();
   ++ctx_->stats->num_sorts;
   emit_row_ = 0;

@@ -83,6 +83,9 @@ class Operator {
   /// carrying this operator's schema) and sets `*eos` when exhausted.
   virtual Status NextBatch(TupleSet* out, bool* eos) = 0;
   virtual Status Close() = 0;
+  /// Static operator name used as the trace-span suffix ("IndexScan",
+  /// "Sort", "Navigate", "StackTreeAnc", "StackTreeDesc").
+  virtual const char* Name() const = 0;
 
   const std::vector<PatternNodeId>& slots() const { return slots_; }
   size_t arity() const { return slots_.size(); }
@@ -128,6 +131,7 @@ class ScanOperator : public Operator {
   Status Open() override;
   Status NextBatch(TupleSet* out, bool* eos) override;
   Status Close() override;
+  const char* Name() const override { return "IndexScan"; }
 
  private:
   PatternNodeId node_;
@@ -149,6 +153,7 @@ class SortOperator : public Operator {
   Status Open() override;
   Status NextBatch(TupleSet* out, bool* eos) override;
   Status Close() override;
+  const char* Name() const override { return "Sort"; }
 
  private:
   size_t sort_slot_;
@@ -168,6 +173,7 @@ class NavigateOperator : public Operator {
   Status Open() override;
   Status NextBatch(TupleSet* out, bool* eos) override;
   Status Close() override;
+  const char* Name() const override { return "Navigate"; }
 
  private:
   PatternNodeId target_;
@@ -206,6 +212,9 @@ class StackTreeJoinBase : public Operator {
   Status Open() override;
   Status NextBatch(TupleSet* out, bool* eos) override;
   Status Close() override;
+  const char* Name() const override {
+    return by_ancestor_ ? "StackTreeAnc" : "StackTreeDesc";
+  }
 
  private:
   /// A run of input rows sharing one join element, rows stored flat.

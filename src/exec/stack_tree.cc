@@ -4,7 +4,9 @@
 #include <atomic>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace sjos {
 
@@ -342,6 +344,13 @@ Result<TupleSet> StackTreeJoinParallel(
     return out;
   }
 
+  static Counter& parallel_joins = MetricsRegistry::Global().GetCounter(
+      "sjos_exec_parallel_joins_total");
+  static Histogram& partitions = MetricsRegistry::Global().GetHistogram(
+      "sjos_exec_join_partitions");
+  parallel_joins.Add(1);
+  partitions.Observe(parts.size());
+
   // Partitions join independently: no ancestor interval spans a cut, and
   // each partition's descendant range is disjoint from every other's, so
   // concatenating the partition outputs in partition (= document) order
@@ -353,6 +362,7 @@ Result<TupleSet> StackTreeJoinParallel(
     part_out[p] =
         MakeOutputSet(anc, anc_slot, desc, desc_slot, output_by_ancestor);
     pool->Submit([&, p]() -> Status {
+      TraceSpan span("join.partition");
       const JoinPartition& part = parts[p];
       // Each worker enforces the full global budget locally (a partition
       // alone may exceed it); the post-merge sum check below catches the

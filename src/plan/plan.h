@@ -59,6 +59,12 @@ struct PlanNode {
   // `left`, joins have both.
   int left = -1;
   int right = -1;
+
+  // Optimizer-estimated output rows, annotated after plan construction
+  // (AnnotatePlanEstimates); < 0 means not annotated. Execution compares
+  // it against measured rows (EXPLAIN ANALYZE's q-error column and
+  // ExecStats::max_q_error).
+  double est_rows = -1.0;
 };
 
 /// A complete (or partial) physical plan.
@@ -78,6 +84,10 @@ class PhysicalPlan {
 
   size_t NumOps() const { return nodes_.size(); }
   const PlanNode& At(int i) const { return nodes_[static_cast<size_t>(i)]; }
+
+  void SetEstRows(int i, double est_rows) {
+    nodes_[static_cast<size_t>(i)].est_rows = est_rows;
+  }
 
   bool Empty() const { return nodes_.empty() || root_ < 0; }
 

@@ -44,11 +44,28 @@ void PrintNode(const PhysicalPlan& plan, const Pattern& pattern,
   }
   if (op_stats != nullptr && static_cast<size_t>(index) < op_stats->size()) {
     const OpStats& os = (*op_stats)[static_cast<size_t>(index)];
+    // A node that never opened (batches == 0) has no meaningful average;
+    // print `-` rather than dividing by zero.
+    std::string avg = os.batches == 0
+                          ? "-"
+                          : StrFormat("%.1f", static_cast<double>(os.rows) /
+                                                  static_cast<double>(os.batches));
     *out += StrFormat(
-        "  [rows=%llu batches=%llu time=%.3fms peak-live=%llu]",
+        "  [rows=%llu batches=%llu avg=%s time=%.3fms peak-live=%llu",
         static_cast<unsigned long long>(os.rows),
-        static_cast<unsigned long long>(os.batches), os.time_ms,
+        static_cast<unsigned long long>(os.batches), avg.c_str(), os.time_ms,
         static_cast<unsigned long long>(os.peak_live_rows));
+    const bool is_join = node.op == PlanOp::kStackTreeAnc ||
+                         node.op == PlanOp::kStackTreeDesc;
+    if (is_join && node.est_rows >= 0.0) {
+      if (os.batches == 0) {
+        *out += StrFormat(" est=%.0f q=-", node.est_rows);
+      } else {
+        *out += StrFormat(" est=%.0f q=%.2f", node.est_rows,
+                          QError(node.est_rows, static_cast<double>(os.rows)));
+      }
+    }
+    *out += ']';
   }
   *out += '\n';
   if (node.left >= 0) {
@@ -125,6 +142,22 @@ std::string PrintPlanAnalyze(const PhysicalPlan& plan, const Pattern& pattern,
   if (plan.Empty()) return "<empty plan>\n";
   std::string out;
   PrintNode(plan, pattern, nullptr, &op_stats, plan.root(), 0, &out);
+  // Estimator-accuracy summary over the annotated joins that executed.
+  double max_q = 0.0;
+  for (size_t i = 0; i < plan.NumOps(); ++i) {
+    const PlanNode& node = plan.At(static_cast<int>(i));
+    if (node.op != PlanOp::kStackTreeAnc && node.op != PlanOp::kStackTreeDesc) {
+      continue;
+    }
+    if (node.est_rows < 0.0 || i >= op_stats.size() ||
+        op_stats[i].batches == 0) {
+      continue;
+    }
+    const double q =
+        QError(node.est_rows, static_cast<double>(op_stats[i].rows));
+    if (q > max_q) max_q = q;
+  }
+  if (max_q > 0.0) out += StrFormat("max join q-error: %.2f\n", max_q);
   return out;
 }
 

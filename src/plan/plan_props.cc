@@ -227,4 +227,16 @@ Result<PlanProps> ComputePlanProps(const PhysicalPlan& plan,
   return Walk(plan, pattern, &estimates, &cost_model);
 }
 
+void AnnotatePlanEstimates(PhysicalPlan* plan, const PlanProps& props) {
+  for (size_t i = 0; i < plan->NumOps(); ++i) {
+    plan->SetEstRows(static_cast<int>(i), props.ops[i].est_rows);
+  }
+}
+
+double QError(double est_rows, double actual_rows) {
+  const double est = est_rows < 1.0 ? 1.0 : est_rows;
+  const double act = actual_rows < 1.0 ? 1.0 : actual_rows;
+  return est > act ? est / act : act / est;
+}
+
 }  // namespace sjos

@@ -49,6 +49,16 @@ Result<PlanProps> ComputePlanProps(const PhysicalPlan& plan,
                                    const PatternEstimates& estimates,
                                    const CostModel& cost_model);
 
+/// Copies each operator's estimated output rows from `props` into the plan
+/// nodes (PlanNode::est_rows), closing the estimate-vs-actual loop: the
+/// executor compares the annotations against measured rows.
+void AnnotatePlanEstimates(PhysicalPlan* plan, const PlanProps& props);
+
+/// q-error of a cardinality estimate: max(est/act, act/est) with both
+/// sides clamped to >= 1 row, so the result is always finite and >= 1
+/// (an estimate of 0 for an empty actual is a perfect 1.0).
+double QError(double est_rows, double actual_rows);
+
 }  // namespace sjos
 
 #endif  // SJOS_PLAN_PLAN_PROPS_H_

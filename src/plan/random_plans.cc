@@ -86,6 +86,7 @@ Result<WorstPlanResult> WorstOfRandomPlans(const Pattern& pattern,
     if (!props.ok()) return props.status();
     if (!have || props.value().total_cost > worst.modelled_cost) {
       worst.plan = std::move(plan).value();
+      AnnotatePlanEstimates(&worst.plan, props.value());
       worst.modelled_cost = props.value().total_cost;
       have = true;
     }

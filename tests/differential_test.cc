@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "estimate/positional_histogram.h"
 #include "exec/executor.h"
 #include "exec/naive_matcher.h"
+#include "plan/plan_props.h"
 #include "query/workload.h"
 #include "storage/catalog.h"
 #include "xml/generators/dblp_gen.h"
@@ -50,6 +52,28 @@ void ExpectIdenticalCounters(const ExecStats& a, const ExecStats& b) {
   EXPECT_EQ(a.num_sorts, b.num_sorts);
   EXPECT_EQ(a.num_joins, b.num_joins);
   EXPECT_EQ(a.num_navigates, b.num_navigates);
+  // The estimator-accuracy figure depends only on the plan annotations and
+  // join output counters, so it too is engine- and thread-count-invariant.
+  EXPECT_DOUBLE_EQ(a.max_q_error, b.max_q_error);
+}
+
+/// Every join node of an optimizer-produced plan must carry a cardinality
+/// estimate, and comparing it against the measured rows must give a
+/// finite q-error >= 1.
+void ExpectJoinEstimatesAnnotated(const PhysicalPlan& plan,
+                                  const std::vector<OpStats>& op_stats) {
+  for (size_t i = 0; i < plan.NumOps(); ++i) {
+    const PlanNode& node = plan.At(static_cast<int>(i));
+    if (node.op != PlanOp::kStackTreeAnc &&
+        node.op != PlanOp::kStackTreeDesc) {
+      continue;
+    }
+    EXPECT_GE(node.est_rows, 0.0) << "join node " << i << " not annotated";
+    const double q =
+        QError(node.est_rows, static_cast<double>(op_stats[i].rows));
+    EXPECT_TRUE(std::isfinite(q)) << "join node " << i;
+    EXPECT_GE(q, 1.0) << "join node " << i;
+  }
 }
 
 /// Runs all paper optimizers for every workload query of `dataset_name`
@@ -86,6 +110,7 @@ void RunDifferential(const Database& db, const std::string& dataset_name) {
       ASSERT_TRUE(ref.ok()) << ref.status().ToString();
       EXPECT_EQ(ref.value().tuples.Canonical(), expected);
       EXPECT_EQ(ref.value().stats.result_rows, expected.size());
+      ExpectJoinEstimatesAnnotated(plan, ref.value().op_stats);
 
       // Streaming engine, including degenerate one-row batches.
       for (size_t batch_rows : {size_t{1}, size_t{3}, size_t{1024}}) {

@@ -203,6 +203,33 @@ TEST(StreamingExecTest, ExplainAnalyzeRendersOperatorCounters) {
   for (const OpStats& os : result.op_stats) EXPECT_GE(os.batches, 1u);
 }
 
+TEST(StreamingExecTest, ExplainAnalyzeShowsEstimatesAndQError) {
+  Database db = Db(WideDoc());
+  Pattern pattern = Pat("a[//b[//c]]");
+  PhysicalPlan plan = SortFreeChainPlan();
+  // Annotate the two joins (plan nodes 2 and 4) as the optimizers do.
+  plan.SetEstRows(2, 800.0);
+  plan.SetEstRows(4, 10.0);
+
+  Executor exec(db);
+  ExecResult result = std::move(exec.Execute(pattern, plan)).value();
+  EXPECT_GE(result.stats.max_q_error, 1.0);
+
+  std::string text = PrintPlanAnalyze(plan, pattern, result.op_stats);
+  EXPECT_NE(text.find("est=800"), std::string::npos) << text;
+  EXPECT_NE(text.find("est=10"), std::string::npos) << text;
+  EXPECT_NE(text.find(" q="), std::string::npos) << text;
+  EXPECT_NE(text.find("max join q-error:"), std::string::npos) << text;
+
+  // Nodes that never executed (batches == 0) render `-` for the average
+  // and the q-error instead of dividing by zero.
+  std::vector<OpStats> idle_stats(plan.NumOps());
+  std::string idle = PrintPlanAnalyze(plan, pattern, idle_stats);
+  EXPECT_NE(idle.find("avg=-"), std::string::npos) << idle;
+  EXPECT_NE(idle.find("q=-"), std::string::npos) << idle;
+  EXPECT_EQ(idle.find("max join q-error:"), std::string::npos) << idle;
+}
+
 TEST(StreamingExecTest, RowBudgetErrorMatchesMaterialized) {
   Database db = Db(WideDoc());
   Pattern pattern = Pat("a[//b[//c]]");
