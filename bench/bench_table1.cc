@@ -26,6 +26,7 @@ constexpr size_t kBadPlanSamples = 100;
 
 int main(int argc, char** argv) {
   JsonReport report("table1", ParseJsonFlag(&argc, argv));
+  const ExecLimits limits = ParseLimitFlags(&argc, argv);
   std::printf(
       "Table 1: Query Optimization and Query Plan Evaluation Times (ms)\n"
       "Data sets at the paper's sizes: Mbench ~740K nodes, DBLP ~500K, "
@@ -55,13 +56,16 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells = {query.id};
     for (const auto& optimizer :
          MakePaperOptimizers(query.pattern.NumEdges())) {
-      Measurement m = MeasureOptimizer(env, optimizer.get());
+      Measurement m = MeasureOptimizer(env, optimizer.get(),
+                                       /*eval_row_budget=*/0,
+                                       /*num_threads=*/1, limits);
       report.Add(query.id, m);
       cells.push_back(Ms(m.opt_ms));
       cells.push_back(Ms(m.eval_ms));
     }
-    Measurement bad =
-        MeasureBadPlan(env, kBadPlanSamples, /*seed=*/777, kBadPlanRowBudget);
+    Measurement bad = MeasureBadPlan(env, kBadPlanSamples, /*seed=*/777,
+                                     kBadPlanRowBudget, /*num_threads=*/1,
+                                     limits);
     report.Add(query.id, bad);
     cells.push_back((bad.eval_capped ? ">" : "") + Ms(bad.eval_ms));
     PrintRow(widths, cells);

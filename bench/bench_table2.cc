@@ -16,6 +16,7 @@ using namespace sjos::bench;
 
 int main(int argc, char** argv) {
   JsonReport report("table2", ParseJsonFlag(&argc, argv));
+  const ExecLimits limits = ParseLimitFlags(&argc, argv);
   std::printf(
       "Table 2: Optimization Time and Number of Alternative Plans "
       "Considered, Query Q.Pers.3.d\n\n");
@@ -35,7 +36,9 @@ int main(int argc, char** argv) {
 
   std::vector<Measurement> results;
   for (const auto& optimizer : optimizers) {
-    results.push_back(MeasureOptimizer(env, optimizer.get()));
+    results.push_back(MeasureOptimizer(env, optimizer.get(),
+                                       /*eval_row_budget=*/0,
+                                       /*num_threads=*/1, limits));
     report.Add(query.id, results.back());
   }
 

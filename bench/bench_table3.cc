@@ -24,7 +24,8 @@ constexpr uint64_t kBadPlanRowBudget = 10'000'000;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ExecLimits limits = ParseLimitFlags(&argc, argv);
   std::printf(
       "Table 3: Data Size and Query Plan Execution Time (ms), Query "
       "Q.Pers.3.d\n'>' = execution aborted at the %lluM-row join budget.\n\n",
@@ -53,11 +54,14 @@ int main() {
     for (size_t i = 0; i < optimizers.size(); ++i) {
       // Optimized plans run unbudgeted — their intermediates are the whole
       // point of the comparison; only the bad plan needs the safety valve.
-      Measurement m = MeasureOptimizer(env, optimizers[i].get());
+      Measurement m = MeasureOptimizer(env, optimizers[i].get(),
+                                       /*eval_row_budget=*/0,
+                                       /*num_threads=*/1, limits);
       rows[i].evals.push_back((m.eval_capped ? ">" : "") + Ms(m.eval_ms));
       rows[i].shapes.push_back(m.signature);
     }
-    Measurement bad = MeasureBadPlan(env, 100, /*seed=*/777, kBadPlanRowBudget);
+    Measurement bad = MeasureBadPlan(env, 100, /*seed=*/777, kBadPlanRowBudget,
+                                     /*num_threads=*/1, limits);
     rows[5].evals.push_back((bad.eval_capped ? ">" : "") + Ms(bad.eval_ms));
     rows[5].shapes.push_back(bad.signature);
   }

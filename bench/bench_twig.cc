@@ -19,6 +19,7 @@ using namespace sjos::bench;
 
 int main(int argc, char** argv) {
   const int threads = ParseThreadsFlag(&argc, argv, 1);
+  const ExecLimits limits = ParseLimitFlags(&argc, argv);
   std::printf(
       "Holistic twig join (PathStack + merge) vs optimized binary "
       "structural join plans (DPP), binary side executed with %d thread%s\n\n",
@@ -41,8 +42,9 @@ int main(int argc, char** argv) {
       QueryEnv env(dataset, query.pattern);
 
       auto dpp = MakeDppOptimizer();
-      Measurement binary =
-          MeasureOptimizer(env, dpp.get(), /*eval_row_budget=*/0, threads);
+      Measurement binary = MeasureOptimizer(env, dpp.get(),
+                                            /*eval_row_budget=*/0, threads,
+                                            limits);
 
       TwigJoinStats twig_stats;
       // Warm-up + timed run, mirroring the binary side's policy.

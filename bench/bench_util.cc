@@ -43,10 +43,13 @@ QueryEnv::QueryEnv(const DatasetHandle& dataset, Pattern pattern)
 }
 
 void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
-                   uint64_t eval_row_budget, Measurement* m, int num_threads) {
+                   uint64_t eval_row_budget, Measurement* m, int num_threads,
+                   ExecLimits limits) {
   ExecOptions options;
   options.max_join_output_rows = eval_row_budget;
   options.num_threads = num_threads;
+  options.deadline_ms = limits.deadline_ms;
+  options.max_live_bytes = limits.max_live_bytes;
   Executor exec(env.db(), options);
   // One untimed warm-up run eliminates cold-cache noise on plans measured
   // with a single rep; a capped warm-up is reported directly.
@@ -82,7 +85,8 @@ void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
 }
 
 Measurement MeasureOptimizer(const QueryEnv& env, Optimizer* optimizer,
-                             uint64_t eval_row_budget, int num_threads) {
+                             uint64_t eval_row_budget, int num_threads,
+                             ExecLimits limits) {
   Measurement m;
   m.algo = optimizer->name();
 
@@ -102,12 +106,13 @@ Measurement MeasureOptimizer(const QueryEnv& env, Optimizer* optimizer,
   m.plans_considered = chosen.stats.plans_considered;
   m.modelled_cost = chosen.modelled_cost;
   m.signature = PlanSignature(chosen.plan, env.pattern());
-  TimeExecution(env, chosen.plan, eval_row_budget, &m, num_threads);
+  TimeExecution(env, chosen.plan, eval_row_budget, &m, num_threads, limits);
   return m;
 }
 
 Measurement MeasureBadPlan(const QueryEnv& env, size_t samples, uint64_t seed,
-                           uint64_t eval_row_budget, int num_threads) {
+                           uint64_t eval_row_budget, int num_threads,
+                           ExecLimits limits) {
   Measurement m;
   m.algo = "Bad";
   Result<WorstPlanResult> worst = WorstOfRandomPlans(
@@ -115,7 +120,8 @@ Measurement MeasureBadPlan(const QueryEnv& env, size_t samples, uint64_t seed,
   SJOS_CHECK(worst.ok(), worst.status().ToString().c_str());
   m.modelled_cost = worst.value().modelled_cost;
   m.signature = PlanSignature(worst.value().plan, env.pattern());
-  TimeExecution(env, worst.value().plan, eval_row_budget, &m, num_threads);
+  TimeExecution(env, worst.value().plan, eval_row_budget, &m, num_threads,
+                limits);
   return m;
 }
 
@@ -211,6 +217,31 @@ int ParseThreadsFlag(int* argc, char** argv, int default_threads) {
   }
   *argc = out;
   return threads < 1 ? 1 : threads;
+}
+
+ExecLimits ParseLimitFlags(int* argc, char** argv) {
+  ExecLimits limits;
+  const std::string deadline_flag = "--deadline-ms";
+  const std::string mem_flag = "--mem-limit-bytes";
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == deadline_flag && i + 1 < *argc) {
+      limits.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind(deadline_flag + "=", 0) == 0) {
+      limits.deadline_ms =
+          std::strtoull(arg.c_str() + deadline_flag.size() + 1, nullptr, 10);
+    } else if (arg == mem_flag && i + 1 < *argc) {
+      limits.max_live_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind(mem_flag + "=", 0) == 0) {
+      limits.max_live_bytes =
+          std::strtoull(arg.c_str() + mem_flag.size() + 1, nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return limits;
 }
 
 void PrintRule(const std::vector<int>& widths) {

@@ -62,28 +62,43 @@ struct Measurement {
   std::string signature;     // compact plan shape
 };
 
+/// Governance limits applied to every timed execution, mirroring
+/// ExecOptions::{deadline_ms, max_live_bytes} (0 disables a limit). A
+/// governed run the governor cuts short reports `eval_capped`, exactly
+/// like the row-budget safety valve.
+struct ExecLimits {
+  uint64_t deadline_ms = 0;
+  uint64_t max_live_bytes = 0;
+};
+
 /// Runs `optimizer` on `env`: optimization timed over repeated runs (mean),
 /// the chosen plan executed once (re-run and averaged if very fast).
 /// `num_threads` > 1 executes with the parallel execution layer.
 Measurement MeasureOptimizer(const QueryEnv& env, Optimizer* optimizer,
                              uint64_t eval_row_budget = 0,
-                             int num_threads = 1);
+                             int num_threads = 1, ExecLimits limits = {});
 
 /// Worst-of-`samples` random plans by modelled cost, then executed with a
 /// row budget (`eval_capped` set if it tripped).
 Measurement MeasureBadPlan(const QueryEnv& env, size_t samples, uint64_t seed,
-                           uint64_t eval_row_budget, int num_threads = 1);
+                           uint64_t eval_row_budget, int num_threads = 1,
+                           ExecLimits limits = {});
 
 /// Executes a plan with stabilized timing; fills eval_ms/result_rows/
 /// eval_capped of `m`.
 void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
                    uint64_t eval_row_budget, Measurement* m,
-                   int num_threads = 1);
+                   int num_threads = 1, ExecLimits limits = {});
 
 /// Parses and strips a `--threads N` / `--threads=N` flag from argv
 /// (shared by bench binaries). Returns the count (clamped to >= 1), or
 /// `default_threads` when the flag is absent.
 int ParseThreadsFlag(int* argc, char** argv, int default_threads = 1);
+
+/// Parses and strips `--deadline-ms N` and `--mem-limit-bytes N` flags
+/// (both also accept the `=N` form) so any bench can run governed. Absent
+/// flags leave the corresponding limit at 0 (off).
+ExecLimits ParseLimitFlags(int* argc, char** argv);
 
 /// Parses and strips a `--json <file>` / `--json=<file>` flag from argv.
 /// Returns the path, or empty when absent.

@@ -85,6 +85,10 @@ class Shell {
                             .c_str());
     } else if (command == "\\trace") {
       Trace(words);
+    } else if (command == "\\deadline") {
+      SetLimit(words, &deadline_ms_, "deadline", "ms");
+    } else if (command == "\\memlimit") {
+      SetLimit(words, &mem_limit_bytes_, "memory limit", "bytes");
     } else {
       std::printf("unknown command '%s' — try 'help'\n", command.c_str());
     }
@@ -108,8 +112,29 @@ class Shell {
         "  \\metrics            dump the metrics registry (Prometheus text)\n"
         "  \\trace on <file>    start recording a Chrome trace\n"
         "  \\trace off          stop recording and flush the trace file\n"
+        "  \\deadline <ms>      per-query deadline, optimizer + executor"
+        " (0 = off)\n"
+        "  \\memlimit <bytes>   executor live-bytes budget (0 = off)\n"
         "  quit\n",
         optimizer_->name());
+  }
+
+  void SetLimit(std::istringstream* words, uint64_t* slot, const char* what,
+                const char* unit) {
+    uint64_t value = 0;
+    if (!(*words >> value)) {
+      std::printf("usage: \\%s <%s>  (current: %llu, 0 = off)\n",
+                  what[0] == 'd' ? "deadline" : "memlimit", unit,
+                  static_cast<unsigned long long>(*slot));
+      return;
+    }
+    *slot = value;
+    if (value == 0) {
+      std::printf("%s cleared\n", what);
+    } else {
+      std::printf("%s: %llu %s\n", what,
+                  static_cast<unsigned long long>(value), unit);
+    }
   }
 
   void Trace(std::istringstream* words) {
@@ -259,11 +284,16 @@ class Shell {
       std::printf("error: %s\n", estimates.status().ToString().c_str());
       return;
     }
-    OptimizeContext ctx{&pattern, &estimates.value(), &cost_model_};
+    OptimizeContext ctx{&pattern, &estimates.value(), &cost_model_, {}};
+    ctx.options.deadline_ms = static_cast<double>(deadline_ms_);
     Result<OptimizeResult> plan = optimizer_->Optimize(ctx);
     if (!plan.ok()) {
       std::printf("error: %s\n", plan.status().ToString().c_str());
       return;
+    }
+    if (!plan.value().fallback_from.empty()) {
+      std::printf("note: %s hit its deadline; plan below is the FP fallback\n",
+                  plan.value().fallback_from.c_str());
     }
     std::printf("%s plan (%.3f ms, %llu alternatives):\n%s",
                 optimizer_->name(), plan.value().stats.opt_time_ms,
@@ -273,10 +303,25 @@ class Shell {
                                        estimates.value(), cost_model_)
                     .c_str());
     if (mode == "plan") return;
-    Executor executor(*db_);
+    ExecOptions exec_options;
+    exec_options.deadline_ms = deadline_ms_;
+    exec_options.max_live_bytes = mem_limit_bytes_;
+    Executor executor(*db_, exec_options);
     Result<ExecResult> result = executor.Execute(pattern, plan.value().plan);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
+      // The governor leaves partial stats behind when it cut the query short.
+      if (!executor.last_verdict().empty()) {
+        std::printf(
+            "governor verdict: %s (after %.3f ms, %llu rows out, peak %llu "
+            "live rows / %llu live bytes)\n",
+            executor.last_verdict().c_str(), executor.last_stats().wall_ms,
+            static_cast<unsigned long long>(executor.last_stats().result_rows),
+            static_cast<unsigned long long>(
+                executor.last_stats().peak_live_rows),
+            static_cast<unsigned long long>(
+                executor.last_stats().peak_live_bytes));
+      }
       return;
     }
     std::printf("%llu matches in %.3f ms (peak %llu live rows)\n",
@@ -294,6 +339,8 @@ class Shell {
   std::unique_ptr<PositionalHistogramEstimator> estimator_;
   CostModel cost_model_;
   std::unique_ptr<Optimizer> optimizer_ = MakeDppOptimizer();
+  uint64_t deadline_ms_ = 0;        // \deadline — 0 disables
+  uint64_t mem_limit_bytes_ = 0;    // \memlimit — 0 disables
 };
 
 }  // namespace

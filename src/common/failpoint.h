@@ -1,0 +1,167 @@
+// Fault-injection failpoints: named program points that tests and CI can
+// arm to force an error, inject a delay, or fail probabilistically —
+// without touching the surrounding code. The robustness counterpart of
+// common/trace.h: every SJOS_FAILPOINT site is a single static-pointer
+// lookup plus one relaxed atomic load and branch while disarmed, so
+// sprinkling points through hot control paths (batch boundaries, partition
+// dispatch, optimizer search) costs nothing in production.
+//
+// Activation:
+//   * Environment: SJOS_FAILPOINTS="exec.sort=error,exec.batch=delay:5"
+//     parsed once on first registry access. Entries are comma- or
+//     semicolon-separated `name=spec` pairs.
+//   * Programmatic: FailpointRegistry::Global().Enable("exec.sort",
+//     "prob:0.25"), Disable(name), DisableAll().
+//
+// Specs:
+//   error        every hit returns Status::Internal("failpoint '<name>'...")
+//   delay:<ms>   every hit sleeps <ms> milliseconds, then succeeds
+//   prob:<p>     each hit fails with probability p in [0, 1], drawn from a
+//                deterministic per-point RNG (seeded from the point name,
+//                reseeded on every Enable) so a fixed spec reproduces the
+//                same hit/fail sequence on every run
+//
+// Hits are counted whether or not the point fires, so tests can assert a
+// site was actually reached.
+
+#ifndef SJOS_COMMON_FAILPOINT_H_
+#define SJOS_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sjos {
+
+/// What an armed failpoint does on each hit.
+enum class FailpointMode : int {
+  kOff = 0,
+  kError,  // fail every hit
+  kDelay,  // sleep, then succeed
+  kProb,   // fail with probability p (deterministic RNG)
+};
+
+/// One named failpoint. Instances are owned by the registry and live for
+/// the process; code sites cache the pointer in a function-local static.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name);
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Disarmed fast path: one relaxed load and branch.
+  bool armed() const {
+    return mode_.load(std::memory_order_relaxed) !=
+           static_cast<int>(FailpointMode::kOff);
+  }
+
+  /// Applies the armed action. Returns the injected error for `error` (and
+  /// firing `prob`) hits, OK otherwise. Call only after armed() — the
+  /// macros below do.
+  Status Fire();
+
+  /// Same, for sites that cannot propagate a Status: delays still apply,
+  /// injected errors are counted but swallowed.
+  void FireNoFail();
+
+  /// Total hits since process start (armed hits only).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  /// Current configuration as a spec string ("off", "error", "delay:5",
+  /// "prob:0.25") — for diagnostics and tests.
+  std::string SpecString() const;
+
+ private:
+  friend class FailpointRegistry;
+
+  void Configure(FailpointMode mode, uint64_t delay_ms, double prob);
+
+  const std::string name_;
+  std::atomic<int> mode_{static_cast<int>(FailpointMode::kOff)};
+  std::atomic<uint64_t> hits_{0};
+  mutable std::mutex mu_;  // guards delay_ms_, prob_, rng_
+  uint64_t delay_ms_ = 0;
+  double prob_ = 0.0;
+  Rng rng_;
+};
+
+/// Process-wide failpoint registry. Points are created on first reference
+/// (by a code site or an Enable call) and never destroyed, so cached
+/// pointers stay valid for the process lifetime.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  /// Returns the point named `name`, creating it (disarmed) on first use.
+  Failpoint* Get(std::string_view name);
+
+  /// Arms `name` with `spec` ("error" | "delay:<ms>" | "prob:<p>").
+  /// Creates the point if no code site has registered it yet. Fails with
+  /// InvalidArgument on a malformed spec.
+  Status Enable(std::string_view name, std::string_view spec);
+
+  /// Disarms one point / every point. Points keep their hit counters.
+  void Disable(std::string_view name);
+  void DisableAll();
+
+  /// Parses an SJOS_FAILPOINTS-style list ("a=error,b=delay:3"). Entries
+  /// are comma- or semicolon-separated; empty entries are ignored. Stops
+  /// at (and reports) the first malformed entry.
+  Status EnableFromSpec(std::string_view spec_list);
+
+  /// Names of currently armed points, sorted (diagnostics and tests).
+  std::vector<std::string> ArmedNames() const;
+
+ private:
+  FailpointRegistry();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Failpoint>> points_;
+};
+
+}  // namespace sjos
+
+/// Names a failpoint inside a function returning Status (or any type
+/// implicitly constructible from Status, e.g. Result<T>): when the armed
+/// point fires, the enclosing function returns the injected error.
+#define SJOS_FAILPOINT(name)                                        \
+  do {                                                              \
+    static ::sjos::Failpoint* _sjos_fp =                            \
+        ::sjos::FailpointRegistry::Global().Get(name);              \
+    if (_sjos_fp->armed()) {                                        \
+      ::sjos::Status _sjos_fp_status = _sjos_fp->Fire();            \
+      if (!_sjos_fp_status.ok()) return _sjos_fp_status;            \
+    }                                                               \
+  } while (0)
+
+/// Same, but assigns the injected error to `status_lvalue` instead of
+/// returning — for sites inside void functions that already route a Status
+/// somewhere (e.g. the thread-pool dispatch loop).
+#define SJOS_FAILPOINT_CHECK(name, status_lvalue)                   \
+  do {                                                              \
+    static ::sjos::Failpoint* _sjos_fp =                            \
+        ::sjos::FailpointRegistry::Global().Get(name);              \
+    if (_sjos_fp->armed()) (status_lvalue) = _sjos_fp->Fire();      \
+  } while (0)
+
+/// For sites with no error channel at all: delays apply, errors are
+/// swallowed (still counted as hits).
+#define SJOS_FAILPOINT_VOID(name)                                   \
+  do {                                                              \
+    static ::sjos::Failpoint* _sjos_fp =                            \
+        ::sjos::FailpointRegistry::Global().Get(name);              \
+    if (_sjos_fp->armed()) _sjos_fp->FireNoFail();                  \
+  } while (0)
+
+#endif  // SJOS_COMMON_FAILPOINT_H_

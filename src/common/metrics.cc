@@ -3,6 +3,7 @@
 #include <bit>
 #include <limits>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 
 namespace sjos {
@@ -61,6 +62,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  SJOS_FAILPOINT_VOID("metrics.flush");  // delay-only: Snapshot cannot fail
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());

@@ -18,6 +18,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

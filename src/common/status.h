@@ -21,6 +21,8 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kUnsupported,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "ParseError"...).
@@ -50,6 +52,12 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

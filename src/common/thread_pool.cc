@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/trace.h"
@@ -65,6 +66,18 @@ void ThreadPool::WorkerLoop() {
     queue_depth_->Sub(1);
     tasks_run_->Add(1);
     Status status;
+    // Injected dispatch fault: the task body never runs, but the error
+    // still flows through the earliest-error-wins WaitAll protocol below.
+    SJOS_FAILPOINT_CHECK("pool.task.dispatch", status);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (task.seq < first_error_seq_) {
+        first_error_seq_ = task.seq;
+        first_error_ = std::move(status);
+      }
+      if (--in_flight_ == 0) done_cv_.notify_all();
+      continue;
+    }
     try {
       TraceSpan span("pool.task");
       status = task.fn();

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 
 namespace sjos {
@@ -62,6 +63,7 @@ Status Tracer::Start(const std::string& path) {
 }
 
 Status Tracer::Stop() {
+  SJOS_FAILPOINT("trace.flush");
   enabled_.store(false, std::memory_order_relaxed);
   std::string path;
   {

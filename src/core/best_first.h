@@ -30,6 +30,9 @@ struct BestFirstOptions {
   bool left_deep_only = false;  // DPAP-LD's growing-node restriction
   bool navigation_everywhere = false;  // offer subtree navigation on every
                                        // edge (extension; see move_gen.h)
+  /// Caller's algorithm name, used to label a deadline-triggered FP
+  /// fallback (OptimizeResult::fallback_from and the plan note).
+  const char* algo_name = "best-first";
 };
 
 /// Runs the search; returns the chosen plan + stats. Fails when the

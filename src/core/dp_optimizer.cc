@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "core/move_gen.h"
@@ -26,6 +27,7 @@ class DpOptimizer : public Optimizer {
   Result<OptimizeResult> Optimize(const OptimizeContext& ctx) override {
     TraceSpan span("optimize:", name());
     Timer timer;
+    SJOS_FAILPOINT("opt.search");
     SJOS_RETURN_IF_ERROR(ctx.pattern->Validate());
     if (ctx.pattern->NumNodes() > kMaxPatternNodes) {
       return Status::Unsupported("pattern too large for DP optimization");
@@ -47,12 +49,21 @@ class DpOptimizer : public Optimizer {
     levels[0].push_back(Entry{OptStatus::Start(*ctx.pattern), 0.0, -1, {}});
     ++stats.statuses_generated;
 
+    const double deadline_ms = ctx.options.deadline_ms;
     std::vector<Move> moves;
     {
       TraceSpan search_span("optimize.search:", name());
       for (size_t lv = 0; lv < num_edges; ++lv) {
         std::unordered_map<StatusKey, size_t, StatusKeyHash> index;
         for (size_t i = 0; i < levels[lv].size(); ++i) {
+          // Deadline poll at each level start and every 64 expansions —
+          // a level of a large pattern can hold thousands of statuses.
+          if ((i & 63) == 0) {
+            SJOS_FAILPOINT("opt.search.step");
+            if (deadline_ms > 0.0 && timer.ElapsedMs() >= deadline_ms) {
+              return FallbackToFp(ctx, name(), stats, timer.ElapsedMs());
+            }
+          }
           const Entry& entry = levels[lv][i];
           moves.clear();
           stats.plans_considered += gen.Enumerate(entry.status, {}, &moves);

@@ -28,6 +28,7 @@ class DpapEbOptimizer : public Optimizer {
     BestFirstOptions options;
     options.lookahead = true;
     options.expansion_bound = expansion_bound_;
+    options.algo_name = name();
     return BestFirstOptimize(ctx, options);
   }
 

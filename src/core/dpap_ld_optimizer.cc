@@ -20,6 +20,7 @@ class DpapLdOptimizer : public Optimizer {
     BestFirstOptions options;
     options.lookahead = true;
     options.left_deep_only = true;
+    options.algo_name = name();
     return BestFirstOptimize(ctx, options);
   }
 };

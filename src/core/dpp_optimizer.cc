@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -41,6 +42,7 @@ struct QueueEntry {
 Result<OptimizeResult> BestFirstOptimize(const OptimizeContext& ctx,
                                          const BestFirstOptions& options) {
   Timer timer;
+  SJOS_FAILPOINT("opt.search");
   SJOS_RETURN_IF_ERROR(ctx.pattern->Validate());
   if (ctx.pattern->NumNodes() > kMaxPatternNodes) {
     return Status::Unsupported("pattern too large for status optimization");
@@ -73,7 +75,17 @@ Result<OptimizeResult> BestFirstOptimize(const OptimizeContext& ctx,
   std::vector<Move> moves;
   const bool tracing = Tracer::Global().enabled();
   const int64_t search_start_us = tracing ? Tracer::Global().NowMicros() : 0;
+  const double deadline_ms = ctx.options.deadline_ms;
+  uint64_t pops = 0;
   while (!queue.empty()) {
+    // Deadline poll every 64 pops (the best-first analogue of DP's
+    // per-level check): a breach degrades to the FP heuristic.
+    if ((pops++ & 63) == 0) {
+      SJOS_FAILPOINT("opt.search.step");
+      if (deadline_ms > 0.0 && timer.ElapsedMs() >= deadline_ms) {
+        return FallbackToFp(ctx, options.algo_name, stats, timer.ElapsedMs());
+      }
+    }
     const QueueEntry top = queue.top();
     queue.pop();
     const NodeRec rec = arena[static_cast<size_t>(top.arena_index)];
@@ -184,6 +196,7 @@ class DppOptimizer : public Optimizer {
     BestFirstOptions options;
     options.lookahead = lookahead_;
     options.navigation_everywhere = navigation_everywhere_;
+    options.algo_name = name();
     return BestFirstOptimize(ctx, options);
   }
 

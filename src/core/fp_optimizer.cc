@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "core/opt_status.h"
@@ -35,6 +36,7 @@ class FpOptimizer : public Optimizer {
   Result<OptimizeResult> Optimize(const OptimizeContext& ctx) override {
     TraceSpan span("optimize:", name());
     Timer timer;
+    SJOS_FAILPOINT("opt.search");
     SJOS_RETURN_IF_ERROR(ctx.pattern->Validate());
     if (ctx.pattern->NumNodes() > kMaxPatternNodes) {
       return Status::Unsupported("pattern too large for FP optimization");

@@ -1,5 +1,7 @@
 #include "core/optimizer.h"
 
+#include <utility>
+
 #include "common/metrics.h"
 #include "common/str_util.h"
 
@@ -28,6 +30,36 @@ std::string OptimizerStats::ToString() const {
       static_cast<unsigned long long>(plans_considered),
       static_cast<unsigned long long>(statuses_generated),
       static_cast<unsigned long long>(statuses_expanded), opt_time_ms);
+}
+
+Result<OptimizeResult> FallbackToFp(const OptimizeContext& ctx,
+                                    const char* from_name,
+                                    const OptimizerStats& partial_stats,
+                                    double elapsed_ms) {
+  static Counter& fallbacks = MetricsRegistry::Global().GetCounter(
+      "sjos_opt_deadline_fallbacks_total");
+  fallbacks.Add(1);
+  OptimizeContext fp_ctx = ctx;
+  fp_ctx.options.deadline_ms = 0.0;  // the fallback must be allowed to finish
+  Result<OptimizeResult> fp = MakeFpOptimizer()->Optimize(fp_ctx);
+  if (!fp.ok()) {
+    return Status::DeadlineExceeded(StrFormat(
+        "%s search exceeded its %.0f ms deadline after %.1f ms and the FP "
+        "fallback failed: %s",
+        from_name, ctx.options.deadline_ms, elapsed_ms,
+        fp.status().ToString().c_str()));
+  }
+  OptimizeResult result = std::move(fp).value();
+  // Keep the accounting honest: the abandoned search's work still happened.
+  result.stats.plans_considered += partial_stats.plans_considered;
+  result.stats.statuses_generated += partial_stats.statuses_generated;
+  result.stats.statuses_expanded += partial_stats.statuses_expanded;
+  result.stats.opt_time_ms += elapsed_ms;
+  result.fallback_from = from_name;
+  result.plan.SetNote(StrFormat(
+      "optimizer deadline (%.0f ms) exceeded: fell back from %s to FP",
+      ctx.options.deadline_ms, from_name));
+  return result;
 }
 
 std::vector<std::unique_ptr<Optimizer>> MakePaperOptimizers(size_t num_edges) {

@@ -18,11 +18,27 @@
 
 namespace sjos {
 
+/// Optimizer-side resource limits (distinct from ExecOptions, which
+/// govern execution).
+struct OptimizerOptions {
+  /// Wall-clock budget for the plan search in milliseconds (0 =
+  /// unlimited). DP and the best-first engines (DPP, DPAP-*) poll it
+  /// during search; on a breach they degrade gracefully to the linear FP
+  /// heuristic instead of failing, recording the fallback in metrics
+  /// (sjos_opt_deadline_fallbacks_total), OptimizeResult::fallback_from,
+  /// and the plan's EXPLAIN note. Only when FP itself cannot plan the
+  /// pattern (unindexed nodes) does the breach surface as
+  /// Status::DeadlineExceeded. FP ignores the deadline — it IS the
+  /// fallback, and its search is linear in the pattern size.
+  double deadline_ms = 0.0;
+};
+
 /// Everything an optimizer needs for one query.
 struct OptimizeContext {
   const Pattern* pattern = nullptr;
   const PatternEstimates* estimates = nullptr;
   const CostModel* cost_model = nullptr;
+  OptimizerOptions options;
 };
 
 /// Per-run search statistics.
@@ -50,6 +66,10 @@ struct OptimizeResult {
   /// Full modelled cost of the built plan, index scans included.
   double modelled_cost = 0.0;
   OptimizerStats stats;
+  /// Name of the algorithm whose search was cut short when this result
+  /// came from the deadline-triggered FP fallback ("DP", "DPP", ...);
+  /// empty when the original search finished.
+  std::string fallback_from;
 };
 
 /// Abstract join-order optimizer.
@@ -79,6 +99,18 @@ std::unique_ptr<Optimizer> MakeFpOptimizer();
 /// All five algorithms with the paper's Table 1 settings (DPAP-EB bound =
 /// number of pattern edges, chosen per Sec. 4.2).
 std::vector<std::unique_ptr<Optimizer>> MakePaperOptimizers(size_t num_edges);
+
+/// Graceful degradation shared by the search-based optimizers: called when
+/// `from_name`'s search exceeded OptimizerOptions::deadline_ms after
+/// `elapsed_ms` with `partial_stats` of work done. Re-plans with FP (its
+/// own deadline cleared), folds the abandoned search's counters into the
+/// returned stats, marks the result (fallback_from + plan note) and bumps
+/// sjos_opt_deadline_fallbacks_total. Returns DeadlineExceeded when FP
+/// cannot plan the pattern either.
+Result<OptimizeResult> FallbackToFp(const OptimizeContext& ctx,
+                                    const char* from_name,
+                                    const OptimizerStats& partial_stats,
+                                    double elapsed_ms);
 
 }  // namespace sjos
 

@@ -5,11 +5,13 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "exec/governor.h"
 #include "exec/operator.h"
 #include "exec/operators.h"
 #include "exec/stack_tree.h"
@@ -110,14 +112,21 @@ size_t Executor::ResolveBatchRows() const {
   return kDefaultExecBatchRows;
 }
 
-void Executor::MatLiveAdd(ExecStats* stats, uint64_t rows) {
-  mat_cur_live_ += rows;
+void Executor::MatLiveAdd(ExecStats* stats, const TupleSet& set) {
+  mat_cur_live_ += set.size();
+  mat_cur_live_bytes_ += set.size() * set.arity() * sizeof(NodeId);
   if (mat_cur_live_ > stats->peak_live_rows) {
     stats->peak_live_rows = mat_cur_live_;
   }
+  if (mat_cur_live_bytes_ > stats->peak_live_bytes) {
+    stats->peak_live_bytes = mat_cur_live_bytes_;
+  }
 }
 
-void Executor::MatLiveSub(uint64_t rows) { mat_cur_live_ -= rows; }
+void Executor::MatLiveSub(const TupleSet& set) {
+  mat_cur_live_ -= set.size();
+  mat_cur_live_bytes_ -= set.size() * set.arity() * sizeof(NodeId);
+}
 
 Status Executor::PrecomputeLeaves(const Pattern& pattern,
                                   const PhysicalPlan& plan, ExecStats* stats,
@@ -161,6 +170,10 @@ Status Executor::PrecomputeLeaves(const Pattern& pattern,
   for (size_t t = 0; t < tasks.size(); ++t) {
     pool_->Submit([this, &pattern, &plan, &task_stats, &tasks, op_stats,
                    t]() -> Status {
+      SJOS_FAILPOINT("exec.scan");
+      if (governor_ != nullptr) {
+        SJOS_RETURN_IF_ERROR(governor_->CheckDeadline());
+      }
       const int index = tasks[t];
       const PlanNode& node = plan.At(index);
       ExecStats* local = &task_stats[t];
@@ -195,7 +208,7 @@ Status Executor::PrecomputeLeaves(const Pattern& pattern,
     stats->rows_sorted += ts.rows_sorted;
     stats->num_sorts += ts.num_sorts;
     const auto& cached = leaf_cache_[static_cast<size_t>(tasks[t])];
-    if (cached.has_value()) MatLiveAdd(stats, cached->size());
+    if (cached.has_value()) MatLiveAdd(stats, *cached);
   }
   return Status::OK();
 }
@@ -212,17 +225,25 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
     return cached;
   }
   const PlanNode& node = plan.At(index);
+  // The materializing engine's cooperative yield points are operator
+  // boundaries: every node entry re-checks the deadline and byte budget.
+  if (governor_ != nullptr) {
+    SJOS_RETURN_IF_ERROR(
+        governor_->Check(mat_cur_live_bytes_, /*batch_rows=*/nullptr));
+  }
   TraceSpan span("eval:", PlanOpName(node.op));
   Timer timer;
   switch (node.op) {
     case PlanOp::kIndexScan: {
+      SJOS_FAILPOINT("exec.scan");
       TupleSet set = ScanCandidates(db_, pattern, node.scan_node);
       stats->rows_scanned += set.size();
-      MatLiveAdd(stats, set.size());
+      MatLiveAdd(stats, set);
       FillOp(op_stats, index, set.size(), timer.ElapsedMs());
       return set;
     }
     case PlanOp::kSort: {
+      SJOS_FAILPOINT("exec.sort");
       Result<TupleSet> input =
           Evaluate(pattern, plan, node.left, stats, op_stats);
       if (!input.ok()) return input;
@@ -243,8 +264,8 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
                          node.desc_node, node.axis, &stats->nodes_navigated);
       if (!out.ok()) return out;
       ++stats->num_navigates;
-      MatLiveAdd(stats, out.value().size());
-      MatLiveSub(input.value().size());
+      MatLiveAdd(stats, out.value());
+      MatLiveSub(input.value());
       FillOp(op_stats, index, out.value().size(), timer.ElapsedMs());
       return out;
     }
@@ -267,13 +288,14 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
           right.value(), static_cast<size_t>(desc_slot), node.axis,
           /*output_by_ancestor=*/node.op == PlanOp::kStackTreeAnc, pool_.get(),
           &join_stats, options_.max_join_output_rows,
-          options_.parallel_min_join_rows);
+          options_.parallel_min_join_rows, governor_);
       if (!out.ok()) return out;
       stats->join_output_rows += join_stats.output_rows;
       stats->element_pairs += join_stats.element_pairs;
       ++stats->num_joins;
-      MatLiveAdd(stats, out.value().size());
-      MatLiveSub(left.value().size() + right.value().size());
+      MatLiveAdd(stats, out.value());
+      MatLiveSub(left.value());
+      MatLiveSub(right.value());
       FillOp(op_stats, index, out.value().size(), timer.ElapsedMs());
       return out;
     }
@@ -290,15 +312,22 @@ Status Executor::RunPipeline(const PhysicalPlan& plan, ExecContext* ctx,
   if (result_schema != nullptr) *result_schema = root->MakeBatch();
   SJOS_RETURN_IF_ERROR(Operator::OpenTimed(root));
   TupleSet batch = root->MakeBatch();
+  const uint64_t row_bytes = batch.arity() * sizeof(NodeId);
   bool eos = false;
   while (!eos) {
     // The in-flight root batch is the driver's contribution to live rows.
-    ctx->SubLive(batch.size());
-    SJOS_RETURN_IF_ERROR(Operator::PullTimed(root, &batch, &eos));
-    ctx->AddLive(batch.size());
+    ctx->SubLive(batch.size(), batch.size() * row_bytes);
+    Status st = Operator::PullTimed(root, &batch, &eos);
+    if (!st.ok()) {
+      // Unwind the whole tree so OwnAdd/OwnSub accounting balances and
+      // buffered state is dropped even on a governed/injected failure.
+      (void)root->Close();
+      return st;
+    }
+    ctx->AddLive(batch.size(), batch.size() * row_bytes);
     if (batch.size() > 0) SJOS_RETURN_IF_ERROR(sink(batch));
   }
-  ctx->SubLive(batch.size());
+  ctx->SubLive(batch.size(), batch.size() * row_bytes);
   TraceSpan close_span("Close:", root->Name());
   return root->Close();
 }
@@ -310,7 +339,21 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
   TraceSpan span(streaming ? "execute.streaming" : "execute.materialize");
   ExecResult result;
   result.op_stats.assign(plan.NumOps(), OpStats{});
+  QueryGovernor governor(options_.deadline_ms, options_.max_live_bytes);
+  governor_ = governor.has_limits() ? &governor : nullptr;
+  last_verdict_.clear();
   Timer timer;
+  // Keeps the partial counters readable (last_stats()/last_verdict())
+  // whether the query finishes or a limit / injected fault cuts it short.
+  auto finish = [&](Status st) {
+    governor_ = nullptr;
+    result.stats.wall_ms = timer.ElapsedMs();
+    result.stats.result_rows = result.tuples.size();
+    last_stats_ = result.stats;
+    last_op_stats_ = result.op_stats;
+    last_verdict_ = governor.verdict();
+    return st;
+  };
   if (streaming) {
     // Serial execution runs the streaming pipeline; accumulated result
     // rows count as live, so the peak is honest about total residency.
@@ -321,34 +364,38 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
     ctx.max_join_output_rows = options_.max_join_output_rows;
     ctx.stats = &result.stats;
     ctx.op_stats = &result.op_stats;
+    ctx.governor = governor_;
     Status st = RunPipeline(plan, &ctx, &result.tuples,
                             [&result, &ctx](const TupleSet& batch) {
                               result.tuples.AppendSet(batch);
-                              ctx.AddLive(batch.size());
+                              ctx.AddLive(batch.size(),
+                                          batch.size() * batch.arity() *
+                                              sizeof(NodeId));
                               return Status::OK();
                             });
-    if (!st.ok()) return st;
     result.stats.peak_live_rows = ctx.peak_live_rows;
+    result.stats.peak_live_bytes = ctx.peak_live_bytes;
+    if (!st.ok()) return finish(st);
   } else {
     mat_cur_live_ = 0;
+    mat_cur_live_bytes_ = 0;
     leaf_cache_.assign(plan.NumOps(), std::nullopt);
     if (pool_ != nullptr) {
       Status st =
           PrecomputeLeaves(pattern, plan, &result.stats, &result.op_stats);
       if (!st.ok()) {
         leaf_cache_.clear();
-        return st;
+        return finish(st);
       }
     }
     Result<TupleSet> tuples =
         Evaluate(pattern, plan, plan.root(), &result.stats, &result.op_stats);
     leaf_cache_.clear();
-    if (!tuples.ok()) return tuples.status();
+    if (!tuples.ok()) return finish(tuples.status());
     result.tuples = std::move(tuples).value();
   }
-  result.stats.wall_ms = timer.ElapsedMs();
-  result.stats.result_rows = result.tuples.size();
   result.stats.max_q_error = ComputeMaxQError(plan, result.op_stats);
+  (void)finish(Status::OK());
   RecordExecutionMetrics(result.stats, result.op_stats);
   return result;
 }
@@ -363,6 +410,8 @@ Result<ExecStats> Executor::ExecuteStreaming(const Pattern& pattern,
   std::vector<OpStats> local_ops;
   std::vector<OpStats>* ops = op_stats != nullptr ? op_stats : &local_ops;
   ops->assign(plan.NumOps(), OpStats{});
+  QueryGovernor governor(options_.deadline_ms, options_.max_live_bytes);
+  last_verdict_.clear();
   Timer timer;
   ExecContext ctx;
   ctx.db = &db_;
@@ -371,17 +420,23 @@ Result<ExecStats> Executor::ExecuteStreaming(const Pattern& pattern,
   ctx.max_join_output_rows = options_.max_join_output_rows;
   ctx.stats = &stats;
   ctx.op_stats = ops;
+  ctx.governor = governor.has_limits() ? &governor : nullptr;
   uint64_t delivered = 0;
   Status st = RunPipeline(plan, &ctx, /*result_schema=*/nullptr,
                           [&delivered, &sink](const TupleSet& batch) {
                             delivered += batch.size();
                             return sink(batch);
                           });
-  if (!st.ok()) return st;
   stats.peak_live_rows = ctx.peak_live_rows;
+  stats.peak_live_bytes = ctx.peak_live_bytes;
   stats.wall_ms = timer.ElapsedMs();
   stats.result_rows = delivered;
+  last_stats_ = stats;
+  last_op_stats_ = *ops;
+  last_verdict_ = governor.verdict();
+  if (!st.ok()) return st;
   stats.max_q_error = ComputeMaxQError(plan, *ops);
+  last_stats_ = stats;
   RecordExecutionMetrics(stats, *ops);
   return stats;
 }

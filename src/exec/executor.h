@@ -30,6 +30,7 @@
 
 namespace sjos {
 class ThreadPool;
+class QueryGovernor;
 struct ExecContext;
 }
 
@@ -60,6 +61,11 @@ struct ExecStats {
   /// estimates. Depends only on the plan and its join output counters, so
   /// it is identical across engines and thread counts.
   double max_q_error = 0.0;
+  /// Byte-denominated companion of peak_live_rows: rows × arity ×
+  /// sizeof(NodeId) charged by the operator owning each buffer. The figure
+  /// the governor's max_live_bytes budget is enforced against;
+  /// deterministic for a fixed engine configuration.
+  uint64_t peak_live_bytes = 0;
 };
 
 /// A finished execution: the result bindings plus counters.
@@ -105,6 +111,21 @@ struct ExecOptions {
   /// destroyed. Ignored if a session (e.g. from SJOS_TRACE) is already
   /// active — that session keeps collecting the spans instead.
   std::string trace_path;
+
+  /// Wall-clock budget for one Execute/ExecuteStreaming call in
+  /// milliseconds (0 = unlimited). Enforced cooperatively — at streaming
+  /// batch boundaries, materializing operator boundaries, and inside
+  /// partitioned-join workers — so a breach surfaces as
+  /// Status::DeadlineExceeded shortly after the deadline, with the partial
+  /// ExecStats gathered so far kept readable via Executor::last_stats().
+  uint64_t deadline_ms = 0;
+
+  /// Budget on live intermediate bytes (0 = unlimited), measured as
+  /// rows × arity × sizeof(NodeId) across all resident buffers — see
+  /// ExecStats::peak_live_bytes. The first breach in the streaming engine
+  /// halves the batch size once as relief; a breach that survives relief
+  /// fails the query with Status::ResourceExhausted.
+  uint64_t max_live_bytes = 0;
 };
 
 /// Executes plans against one database.
@@ -134,6 +155,16 @@ class Executor {
                                      const BatchSink& sink,
                                      std::vector<OpStats>* op_stats = nullptr);
 
+  /// Stats of the most recent Execute/ExecuteStreaming call — populated
+  /// even when that call returned an error, so callers can report the
+  /// partial progress of a query the governor cut short.
+  const ExecStats& last_stats() const { return last_stats_; }
+  const std::vector<OpStats>& last_op_stats() const { return last_op_stats_; }
+
+  /// Which governor limit cut the last query short: "" (none — the query
+  /// finished or failed for another reason), "deadline", or "memory".
+  const std::string& last_verdict() const { return last_verdict_; }
+
  private:
   /// Compiles the plan and pulls batches from the root into `sink`.
   /// `result_schema`, when non-null, is set to an empty TupleSet carrying
@@ -155,19 +186,28 @@ class Executor {
   Status PrecomputeLeaves(const Pattern& pattern, const PhysicalPlan& plan,
                           ExecStats* stats, std::vector<OpStats>* op_stats);
 
-  /// Deterministic live-row accounting for the materializing engine:
+  /// Deterministic live-row/-byte accounting for the materializing engine:
   /// deltas are applied at fixed points of the serial tree walk (and, for
   /// precomputed leaves, after WaitAll in plan-node-index order), so the
-  /// resulting peak does not depend on worker scheduling.
-  void MatLiveAdd(ExecStats* stats, uint64_t rows);
-  void MatLiveSub(uint64_t rows);
+  /// resulting peaks do not depend on worker scheduling.
+  void MatLiveAdd(ExecStats* stats, const TupleSet& set);
+  void MatLiveSub(const TupleSet& set);
 
   const Database& db_;
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when options_.num_threads <= 1
   std::vector<std::optional<TupleSet>> leaf_cache_;  // per Execute() call
   uint64_t mat_cur_live_ = 0;  // materializing engine's live-row counter
+  uint64_t mat_cur_live_bytes_ = 0;
   bool owns_trace_ = false;    // this executor started the trace session
+
+  /// Per-call governor (stack object in Execute/ExecuteStreaming) while a
+  /// query with limits is running; null otherwise. The materializing tree
+  /// walk and the leaf pre-pass poll it through this member.
+  QueryGovernor* governor_ = nullptr;
+  ExecStats last_stats_;
+  std::vector<OpStats> last_op_stats_;
+  std::string last_verdict_;
 };
 
 }  // namespace sjos

@@ -1,0 +1,94 @@
+#include "exec/governor.h"
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace sjos {
+
+namespace {
+
+std::chrono::steady_clock::time_point DeadlineFrom(uint64_t deadline_ms) {
+  auto now = std::chrono::steady_clock::now();
+  if (deadline_ms == 0) return now + std::chrono::hours(24 * 365);
+  return now + std::chrono::milliseconds(deadline_ms);
+}
+
+}  // namespace
+
+QueryGovernor::QueryGovernor(uint64_t deadline_ms, uint64_t max_live_bytes)
+    : deadline_ms_(deadline_ms),
+      max_live_bytes_(max_live_bytes),
+      deadline_at_(DeadlineFrom(deadline_ms)) {}
+
+Status QueryGovernor::FailDeadline() {
+  int expected = 0;
+  verdict_.compare_exchange_strong(expected, 1, std::memory_order_relaxed);
+  Cancel();
+  MetricsRegistry::Global()
+      .GetCounter("sjos_governor_deadline_exceeded_total")
+      .Add();
+  return Status::DeadlineExceeded("query exceeded deadline of " +
+                                  std::to_string(deadline_ms_) + " ms");
+}
+
+Status QueryGovernor::FailMemory(uint64_t cur_live_bytes) {
+  int expected = 0;
+  verdict_.compare_exchange_strong(expected, 2, std::memory_order_relaxed);
+  Cancel();
+  MetricsRegistry::Global()
+      .GetCounter("sjos_governor_memory_exceeded_total")
+      .Add();
+  return Status::ResourceExhausted(
+      "query live set " + std::to_string(cur_live_bytes) +
+      " bytes exceeds budget of " + std::to_string(max_live_bytes_) +
+      " bytes");
+}
+
+Status QueryGovernor::Check(uint64_t cur_live_bytes, size_t* batch_rows) {
+  SJOS_RETURN_IF_ERROR(CheckDeadline());
+  if (max_live_bytes_ == 0 || cur_live_bytes <= max_live_bytes_) {
+    if (relief_grace_left_ > 0) --relief_grace_left_;
+    return Status::OK();
+  }
+  if (!relief_used_ && batch_rows != nullptr) {
+    // First breach in a batch-driven engine: halve the batch size once and
+    // give in-flight batches a short grace window to drain before judging
+    // the budget again. The materializing engine (batch_rows == nullptr)
+    // has no batch size to shrink, so its first confirmed breach is fatal.
+    relief_used_ = true;
+    relief_grace_left_ = kReliefGraceChecks;
+    if (*batch_rows > 1) *batch_rows /= 2;
+    MetricsRegistry::Global()
+        .GetCounter("sjos_governor_batch_halvings_total")
+        .Add();
+    return Status::OK();
+  }
+  if (relief_grace_left_ > 0) {
+    --relief_grace_left_;
+    return Status::OK();
+  }
+  return FailMemory(cur_live_bytes);
+}
+
+Status QueryGovernor::CheckDeadline() {
+  if (cancelled() && verdict_.load(std::memory_order_relaxed) == 1) {
+    return FailDeadline();
+  }
+  if (deadline_ms_ == 0) return Status::OK();
+  if (std::chrono::steady_clock::now() < deadline_at_) return Status::OK();
+  return FailDeadline();
+}
+
+const char* QueryGovernor::verdict() const {
+  switch (verdict_.load(std::memory_order_relaxed)) {
+    case 1:
+      return "deadline";
+    case 2:
+      return "memory";
+    default:
+      return "";
+  }
+}
+
+}  // namespace sjos

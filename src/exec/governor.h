@@ -1,0 +1,93 @@
+// Cooperative query governance: a per-query deadline and live-byte budget
+// checked at batch boundaries (streaming engine), operator boundaries
+// (materializing engine), and inside partitioned-join worker tasks. There
+// is no preemption — operators already yield at tuple-batch granularity,
+// so polling a QueryGovernor at those natural yield points bounds how far
+// a runaway plan can overshoot either limit.
+//
+// Limits come from ExecOptions::{deadline_ms, max_live_bytes}; 0 disables
+// a limit. On a breach the engine unwinds with Status::DeadlineExceeded /
+// Status::ResourceExhausted while keeping the partial ExecStats gathered
+// so far, and the governor remembers which limit fired (verdict()) for
+// shell/EXPLAIN reporting.
+//
+// Memory relief: the first byte-budget breach does not fail the query.
+// The governor halves the streaming batch size once and grants a short
+// grace window (kReliefGraceChecks boundary checks) for in-flight batches
+// to drain; only a breach that survives the relief attempt becomes
+// ResourceExhausted. This makes batch-driven residency genuinely
+// recoverable while keeping a Sort whose buffer alone exceeds the budget
+// deterministically fatal.
+
+#ifndef SJOS_EXEC_GOVERNOR_H_
+#define SJOS_EXEC_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace sjos {
+
+/// Per-query limit enforcement. Check()/ReliefState are driven by the
+/// single query driver thread; CheckDeadline()/Cancel()/cancel_token()
+/// are safe from partition worker threads.
+class QueryGovernor {
+ public:
+  /// Boundary checks the first byte-budget breach is forgiven for while
+  /// the halved batch size takes effect.
+  static constexpr uint32_t kReliefGraceChecks = 8;
+
+  /// `deadline_ms` / `max_live_bytes` of 0 disable that limit.
+  QueryGovernor(uint64_t deadline_ms, uint64_t max_live_bytes);
+
+  bool has_limits() const { return deadline_ms_ != 0 || max_live_bytes_ != 0; }
+  uint64_t deadline_ms() const { return deadline_ms_; }
+  uint64_t max_live_bytes() const { return max_live_bytes_; }
+
+  /// Full boundary check (driver thread only): deadline first, then the
+  /// byte budget against `cur_live_bytes`. On the first byte breach halves
+  /// `*batch_rows` (if > 1) instead of failing and opens the grace window.
+  /// With `batch_rows == nullptr` (materializing engine: no batch size to
+  /// shrink) a breach fails immediately.
+  Status Check(uint64_t cur_live_bytes, size_t* batch_rows);
+
+  /// Deadline-only check; safe from any thread. Partition workers poll
+  /// this (plus cancelled()) between descendant groups.
+  Status CheckDeadline();
+
+  /// Cross-thread cancel token shared with partitioned-join workers; set
+  /// when any limit fires so sibling partitions stop promptly.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancel_.load(std::memory_order_relaxed); }
+  const std::atomic<bool>* cancel_token() const { return &cancel_; }
+
+  /// Which limit cut the query short: "" (none), "deadline", or "memory".
+  const char* verdict() const;
+
+  /// True once the byte-budget relief (batch halving) has been spent.
+  bool relief_used() const { return relief_used_; }
+
+ private:
+  Status FailDeadline();
+  Status FailMemory(uint64_t cur_live_bytes);
+
+  const uint64_t deadline_ms_;
+  const uint64_t max_live_bytes_;
+  const std::chrono::steady_clock::time_point deadline_at_;
+
+  // Byte-budget relief state; driver thread only.
+  bool relief_used_ = false;
+  uint32_t relief_grace_left_ = 0;
+
+  std::atomic<bool> cancel_{false};
+  // 0 = none, 1 = deadline, 2 = memory. Atomic because partition workers
+  // can report a deadline breach while the driver reads the verdict.
+  std::atomic<int> verdict_{0};
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_EXEC_GOVERNOR_H_

@@ -9,11 +9,13 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "exec/executor.h"
+#include "exec/governor.h"
 
 namespace sjos {
 
@@ -69,6 +71,14 @@ Status Operator::OpenTimed(Operator* op) {
 }
 
 Status Operator::PullTimed(Operator* op, TupleSet* out, bool* eos) {
+  // The batch boundary is the streaming engine's cooperative yield point:
+  // every limit check and injected fault lands here, between batches,
+  // never mid-batch.
+  SJOS_FAILPOINT("exec.batch");
+  if (op->ctx_->governor != nullptr) {
+    SJOS_RETURN_IF_ERROR(op->ctx_->governor->Check(op->ctx_->cur_live_bytes,
+                                                   &op->ctx_->batch_rows));
+  }
   TraceSpan span("NextBatch:", op->Name());
   out->Clear();
   Timer t;
@@ -84,12 +94,12 @@ void Operator::OwnAdd(uint64_t rows) {
   own_live_rows_ += rows;
   OpStats& s = op_stats();
   if (own_live_rows_ > s.peak_live_rows) s.peak_live_rows = own_live_rows_;
-  ctx_->AddLive(rows);
+  ctx_->AddLive(rows, rows * arity() * sizeof(NodeId));
 }
 
 void Operator::OwnSub(uint64_t rows) {
   own_live_rows_ -= rows;
-  ctx_->SubLive(rows);
+  ctx_->SubLive(rows, rows * arity() * sizeof(NodeId));
 }
 
 Status Operator::PullChild(Operator* child, TupleSet* batch, size_t* cursor,
@@ -124,6 +134,7 @@ Status ScanOperator::Open() {
 }
 
 Status ScanOperator::NextBatch(TupleSet* out, bool* eos) {
+  SJOS_FAILPOINT("exec.scan.next");
   const size_t cap = ctx_->batch_rows;
   const Document& doc = ctx_->db->doc();
   const bool filtered = !pnode_->predicate.Empty();
@@ -153,6 +164,7 @@ SortOperator::SortOperator(ExecContext* ctx, int plan_index,
 }
 
 Status SortOperator::Open() {
+  SJOS_FAILPOINT("exec.sort");
   SJOS_RETURN_IF_ERROR(Operator::OpenTimed(child_.get()));
   buffer_ = child_->MakeBatch();
   TupleSet batch = child_->MakeBatch();
@@ -305,9 +317,12 @@ Status StackTreeJoinBase::Open() {
 }
 
 Status StackTreeJoinBase::NextBatch(TupleSet* out, bool* eos) {
-  const size_t cap = ctx_->batch_rows;
   DrainStage(out);
-  while (out->size() < cap && phase_ != Phase::kDone) {
+  // Re-read the cap every round: a nested child pull may shrink
+  // ctx_->batch_rows (governor batch halving), and staging/backpressure
+  // immediately honor the smaller value — a stale larger snapshot here
+  // could then never be reached, spinning without progress.
+  while (out->size() < ctx_->batch_rows && phase_ != Phase::kDone) {
     SJOS_RETURN_IF_ERROR(Step());
     DrainStage(out);
   }

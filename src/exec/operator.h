@@ -46,10 +46,11 @@ namespace sjos {
 inline constexpr size_t kDefaultExecBatchRows = 1024;
 
 struct ExecStats;
+class QueryGovernor;
 
 /// Shared state for one streaming execution: the database, batch capacity,
-/// engine-level counters, per-operator counters, and the live-row
-/// high-water mark.
+/// engine-level counters, per-operator counters, and the live-row/-byte
+/// high-water marks.
 struct ExecContext {
   const Database* db = nullptr;
   const Pattern* pattern = nullptr;
@@ -57,15 +58,29 @@ struct ExecContext {
   uint64_t max_join_output_rows = 0;  // 0 = unlimited
   ExecStats* stats = nullptr;         // engine-level counters (required)
   std::vector<OpStats>* op_stats = nullptr;  // per plan node (required)
+  /// Deadline/byte-budget enforcement, polled at every PullTimed batch
+  /// boundary. Null when the query runs without limits (the common case).
+  /// The governor may halve batch_rows once as byte-budget relief.
+  QueryGovernor* governor = nullptr;
 
   uint64_t cur_live_rows = 0;
   uint64_t peak_live_rows = 0;
+  /// Byte figures are rows × arity × sizeof(NodeId) charged by the
+  /// operator owning the buffer — the payload cells, not allocator
+  /// overhead — so they are deterministic for a fixed engine config.
+  uint64_t cur_live_bytes = 0;
+  uint64_t peak_live_bytes = 0;
 
-  void AddLive(uint64_t rows) {
+  void AddLive(uint64_t rows, uint64_t bytes) {
     cur_live_rows += rows;
+    cur_live_bytes += bytes;
     if (cur_live_rows > peak_live_rows) peak_live_rows = cur_live_rows;
+    if (cur_live_bytes > peak_live_bytes) peak_live_bytes = cur_live_bytes;
   }
-  void SubLive(uint64_t rows) { cur_live_rows -= rows; }
+  void SubLive(uint64_t rows, uint64_t bytes) {
+    cur_live_rows -= rows;
+    cur_live_bytes -= bytes;
+  }
 };
 
 /// Base class of all streaming operators.
@@ -105,7 +120,10 @@ class Operator {
   OpStats& op_stats() { return (*ctx_->op_stats)[size_t(plan_index_)]; }
 
   /// Registers `rows` as resident in this operator's buffers (and the
-  /// global live count); OwnSub releases them.
+  /// global live count); OwnSub releases them. Bytes are charged at this
+  /// operator's output width (rows × arity × sizeof(NodeId)) — an
+  /// approximation for join-input group buffers, but Add and Sub use the
+  /// same factor so the accounting always balances.
   void OwnAdd(uint64_t rows);
   void OwnSub(uint64_t rows);
 

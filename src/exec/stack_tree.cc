@@ -4,9 +4,11 @@
 #include <atomic>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/governor.h"
 
 namespace sjos {
 
@@ -120,7 +122,8 @@ Status RunStackTree(const Document& doc, const TupleSet& anc,
                     size_t anc_hi, size_t desc_lo, size_t desc_hi, Axis axis,
                     bool output_by_ancestor, uint64_t max_output_rows,
                     TupleSet* out, JoinStats* stats,
-                    const std::atomic<bool>* cancel) {
+                    const std::atomic<bool>* cancel,
+                    QueryGovernor* governor) {
   if (anc_lo >= anc_hi || desc_lo >= desc_hi) return Status::OK();
 
   // Row-budget enforcement; EmitPair checks per row, so even one huge
@@ -174,6 +177,11 @@ Status RunStackTree(const Document& doc, const TupleSet& anc,
   for (size_t dg = desc_lo; dg < desc_hi && !overflow; ++dg) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       return Status::OK();
+    }
+    // Deadline poll every 64 groups: frequent enough to bound overshoot,
+    // rare enough that the steady_clock read never shows up in profiles.
+    if (governor != nullptr && ((dg - desc_lo) & 63) == 0) {
+      SJOS_RETURN_IF_ERROR(governor->CheckDeadline());
     }
     const NodeId d = desc_groups[dg].elem;
     // Stack every ancestor candidate that starts before d.
@@ -301,7 +309,8 @@ Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
                                size_t anc_slot, const TupleSet& desc,
                                size_t desc_slot, Axis axis,
                                bool output_by_ancestor, JoinStats* stats,
-                               uint64_t max_output_rows) {
+                               uint64_t max_output_rows,
+                               QueryGovernor* governor) {
   SJOS_RETURN_IF_ERROR(ValidateJoinInputs(anc, anc_slot, desc, desc_slot));
   TupleSet out =
       MakeOutputSet(anc, anc_slot, desc, desc_slot, output_by_ancestor);
@@ -311,7 +320,7 @@ Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
   SJOS_RETURN_IF_ERROR(RunStackTree(
       doc, anc, desc, anc_groups, desc_groups, 0, anc_groups.size(), 0,
       desc_groups.size(), axis, output_by_ancestor, max_output_rows, &out,
-      stats, /*cancel=*/nullptr));
+      stats, /*cancel=*/nullptr, governor));
   return out;
 }
 
@@ -319,11 +328,11 @@ Result<TupleSet> StackTreeJoinParallel(
     const Document& doc, const TupleSet& anc, size_t anc_slot,
     const TupleSet& desc, size_t desc_slot, Axis axis, bool output_by_ancestor,
     ThreadPool* pool, JoinStats* stats, uint64_t max_output_rows,
-    size_t min_parallel_input_rows) {
+    size_t min_parallel_input_rows, QueryGovernor* governor) {
   if (pool == nullptr || pool->num_workers() <= 1 ||
       anc.size() + desc.size() < min_parallel_input_rows) {
     return StackTreeJoin(doc, anc, anc_slot, desc, desc_slot, axis,
-                         output_by_ancestor, stats, max_output_rows);
+                         output_by_ancestor, stats, max_output_rows, governor);
   }
   SJOS_RETURN_IF_ERROR(ValidateJoinInputs(anc, anc_slot, desc, desc_slot));
   TupleSet out =
@@ -340,7 +349,7 @@ Result<TupleSet> StackTreeJoinParallel(
     SJOS_RETURN_IF_ERROR(RunStackTree(
         doc, anc, desc, anc_groups, desc_groups, 0, anc_groups.size(), 0,
         desc_groups.size(), axis, output_by_ancestor, max_output_rows, &out,
-        stats, /*cancel=*/nullptr));
+        stats, /*cancel=*/nullptr, governor));
     return out;
   }
 
@@ -363,6 +372,13 @@ Result<TupleSet> StackTreeJoinParallel(
         MakeOutputSet(anc, anc_slot, desc, desc_slot, output_by_ancestor);
     pool->Submit([&, p]() -> Status {
       TraceSpan span("join.partition");
+      Status entry;  // injected fault or deadline breach at task start
+      SJOS_FAILPOINT_CHECK("exec.join.partition", entry);
+      if (entry.ok() && governor != nullptr) entry = governor->CheckDeadline();
+      if (!entry.ok()) {
+        cancel.store(true, std::memory_order_relaxed);
+        return entry;
+      }
       const JoinPartition& part = parts[p];
       // Each worker enforces the full global budget locally (a partition
       // alone may exceed it); the post-merge sum check below catches the
@@ -371,7 +387,7 @@ Result<TupleSet> StackTreeJoinParallel(
                                part.anc_lo, part.anc_hi, part.desc_lo,
                                part.desc_hi, axis, output_by_ancestor,
                                max_output_rows, &part_out[p], &part_stats[p],
-                               &cancel);
+                               &cancel, governor);
       if (!st.ok()) cancel.store(true, std::memory_order_relaxed);
       return st;
     });

@@ -28,6 +28,7 @@
 namespace sjos {
 
 class ThreadPool;
+class QueryGovernor;
 
 /// Counters a join run reports (consumed by executor stats and tests).
 struct JoinStats {
@@ -52,12 +53,16 @@ struct JoinStats {
 /// the output would exceed the budget — the safety valve that lets benches
 /// run deliberately terrible plans on huge documents without exhausting
 /// memory.
+///
+/// `governor`, when non-null, is polled for the query deadline every 64
+/// descendant groups; a breach aborts the join with DeadlineExceeded.
 Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
                                size_t anc_slot, const TupleSet& desc,
                                size_t desc_slot, Axis axis,
                                bool output_by_ancestor,
                                JoinStats* stats = nullptr,
-                               uint64_t max_output_rows = 0);
+                               uint64_t max_output_rows = 0,
+                               QueryGovernor* governor = nullptr);
 
 /// Below this many combined input rows the partitioned join falls back to
 /// the serial algorithm: task dispatch would cost more than it saves.
@@ -79,11 +84,17 @@ inline constexpr size_t kParallelJoinMinInputRows = 8192;
 /// serial run's; stack_pushes and max_stack_depth reflect the per-partition
 /// merges and may be lower than serial (ancestors past a partition's last
 /// descendant are never pushed).
+/// `governor`, when non-null, is polled inside every partition worker (at
+/// task start and every 64 descendant groups): a deadline breach fails
+/// that partition with DeadlineExceeded, trips the shared cancel token so
+/// sibling partitions stop early, and surfaces through WaitAll's
+/// earliest-error-wins semantics — no task is leaked.
 Result<TupleSet> StackTreeJoinParallel(
     const Document& doc, const TupleSet& anc, size_t anc_slot,
     const TupleSet& desc, size_t desc_slot, Axis axis, bool output_by_ancestor,
     ThreadPool* pool, JoinStats* stats = nullptr, uint64_t max_output_rows = 0,
-    size_t min_parallel_input_rows = kParallelJoinMinInputRows);
+    size_t min_parallel_input_rows = kParallelJoinMinInputRows,
+    QueryGovernor* governor = nullptr);
 
 }  // namespace sjos
 

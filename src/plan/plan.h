@@ -89,11 +89,18 @@ class PhysicalPlan {
     nodes_[static_cast<size_t>(i)].est_rows = est_rows;
   }
 
+  /// Free-form annotation rendered as an EXPLAIN footer — e.g. the
+  /// optimizer records a deadline-triggered FP fallback here. Empty for
+  /// plans with nothing to report.
+  void SetNote(std::string note) { note_ = std::move(note); }
+  const std::string& note() const { return note_; }
+
   bool Empty() const { return nodes_.empty() || root_ < 0; }
 
  private:
   std::vector<PlanNode> nodes_;
   int root_ = -1;
+  std::string note_;
 };
 
 }  // namespace sjos

@@ -134,6 +134,7 @@ std::string PrintPlanWithEstimates(const PhysicalPlan& plan,
   PrintNode(plan, pattern, &props.value(), nullptr, plan.root(), 0, &out);
   out += StrFormat("total modelled cost: %.1f%s\n", props.value().total_cost,
                    props.value().fully_pipelined ? " (fully pipelined)" : "");
+  if (!plan.note().empty()) out += "note: " + plan.note() + "\n";
   return out;
 }
 
@@ -158,6 +159,7 @@ std::string PrintPlanAnalyze(const PhysicalPlan& plan, const Pattern& pattern,
     if (q > max_q) max_q = q;
   }
   if (max_q > 0.0) out += StrFormat("max join q-error: %.2f\n", max_q);
+  if (!plan.note().empty()) out += "note: " + plan.note() + "\n";
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "xml/builder.h"
 
@@ -233,6 +234,14 @@ class XmlScanner {
         return;
       }
       pos_ = end + 1;
+      // Well-formedness: no attribute name may appear twice on one element.
+      for (const auto& existing : *attrs) {
+        if (existing.first == name) {
+          Fail(StrFormat("duplicate attribute '%s'",
+                         std::string(name).c_str()));
+          return;
+        }
+      }
       std::string value;
       AppendDecoded(in_.substr(begin, end - begin), &value);
       attrs->emplace_back(std::string(name), std::move(value));
@@ -355,6 +364,7 @@ class XmlScanner {
 }  // namespace
 
 Result<Document> ParseXml(std::string_view input, const ParseOptions& options) {
+  SJOS_FAILPOINT("xml.parse");
   XmlScanner scanner(input, options);
   return scanner.Parse();
 }

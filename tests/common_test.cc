@@ -25,6 +25,18 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "ParseError: bad token");
 }
 
+TEST(StatusTest, GovernanceCodesRoundTrip) {
+  Status d = Status::DeadlineExceeded("query ran past 50 ms");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: query ran past 50 ms");
+
+  Status r = Status::ResourceExhausted("live bytes over budget");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.ToString(), "ResourceExhausted: live bytes over budget");
+}
+
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
   EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));

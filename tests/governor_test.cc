@@ -1,0 +1,223 @@
+// Resource governance: deadlines and byte budgets enforced cooperatively
+// across all three engine configurations, with partial stats, verdicts,
+// batch-halving relief, and the optimizer's deadline -> FP degradation.
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "core/optimizer.h"
+#include "estimate/positional_histogram.h"
+#include "exec/executor.h"
+#include "exec/naive_matcher.h"
+#include "plan/random_plans.h"
+#include "query/pattern_parser.h"
+#include "storage/catalog.h"
+#include "xml/generators/pers_gen.h"
+
+namespace sjos {
+namespace {
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Global().DisableAll();
+    PersGenConfig config;
+    config.target_nodes = 2000;
+    db_ = std::make_unique<Database>(
+        Database::Open(std::move(GeneratePers(config)).value()));
+    pattern_ = std::move(ParsePattern("manager[//employee[/name]]")).value();
+    Rng rng(3);
+    plan_ = std::move(RandomPlan(pattern_, &rng)).value();
+  }
+  void TearDown() override { FailpointRegistry::Global().DisableAll(); }
+
+  std::unique_ptr<Database> db_;
+  Pattern pattern_;
+  PhysicalPlan plan_;
+};
+
+// A delay failpoint makes any plan slow; a 20 ms deadline must then fire
+// in every engine configuration, leaving partial stats and a verdict.
+TEST_F(GovernorTest, DeadlineFiresInEveryEngine) {
+  struct Mode {
+    const char* label;
+    const char* point;  // the site that the engine actually passes through
+    bool materialize;
+    int threads;
+  };
+  const Mode modes[] = {
+      {"streaming", "exec.batch", false, 1},
+      {"materializing-serial", "exec.scan", true, 1},
+      {"parallel-4", "exec.scan", false, 4},
+  };
+  for (const Mode& mode : modes) {
+    SCOPED_TRACE(mode.label);
+    ASSERT_TRUE(
+        FailpointRegistry::Global().Enable(mode.point, "delay:30").ok());
+    ExecOptions options;
+    options.force_materialize = mode.materialize;
+    options.num_threads = mode.threads;
+    options.parallel_min_join_rows = 0;
+    options.deadline_ms = 20;
+    Executor exec(*db_, options);
+    Result<ExecResult> result = exec.Execute(pattern_, plan_);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_STREQ(exec.last_verdict().c_str(), "deadline");
+    // Partial stats survive the abort: the clock ran past the deadline.
+    EXPECT_GE(exec.last_stats().wall_ms, 20.0);
+    FailpointRegistry::Global().DisableAll();
+    // No leaked pool tasks / poisoned state: the same executor runs clean.
+    Result<ExecResult> clean = exec.Execute(pattern_, plan_);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_GT(clean.value().stats.result_rows, 0u);
+    EXPECT_STREQ(exec.last_verdict().c_str(), "");
+  }
+}
+
+// Partition workers poll the deadline cooperatively: with the delay inside
+// the partitioned join itself, the 4-thread engine still stops early.
+TEST_F(GovernorTest, DeadlineFiresInsideParallelPartitions) {
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.join.partition", "delay:30")
+          .ok());
+  ExecOptions options;
+  options.num_threads = 4;
+  options.parallel_min_join_rows = 0;
+  options.deadline_ms = 20;
+  Executor exec(*db_, options);
+  Result<ExecResult> result = exec.Execute(pattern_, plan_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_STREQ(exec.last_verdict().c_str(), "deadline");
+  FailpointRegistry::Global().DisableAll();
+  Result<ExecResult> clean = exec.Execute(pattern_, plan_);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+}
+
+// A byte budget far below the query's working set fires deterministically
+// (no failpoints involved) with the memory verdict and partial stats.
+TEST_F(GovernorTest, ByteBudgetFiresDeterministically) {
+  PersGenConfig big;
+  big.target_nodes = 60000;
+  Database db = Database::Open(std::move(GeneratePers(big)).value());
+  for (bool materialize : {false, true}) {
+    SCOPED_TRACE(materialize ? "materializing" : "streaming");
+    ExecOptions options;
+    options.force_materialize = materialize;
+    options.max_live_bytes = 2048;
+    Executor exec(db, options);
+    Result<ExecResult> result = exec.Execute(pattern_, plan_);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_STREQ(exec.last_verdict().c_str(), "memory");
+    // The recorded peak shows the breach the governor acted on.
+    EXPECT_GT(exec.last_stats().peak_live_bytes, options.max_live_bytes);
+  }
+}
+
+// The streaming engine's first breach halves the batch size once before
+// failing; a budget the halved batches fit under lets the query finish.
+TEST_F(GovernorTest, StreamingBreachHalvesBatchOnce) {
+  const uint64_t halvings_before =
+      MetricsRegistry::Global()
+          .GetCounter("sjos_governor_batch_halvings_total")
+          .Value();
+  ExecOptions options;
+  options.batch_rows = 1024;
+  // The 2000-node doc's working set breaches this budget transiently but
+  // fits after relief, so the query succeeds on smaller batches.
+  options.max_live_bytes = 8192;
+  Executor exec(*db_, options);
+  Result<ExecResult> result = exec.Execute(pattern_, plan_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(
+      MetricsRegistry::Global()
+          .GetCounter("sjos_governor_batch_halvings_total")
+          .Value(),
+      halvings_before);
+  // Identical rows to an ungoverned run.
+  Executor plain(*db_);
+  ExecResult reference = std::move(plain.Execute(pattern_, plan_)).value();
+  EXPECT_EQ(result.value().tuples.Canonical(), reference.tuples.Canonical());
+}
+
+// With limits set but generous, results are byte-identical to ungoverned
+// execution in both engines.
+TEST_F(GovernorTest, GenerousLimitsDoNotChangeResults) {
+  const auto expected = std::move(NaiveMatch(db_->doc(), pattern_)).value();
+  for (bool materialize : {false, true}) {
+    SCOPED_TRACE(materialize ? "materializing" : "streaming");
+    ExecOptions options;
+    options.force_materialize = materialize;
+    options.deadline_ms = 60000;
+    options.max_live_bytes = 1ull << 30;
+    Executor exec(*db_, options);
+    Result<ExecResult> result = exec.Execute(pattern_, plan_);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().tuples.Canonical(), expected);
+  }
+}
+
+// Optimizer deadline: a slow DPP search degrades to the FP heuristic, the
+// fallback is recorded, and the fallback plan is still correct.
+TEST_F(GovernorTest, OptimizerDeadlineFallsBackToFp) {
+  PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
+      db_->doc(), db_->index(), db_->stats());
+  Result<PatternEstimates> estimates =
+      PatternEstimates::Make(pattern_, db_->doc(), estimator);
+  ASSERT_TRUE(estimates.ok());
+  CostModel cost_model;
+  OptimizeContext ctx{&pattern_, &estimates.value(), &cost_model, {}};
+  ctx.options.deadline_ms = 5.0;
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("opt.search.step", "delay:20").ok());
+
+  const uint64_t fallbacks_before =
+      MetricsRegistry::Global()
+          .GetCounter("sjos_opt_deadline_fallbacks_total")
+          .Value();
+  Result<OptimizeResult> result = MakeDppOptimizer()->Optimize(ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().fallback_from, "DPP");
+  EXPECT_NE(result.value().plan.note().find("fell back"), std::string::npos);
+  EXPECT_GT(MetricsRegistry::Global()
+                .GetCounter("sjos_opt_deadline_fallbacks_total")
+                .Value(),
+            fallbacks_before);
+  FailpointRegistry::Global().DisableAll();
+
+  // The fallback plan passes the differential oracle.
+  Executor exec(*db_);
+  Result<ExecResult> run = exec.Execute(pattern_, result.value().plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const auto expected = std::move(NaiveMatch(db_->doc(), pattern_)).value();
+  EXPECT_EQ(run.value().tuples.Canonical(), expected);
+
+  // Without the deadline, DPP completes normally and records no fallback.
+  ctx.options.deadline_ms = 0.0;
+  Result<OptimizeResult> normal = MakeDppOptimizer()->Optimize(ctx);
+  ASSERT_TRUE(normal.ok());
+  EXPECT_TRUE(normal.value().fallback_from.empty());
+}
+
+// The DP optimizer's per-level poll degrades the same way.
+TEST_F(GovernorTest, DpOptimizerDeadlineFallsBackToFp) {
+  PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
+      db_->doc(), db_->index(), db_->stats());
+  Result<PatternEstimates> estimates =
+      PatternEstimates::Make(pattern_, db_->doc(), estimator);
+  ASSERT_TRUE(estimates.ok());
+  CostModel cost_model;
+  OptimizeContext ctx{&pattern_, &estimates.value(), &cost_model, {}};
+  ctx.options.deadline_ms = 5.0;
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("opt.search.step", "delay:20").ok());
+  Result<OptimizeResult> result = MakeDpOptimizer()->Optimize(ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().fallback_from, "DP");
+}
+
+}  // namespace
+}  // namespace sjos

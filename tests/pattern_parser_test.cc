@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "query/pattern_parser.h"
 
 namespace sjos {
@@ -7,7 +9,12 @@ namespace {
 
 Pattern MustParse(std::string_view text) {
   Result<Pattern> p = ParsePattern(text);
-  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  if (!p.ok()) {
+    // .value() on an error aborts; exit cleanly so fault injection sees a
+    // test failure, not a crash.
+    ADD_FAILURE() << p.status().ToString();
+    std::exit(EXIT_FAILURE);
+  }
   return std::move(p).value();
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -8,7 +10,12 @@ namespace {
 
 Document MustParse(std::string_view text, const ParseOptions& options = {}) {
   Result<Document> doc = ParseXml(text, options);
-  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  if (!doc.ok()) {
+    // Fail loudly but cleanly: .value() on an error aborts, which would
+    // read as a crash under fault injection (e.g. the xml.parse failpoint).
+    ADD_FAILURE() << doc.status().ToString();
+    std::exit(EXIT_FAILURE);
+  }
   return std::move(doc).value();
 }
 
@@ -111,6 +118,67 @@ TEST(ParserTest, ErrorOnTrailingContent) {
 TEST(ParserTest, ErrorOnEmptyInput) {
   EXPECT_FALSE(ParseXml("").ok());
   EXPECT_FALSE(ParseXml("   ").ok());
+}
+
+TEST(ParserTest, ErrorOnDuplicateAttribute) {
+  Result<Document> doc = ParseXml("<a id=\"1\" id=\"2\"/>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("duplicate attribute"),
+            std::string::npos);
+  // Distinct names (including the same name on different elements) stay OK.
+  EXPECT_TRUE(ParseXml("<a id=\"1\" name=\"x\"><b id=\"1\"/></a>").ok());
+}
+
+// Malformed corpus: every entry must produce a clean ParseError — never a
+// crash, hang, or sanitizer report. Exercised under ASan/UBSan in CI.
+TEST(ParserTest, MalformedCorpusFailsCleanly) {
+  const char* corpus[] = {
+      // Truncations at every structural boundary.
+      "<",
+      "<a",
+      "<a ",
+      "<a/",
+      "<a>",
+      "<a><b>",
+      "<a></",
+      "<a></a",
+      "<a attr",
+      "<a attr=",
+      "<a attr=\"",
+      "<a attr=\"v",
+      "<a attr='v'",
+      "<a><!--",
+      "<a><![CDATA[",
+      "<a>&",
+      "<a>&amp",
+      "<a>&#",
+      "<a>&#x",
+      "<?xml",
+      "<!DOCTYPE",
+      // Mismatched / mis-nested tags.
+      "<a></b>",
+      "<a><b></a>",
+      "<a><b></a></b>",
+      "<a></a></a>",
+      "</a>",
+      // Duplicate attributes.
+      "<a x=\"1\" x=\"1\"/>",
+      "<a x='1' y='2' x='3'></a>",
+      // Garbage where markup is required. (Unknown entity references are
+      // deliberately lenient — decoded as literal text — so they are not
+      // part of this corpus.)
+      "<1a/>",
+      "<a><=></a>",
+  };
+  for (const char* text : corpus) {
+    Result<Document> doc = ParseXml(text);
+    EXPECT_FALSE(doc.ok()) << "accepted malformed input: " << text;
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.status().code(), StatusCode::kParseError) << text;
+      EXPECT_FALSE(doc.status().message().empty()) << text;
+    }
+  }
 }
 
 TEST(SerializerTest, RoundTripStructure) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "exec/naive_matcher.h"
 #include "exec/twig_join.h"
 #include "query/xpath.h"
@@ -11,7 +13,12 @@ namespace {
 
 XPathQuery MustParse(std::string_view text) {
   Result<XPathQuery> q = ParseXPath(text);
-  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  if (!q.ok()) {
+    // .value() on an error aborts; exit cleanly so fault injection sees a
+    // test failure, not a crash.
+    ADD_FAILURE() << text << ": " << q.status().ToString();
+    std::exit(EXIT_FAILURE);
+  }
   return std::move(q).value();
 }
 
