@@ -3,16 +3,25 @@
 // is where the asymptotic separation the paper argues for — DP exponential
 // vs DPP's pruned search vs FP's near-linear enumeration — becomes visible
 // far more starkly than on the 6-node workload queries.
+//
+// The BM_EnginePlan* benches measure the service layer instead: planning
+// latency through Engine::Plan with a warm plan cache (fingerprint + LRU
+// lookup + node-id remap) vs cold (a real search each call). Pass
+// `--plan-cache off` to force even the Warm variants through the search
+// path, which bounds the cache's bookkeeping overhead.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <string>
+#include <utility>
 
+#include "bench_util.h"
 #include "core/optimizer.h"
 #include "estimate/positional_histogram.h"
 #include "query/pattern_parser.h"
 #include "query/workload.h"
+#include "service/engine.h"
 #include "storage/catalog.h"
 
 namespace sjos {
@@ -132,7 +141,68 @@ void BM_FpStar(benchmark::State& state) {
 }
 BENCHMARK(BM_FpStar)->DenseRange(3, 7, 2);
 
+// ---------------------------------------------------------------------------
+// Service-layer planning latency: Engine::Plan warm (cache hit) vs cold
+// (cache disabled, full search every iteration).
+
+bool g_plan_cache_enabled = true;
+
+void RunEnginePlan(benchmark::State& state, OptimizerKind kind,
+                   const std::string& pattern_text, bool warm) {
+  Engine engine;
+  Status opened = engine.OpenDatabase(
+      std::move(MakePaperDataset("Pers", DatasetScale{5000, 1})).value());
+  SJOS_CHECK(opened.ok(), opened.ToString().c_str());
+  Pattern pattern = std::move(ParsePattern(pattern_text)).value();
+
+  QueryOptions options;
+  options.optimizer = kind;
+  options.use_plan_cache = warm && g_plan_cache_enabled;
+  if (options.use_plan_cache) {
+    // Prime the cache so every timed iteration is a hit.
+    SJOS_CHECK(engine.Plan(pattern, options).ok(), "priming Plan failed");
+  }
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    Result<PlannedQuery> planned = engine.Plan(pattern, options);
+    benchmark::DoNotOptimize(planned);
+    hits += planned.value().cache_hit ? 1 : 0;
+  }
+  state.counters["cache_hits"] = static_cast<double>(hits);
+}
+
+void BM_EnginePlanColdDpp(benchmark::State& state) {
+  RunEnginePlan(state, OptimizerKind::kDpp,
+                ChainPattern(static_cast<int>(state.range(0))), false);
+}
+BENCHMARK(BM_EnginePlanColdDpp)->DenseRange(3, 9, 2);
+
+void BM_EnginePlanWarmDpp(benchmark::State& state) {
+  RunEnginePlan(state, OptimizerKind::kDpp,
+                ChainPattern(static_cast<int>(state.range(0))), true);
+}
+BENCHMARK(BM_EnginePlanWarmDpp)->DenseRange(3, 9, 2);
+
+void BM_EnginePlanColdFp(benchmark::State& state) {
+  RunEnginePlan(state, OptimizerKind::kFp,
+                StarPattern(static_cast<int>(state.range(0))), false);
+}
+BENCHMARK(BM_EnginePlanColdFp)->DenseRange(3, 7, 2);
+
+void BM_EnginePlanWarmFp(benchmark::State& state) {
+  RunEnginePlan(state, OptimizerKind::kFp,
+                StarPattern(static_cast<int>(state.range(0))), true);
+}
+BENCHMARK(BM_EnginePlanWarmFp)->DenseRange(3, 7, 2);
+
 }  // namespace
 }  // namespace sjos
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sjos::g_plan_cache_enabled = sjos::bench::ParsePlanCacheFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

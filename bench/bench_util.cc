@@ -45,11 +45,9 @@ QueryEnv::QueryEnv(const DatasetHandle& dataset, Pattern pattern)
 void TimeExecution(const QueryEnv& env, const PhysicalPlan& plan,
                    uint64_t eval_row_budget, Measurement* m, int num_threads,
                    ExecLimits limits) {
-  ExecOptions options;
+  ExecOptions options = limits.ExecView();
   options.max_join_output_rows = eval_row_budget;
   options.num_threads = num_threads;
-  options.deadline_ms = limits.deadline_ms;
-  options.max_live_bytes = limits.max_live_bytes;
   Executor exec(env.db(), options);
   // One untimed warm-up run eliminates cold-cache noise on plans measured
   // with a single rep; a capped warm-up is reported directly.
@@ -123,6 +121,34 @@ Measurement MeasureBadPlan(const QueryEnv& env, size_t samples, uint64_t seed,
   TimeExecution(env, worst.value().plan, eval_row_budget, &m, num_threads,
                 limits);
   return m;
+}
+
+bool ParsePlanCacheFlag(int* argc, char** argv, bool default_on) {
+  bool on = default_on;
+  const std::string flag = "--plan-cache";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == flag && i + 1 < *argc) {
+      value = argv[++i];
+    } else if (arg.rfind(flag + "=", 0) == 0) {
+      value = arg.substr(flag.size() + 1);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (value == "on") {
+      on = true;
+    } else if (value == "off") {
+      on = false;
+    } else {
+      std::fprintf(stderr, "bench: ignoring %s %s (expected on|off)\n",
+                   flag.c_str(), value.c_str());
+    }
+  }
+  *argc = out;
+  return on;
 }
 
 std::string ParseJsonFlag(int* argc, char** argv) {

@@ -13,6 +13,7 @@
 #include "core/optimizer.h"
 #include "estimate/positional_histogram.h"
 #include "query/workload.h"
+#include "service/query_options.h"
 #include "storage/catalog.h"
 
 namespace sjos {
@@ -62,14 +63,13 @@ struct Measurement {
   std::string signature;     // compact plan shape
 };
 
-/// Governance limits applied to every timed execution, mirroring
-/// ExecOptions::{deadline_ms, max_live_bytes} (0 disables a limit). A
-/// governed run the governor cuts short reports `eval_capped`, exactly
-/// like the row-budget safety valve.
-struct ExecLimits {
-  uint64_t deadline_ms = 0;
-  uint64_t max_live_bytes = 0;
-};
+/// Governance limits applied to every timed execution. The benches share
+/// the service layer's QueryOptions instead of a private struct so
+/// deadline/memory-limit plumbing exists exactly once; only deadline_ms
+/// and max_live_bytes are consulted here (0 disables a limit). A governed
+/// run the governor cuts short reports `eval_capped`, exactly like the
+/// row-budget safety valve.
+using ExecLimits = QueryOptions;
 
 /// Runs `optimizer` on `env`: optimization timed over repeated runs (mean),
 /// the chosen plan executed once (re-run and averaged if very fast).
@@ -99,6 +99,10 @@ int ParseThreadsFlag(int* argc, char** argv, int default_threads = 1);
 /// (both also accept the `=N` form) so any bench can run governed. Absent
 /// flags leave the corresponding limit at 0 (off).
 ExecLimits ParseLimitFlags(int* argc, char** argv);
+
+/// Parses and strips a `--plan-cache on|off` / `--plan-cache=on|off` flag
+/// from argv. Returns `default_on` when the flag is absent.
+bool ParsePlanCacheFlag(int* argc, char** argv, bool default_on = true);
 
 /// Parses and strips a `--json <file>` / `--json=<file>` flag from argv.
 /// Returns the path, or empty when absent.

@@ -1,22 +1,19 @@
 // DBLP analytics: runs a batch of bibliography queries against a generated
-// DBLP-like data set, optimizing each with FP (the paper's recommendation
-// when optimization latency matters, e.g. online querying) and printing a
-// small report — the kind of workload an application built on this library
-// would run.
+// DBLP-like data set through the Engine, optimizing each with FP (the
+// paper's recommendation when optimization latency matters, e.g. online
+// querying) and printing a small report — the kind of workload an
+// application built on this library would run. The batch is run twice to
+// show the plan cache amortizing optimization on the second pass.
 //
 // Usage: dblp_analytics [target_nodes]   (default 500000, the paper's size)
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
-#include "common/timer.h"
-#include "core/optimizer.h"
-#include "estimate/positional_histogram.h"
-#include "exec/executor.h"
-#include "plan/plan_printer.h"
 #include "query/pattern_parser.h"
 #include "query/workload.h"
-#include "storage/catalog.h"
+#include "service/engine.h"
 
 using namespace sjos;
 
@@ -31,14 +28,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
     return 1;
   }
-  std::printf("DBLP data set: %zu nodes\n", db.value().doc().NumNodes());
-  std::printf("%s\n", db.value().stats().ToString(db.value().doc(), 10).c_str());
 
-  PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
-      db.value().doc(), db.value().index(), db.value().stats());
-  CostModel cost_model;
-  Executor executor(db.value());
-  auto fp = MakeFpOptimizer();
+  Engine engine;
+  if (!engine.OpenDatabase(std::move(db).value()).ok()) return 1;
+  std::printf("DBLP data set: %zu nodes\n", engine.db().doc().NumNodes());
+  std::printf("%s\n",
+              engine.db().stats().ToString(engine.db().doc(), 10).c_str());
 
   struct Report {
     const char* description;
@@ -54,8 +49,7 @@ int main(int argc, char** argv) {
       {"theses and their publishers", "phdthesis[/publisher]"},
   };
 
-  std::printf("%-44s %10s %10s %10s\n", "query", "opt(ms)", "eval(ms)",
-              "matches");
+  std::vector<Pattern> patterns;
   for (const Report& report : reports) {
     Result<Pattern> pattern = ParsePattern(report.pattern);
     if (!pattern.ok()) {
@@ -63,30 +57,36 @@ int main(int argc, char** argv) {
                    pattern.status().ToString().c_str());
       return 1;
     }
-    Result<PatternEstimates> estimates =
-        PatternEstimates::Make(pattern.value(), db.value().doc(), estimator);
-    if (!estimates.ok()) return 1;
-    OptimizeContext ctx{&pattern.value(), &estimates.value(), &cost_model};
-
-    Timer opt_timer;
-    Result<OptimizeResult> plan = fp->Optimize(ctx);
-    double opt_ms = opt_timer.ElapsedMs();
-    if (!plan.ok()) {
-      std::fprintf(stderr, "optimize failed: %s\n",
-                   plan.status().ToString().c_str());
-      return 1;
-    }
-    Result<ExecResult> result =
-        executor.Execute(pattern.value(), plan.value().plan);
-    if (!result.ok()) {
-      std::fprintf(stderr, "execute failed: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%-44s %10.3f %10.2f %10llu\n", report.description, opt_ms,
-                result.value().stats.wall_ms,
-                static_cast<unsigned long long>(
-                    result.value().stats.result_rows));
+    patterns.push_back(std::move(pattern).value());
   }
+
+  QueryOptions options;
+  options.optimizer = OptimizerKind::kFp;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    std::printf("%s\n%-44s %10s %10s %10s %6s\n",
+                pass == 0 ? "first pass (cold cache):"
+                          : "second pass (warm cache):",
+                "query", "opt(ms)", "eval(ms)", "matches", "cached");
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      Result<QueryResult> result = engine.Query(patterns[i], options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const QueryResult& qr = result.value();
+      std::printf("%-44s %10.3f %10.2f %10llu %6s\n", reports[i].description,
+                  qr.planned.opt_stats.opt_time_ms, qr.stats.wall_ms,
+                  static_cast<unsigned long long>(qr.stats.result_rows),
+                  qr.planned.cache_hit ? "hit" : "miss");
+    }
+    std::printf("\n");
+  }
+
+  PlanCacheCounters cc = engine.plan_cache().Counters();
+  std::printf("plan cache: %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(cc.hits),
+              static_cast<unsigned long long>(cc.misses));
   return 0;
 }

@@ -2,6 +2,9 @@
 // bundled data sets (or an XML file) and compare what all five algorithms
 // of the paper choose — plans, modelled costs, search statistics, and
 // actual execution time. The interactive counterpart of the Table 1 bench.
+// Each algorithm is one Engine::Query with a different
+// QueryOptions::optimizer; the cache is disabled so every row reports a
+// real search.
 //
 // Usage:
 //   optimizer_compare <pattern> [dataset] [nodes] [fold]
@@ -19,14 +22,10 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "core/optimizer.h"
-#include "estimate/positional_histogram.h"
-#include "exec/executor.h"
 #include "plan/plan_printer.h"
-#include "plan/plan_props.h"
 #include "query/pattern_parser.h"
 #include "query/workload.h"
-#include "storage/catalog.h"
+#include "service/engine.h"
 #include "xml/fold.h"
 #include "xml/generators/xmark_gen.h"
 #include "xml/parser.h"
@@ -81,45 +80,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
     return 1;
   }
-  std::printf("database '%s': %zu nodes\n", db.value().name().c_str(),
-              db.value().doc().NumNodes());
-  std::printf("pattern: %s\n\n", pattern.value().ToString().c_str());
 
-  PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
-      db.value().doc(), db.value().index(), db.value().stats());
-  Result<PatternEstimates> estimates =
-      PatternEstimates::Make(pattern.value(), db.value().doc(), estimator);
-  if (!estimates.ok()) {
-    std::fprintf(stderr, "%s\n", estimates.status().ToString().c_str());
-    return 1;
-  }
-  CostModel cost_model;
-  OptimizeContext ctx{&pattern.value(), &estimates.value(), &cost_model};
-  Executor executor(db.value());
+  Engine engine;
+  if (!engine.OpenDatabase(std::move(db).value()).ok()) return 1;
+  std::printf("database '%s': %zu nodes\n", engine.db().name().c_str(),
+              engine.db().doc().NumNodes());
+  std::printf("pattern: %s\n\n", pattern.value().ToString().c_str());
 
   std::printf("%-9s %10s %8s %12s %10s %9s  %s\n", "algo", "opt(ms)", "plans",
               "model-cost", "eval(ms)", "rows", "plan");
-  for (const auto& optimizer :
-       MakePaperOptimizers(pattern.value().NumEdges())) {
-    Result<OptimizeResult> r = optimizer->Optimize(ctx);
+  for (OptimizerKind kind : kAllOptimizerKinds) {
+    QueryOptions options;
+    options.optimizer = kind;
+    options.use_plan_cache = false;  // every row reports a real search
+    Result<QueryResult> r = engine.Query(pattern.value(), options);
     if (!r.ok()) {
-      std::printf("%-9s %s\n", optimizer->name(),
+      std::printf("%-9s %s\n", OptimizerKindName(kind),
                   r.status().ToString().c_str());
       continue;
     }
-    Result<ExecResult> exec = executor.Execute(pattern.value(), r.value().plan);
-    if (!exec.ok()) {
-      std::printf("%-9s execution failed: %s\n", optimizer->name(),
-                  exec.status().ToString().c_str());
-      continue;
-    }
+    const QueryResult& qr = r.value();
     std::printf("%-9s %10.3f %8llu %12.0f %10.2f %9llu  %s\n",
-                optimizer->name(), r.value().stats.opt_time_ms,
+                qr.planned.algorithm.c_str(), qr.planned.opt_stats.opt_time_ms,
                 static_cast<unsigned long long>(
-                    r.value().stats.plans_considered),
-                r.value().modelled_cost, exec.value().stats.wall_ms,
-                static_cast<unsigned long long>(exec.value().stats.result_rows),
-                PlanSignature(r.value().plan, pattern.value()).c_str());
+                    qr.planned.opt_stats.plans_considered),
+                qr.planned.modelled_cost, qr.stats.wall_ms,
+                static_cast<unsigned long long>(qr.stats.result_rows),
+                PlanSignature(qr.planned.plan, pattern.value()).c_str());
   }
   return 0;
 }

@@ -1,8 +1,9 @@
 // Personnel demo: the paper's Example 2.2 end to end, on a generated Pers
 // data set. Shows how dramatically join order matters: the same query is
-// executed with the optimal plan (DPP), the best fully-pipelined plan
-// (FP), the best left-deep plan (DPAP-LD), and a deliberately bad random
-// plan, reporting intermediate-result sizes and wall time for each.
+// run through the Engine with the optimal plan (DPP), the best
+// fully-pipelined plan (FP), and the best left-deep plan (DPAP-LD), plus a
+// deliberately bad random plan via the expert Executor API, reporting
+// intermediate-result sizes and wall time for each.
 //
 // Usage: personnel_demo [target_nodes] [fold]
 //   target_nodes  unfolded Pers size (default 5000, the paper's)
@@ -11,28 +12,17 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/optimizer.h"
-#include "estimate/positional_histogram.h"
 #include "exec/executor.h"
 #include "plan/plan_printer.h"
-#include "plan/plan_props.h"
 #include "plan/random_plans.h"
 #include "query/workload.h"
-#include "storage/catalog.h"
+#include "service/engine.h"
 
 using namespace sjos;
 
 namespace {
 
-void RunPlan(const Database& db, const Pattern& pattern,
-             const PhysicalPlan& plan, const char* label) {
-  Executor executor(db);
-  Result<ExecResult> result = executor.Execute(pattern, plan);
-  if (!result.ok()) {
-    std::printf("%-22s failed: %s\n", label, result.status().ToString().c_str());
-    return;
-  }
-  const ExecStats& stats = result.value().stats;
+void Report(const char* label, const ExecStats& stats) {
   std::printf(
       "%-22s %9.3f ms   %8llu results   %9llu intermediate rows   %zu sorts\n",
       label, stats.wall_ms,
@@ -55,14 +45,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
     return 1;
   }
+
+  Engine engine;
+  if (!engine.OpenDatabase(std::move(db).value()).ok()) return 1;
   std::printf("Pers data set: %zu nodes (%llu unfolded x%u)\n",
-              db.value().doc().NumNodes(),
+              engine.db().doc().NumNodes(),
               static_cast<unsigned long long>(target_nodes), fold);
-  std::printf("  managers=%llu employees=%llu departments=%llu names=%llu\n\n",
-              static_cast<unsigned long long>(db.value().CardinalityOf("manager")),
-              static_cast<unsigned long long>(db.value().CardinalityOf("employee")),
-              static_cast<unsigned long long>(db.value().CardinalityOf("department")),
-              static_cast<unsigned long long>(db.value().CardinalityOf("name")));
+  std::printf(
+      "  managers=%llu employees=%llu departments=%llu names=%llu\n\n",
+      static_cast<unsigned long long>(engine.db().CardinalityOf("manager")),
+      static_cast<unsigned long long>(engine.db().CardinalityOf("employee")),
+      static_cast<unsigned long long>(engine.db().CardinalityOf("department")),
+      static_cast<unsigned long long>(engine.db().CardinalityOf("name")));
 
   // The paper's Example 2.2: "for each manager A, list the names of the
   // employees supervised by A, and the name of any department that is
@@ -70,34 +64,41 @@ int main(int argc, char** argv) {
   BenchQuery query = std::move(FindQuery("Q.Pers.3.d")).value();
   std::printf("query (Fig. 1): %s\n\n", query.pattern.ToString().c_str());
 
-  PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
-      db.value().doc(), db.value().index(), db.value().stats());
-  PatternEstimates estimates =
-      std::move(PatternEstimates::Make(query.pattern, db.value().doc(),
-                                       estimator))
-          .value();
-  CostModel cost_model;
-  OptimizeContext ctx{&query.pattern, &estimates, &cost_model};
-
   struct Candidate {
     const char* label;
-    Result<OptimizeResult> result;
+    OptimizerKind kind;
   };
-  Candidate candidates[] = {
-      {"DPP (optimal)", MakeDppOptimizer()->Optimize(ctx)},
-      {"FP (pipelined)", MakeFpOptimizer()->Optimize(ctx)},
-      {"DPAP-LD (left-deep)", MakeDpapLdOptimizer()->Optimize(ctx)},
+  const Candidate candidates[] = {
+      {"DPP (optimal)", OptimizerKind::kDpp},
+      {"FP (pipelined)", OptimizerKind::kFp},
+      {"DPAP-LD (left-deep)", OptimizerKind::kDpapLd},
   };
+
+  // Plan with each algorithm first so the plans print together, then
+  // execute. The per-kind cache entries make the execution pass re-use
+  // the plans without re-running the searches.
   for (const Candidate& c : candidates) {
-    if (!c.result.ok()) {
+    QueryOptions options;
+    options.optimizer = c.kind;
+    Result<PlannedQuery> planned = engine.Plan(query.pattern, options);
+    if (!planned.ok()) {
       std::fprintf(stderr, "%s: %s\n", c.label,
-                   c.result.status().ToString().c_str());
+                   planned.status().ToString().c_str());
       return 1;
     }
     std::printf("%s chose:\n%s\n", c.label,
-                PrintPlan(c.result.value().plan, query.pattern).c_str());
+                PrintPlan(planned.value().plan, query.pattern).c_str());
   }
 
+  // The deliberately bad plan goes through the expert API: random plan
+  // enumeration needs raw estimates, and execution a raw Executor.
+  PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
+      engine.db().doc(), engine.db().index(), engine.db().stats());
+  PatternEstimates estimates =
+      std::move(PatternEstimates::Make(query.pattern, engine.db().doc(),
+                                       estimator))
+          .value();
+  CostModel cost_model;
   Result<WorstPlanResult> bad =
       WorstOfRandomPlans(query.pattern, estimates, cost_model, 100, 4242);
   if (!bad.ok()) return 1;
@@ -106,8 +107,26 @@ int main(int argc, char** argv) {
 
   std::printf("execution comparison:\n");
   for (const Candidate& c : candidates) {
-    RunPlan(db.value(), query.pattern, c.result.value().plan, c.label);
+    QueryOptions options;
+    options.optimizer = c.kind;
+    Result<QueryResult> result = engine.Query(query.pattern, options);
+    if (!result.ok()) {
+      std::printf("%-22s failed: %s\n", c.label,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    Report(c.label, result.value().stats);
   }
-  RunPlan(db.value(), query.pattern, bad.value().plan, "worst-of-100 random");
+  {
+    Executor executor(engine.db());
+    Result<ExecResult> result =
+        executor.Execute(query.pattern, bad.value().plan);
+    if (!result.ok()) {
+      std::printf("%-22s failed: %s\n", "worst-of-100 random",
+                  result.status().ToString().c_str());
+    } else {
+      Report("worst-of-100 random", result.value().stats);
+    }
+  }
   return 0;
 }

@@ -1,23 +1,23 @@
 // Quickstart: the whole pipeline in one page.
 //
 //   1. Parse an XML document (or generate one).
-//   2. Open it as a Database (builds tag indexes + statistics).
+//   2. Load it into an Engine (builds tag indexes, statistics, estimator).
 //   3. Parse a pattern query.
-//   4. Build positional-histogram cardinality estimates.
-//   5. Optimize with DPP (the paper's recommended optimal algorithm).
-//   6. Execute the plan and read the matches.
+//   4. Query: the Engine estimates, optimizes (DPP by default, with plan
+//      caching), and executes in one call.
+//
+// The step-by-step expert API (Database / PatternEstimates / Optimizer /
+// Executor) is still available — see optimizer_compare.cpp internals or
+// the header comments of exec/executor.h and core/optimizer.h.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build &&
 //               ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/optimizer.h"
-#include "estimate/positional_histogram.h"
-#include "exec/executor.h"
 #include "plan/plan_printer.h"
 #include "query/pattern_parser.h"
-#include "storage/catalog.h"
+#include "service/engine.h"
 #include "xml/parser.h"
 
 int main() {
@@ -41,10 +41,12 @@ int main() {
     return 1;
   }
 
-  // 2. Open the database: tag index + per-tag statistics.
-  Database db = Database::Open(std::move(doc).value(), "quickstart");
-  std::printf("loaded %zu nodes, %zu distinct tags\n\n", db.doc().NumNodes(),
-              db.doc().dict().size());
+  // 2. Load into an Engine: tag index + statistics + estimator, ready to
+  //    serve queries.
+  Engine engine;
+  if (!engine.Load(std::move(doc).value(), "quickstart").ok()) return 1;
+  std::printf("loaded %zu nodes, %zu distinct tags\n\n",
+              engine.db().doc().NumNodes(), engine.db().doc().dict().size());
 
   // 3. The running example of the paper's Fig. 1: managers with a
   //    descendant employee (with name) and a descendant manager directly
@@ -58,40 +60,23 @@ int main() {
   }
   std::printf("query pattern: %s\n\n", pattern.value().ToString().c_str());
 
-  // 4. Cardinality estimates from positional histograms.
-  PositionalHistogramEstimator estimator = PositionalHistogramEstimator::Build(
-      db.doc(), db.index(), db.stats());
-  Result<PatternEstimates> estimates =
-      PatternEstimates::Make(pattern.value(), db.doc(), estimator);
-  if (!estimates.ok()) return 1;
-
-  // 5. Optimize. DPP explores the whole plan space with pruning and is
-  //    guaranteed to return the cheapest plan under the cost model.
-  CostModel cost_model;
-  OptimizeContext ctx{&pattern.value(), &estimates.value(), &cost_model};
-  Result<OptimizeResult> optimized = MakeDppOptimizer()->Optimize(ctx);
-  if (!optimized.ok()) {
-    std::fprintf(stderr, "optimize failed: %s\n",
-                 optimized.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("chosen plan (%llu alternatives considered, %.3f ms):\n%s\n",
-              static_cast<unsigned long long>(
-                  optimized.value().stats.plans_considered),
-              optimized.value().stats.opt_time_ms,
-              PrintPlanWithEstimates(optimized.value().plan, pattern.value(),
-                                     estimates.value(), cost_model)
-                  .c_str());
-
-  // 6. Execute.
-  Executor executor(db);
-  Result<ExecResult> result =
-      executor.Execute(pattern.value(), optimized.value().plan);
+  // 4. Query. QueryOptions defaults to DPP — the paper's recommended
+  //    optimal algorithm — with the plan cache enabled, so repeating the
+  //    pattern skips optimization entirely.
+  Result<QueryResult> result = engine.Query(pattern.value(), QueryOptions{});
   if (!result.ok()) {
-    std::fprintf(stderr, "execute failed: %s\n",
+    std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
+  const PlannedQuery& planned = result.value().planned;
+  std::printf("chosen plan (%s, %llu alternatives considered, %.3f ms):\n%s\n",
+              planned.algorithm.c_str(),
+              static_cast<unsigned long long>(
+                  planned.opt_stats.plans_considered),
+              planned.opt_stats.opt_time_ms,
+              PrintPlan(planned.plan, pattern.value()).c_str());
+
   const TupleSet& tuples = result.value().tuples;
   std::printf("matches: %zu (executed in %.3f ms)\n", tuples.size(),
               result.value().stats.wall_ms);
@@ -101,7 +86,7 @@ int main() {
       PatternNodeId pnode = tuples.slots()[slot];
       NodeId bound = tuples.At(row, slot);
       // Show the element's own text if it has any (name nodes do).
-      std::string_view text = db.doc().TextOf(bound);
+      std::string_view text = engine.db().doc().TextOf(bound);
       if (text.empty()) {
         std::printf("  %s@%u", pattern.value().node(pnode).tag.c_str(), bound);
       } else {
@@ -110,6 +95,16 @@ int main() {
       }
     }
     std::printf("\n");
+  }
+
+  // Bonus: the same query again — served from the plan cache.
+  Result<QueryResult> again = engine.Query(pattern.value(), QueryOptions{});
+  if (again.ok()) {
+    PlanCacheCounters cc = engine.plan_cache().Counters();
+    std::printf("\nsecond run: cache_hit=%s (cache: %llu hits, %llu misses)\n",
+                again.value().planned.cache_hit ? "yes" : "no",
+                static_cast<unsigned long long>(cc.hits),
+                static_cast<unsigned long long>(cc.misses));
   }
   return 0;
 }

@@ -1,10 +1,13 @@
 // sjos_shell: a small interactive query shell over the library — load or
 // generate a document, inspect statistics, and run pattern or XPath
 // queries with any of the five optimizers (or the holistic twig join).
+// Queries go through sjos::Engine, so repeated patterns are served from
+// the plan cache (inspect it with \cache stats).
 //
 // Commands (one per line; '#' starts a comment):
 //   gen <Pers|DBLP|Mbench|XMark> [nodes] [fold]   generate a data set
 //   load <path.xml>                               parse an XML file
+//   fold <factor>                                 refold the loaded document
 //   stats                                         document statistics
 //   algo <dp|dpp|dpap-eb|dpap-ld|fp>              choose the optimizer
 //   query <pattern>                               run a pattern query
@@ -24,15 +27,12 @@
 #include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/trace.h"
-#include "core/optimizer.h"
-#include "estimate/positional_histogram.h"
-#include "exec/executor.h"
 #include "exec/twig_join.h"
 #include "plan/plan_printer.h"
 #include "query/pattern_parser.h"
 #include "query/workload.h"
 #include "query/xpath.h"
-#include "storage/catalog.h"
+#include "service/engine.h"
 #include "xml/generators/xmark_gen.h"
 #include "xml/parser.h"
 
@@ -71,6 +71,8 @@ class Shell {
       Generate(words);
     } else if (command == "load") {
       Load(words);
+    } else if (command == "fold") {
+      Fold(words);
     } else if (command == "stats") {
       Stats();
     } else if (command == "algo") {
@@ -85,6 +87,8 @@ class Shell {
                             .c_str());
     } else if (command == "\\trace") {
       Trace(words);
+    } else if (command == "\\cache") {
+      Cache(words);
     } else if (command == "\\deadline") {
       SetLimit(words, &deadline_ms_, "deadline", "ms");
     } else if (command == "\\memlimit") {
@@ -103,6 +107,7 @@ class Shell {
     std::printf(
         "  gen <Pers|DBLP|Mbench|XMark> [nodes] [fold]\n"
         "  load <path.xml>\n"
+        "  fold <factor>       refold the loaded document (Sec. 4.3 scaling)\n"
         "  stats\n"
         "  algo <dp|dpp|dpap-eb|dpap-ld|fp>   (current: %s)\n"
         "  query <pattern>     e.g. query manager[//employee[/name]]\n"
@@ -112,11 +117,13 @@ class Shell {
         "  \\metrics            dump the metrics registry (Prometheus text)\n"
         "  \\trace on <file>    start recording a Chrome trace\n"
         "  \\trace off          stop recording and flush the trace file\n"
-        "  \\deadline <ms>      per-query deadline, optimizer + executor"
+        "  \\cache stats        plan-cache size and hit/miss counters\n"
+        "  \\cache clear        drop every cached plan\n"
+        "  \\deadline <ms>      whole-query deadline, optimize + execute"
         " (0 = off)\n"
         "  \\memlimit <bytes>   executor live-bytes budget (0 = off)\n"
         "  quit\n",
-        optimizer_->name());
+        OptimizerKindName(algo_));
   }
 
   void SetLimit(std::istringstream* words, uint64_t* slot, const char* what,
@@ -162,6 +169,30 @@ class Shell {
     }
   }
 
+  void Cache(std::istringstream* words) {
+    std::string verb;
+    *words >> verb;
+    if (verb == "stats") {
+      PlanCacheCounters c = engine_.plan_cache().Counters();
+      std::printf(
+          "plan cache: %zu/%zu entries (stats version %llu)\n"
+          "  hits=%llu misses=%llu evictions=%llu invalidations=%llu "
+          "qerror_evictions=%llu\n",
+          engine_.plan_cache().Size(), engine_.plan_cache().capacity(),
+          static_cast<unsigned long long>(engine_.stats_version()),
+          static_cast<unsigned long long>(c.hits),
+          static_cast<unsigned long long>(c.misses),
+          static_cast<unsigned long long>(c.evictions),
+          static_cast<unsigned long long>(c.invalidations),
+          static_cast<unsigned long long>(c.qerror_evictions));
+    } else if (verb == "clear") {
+      engine_.plan_cache().Clear();
+      std::printf("plan cache cleared\n");
+    } else {
+      std::printf("usage: \\cache stats | \\cache clear\n");
+    }
+  }
+
   void Generate(std::istringstream* words) {
     std::string name;
     uint64_t nodes = 0;
@@ -200,42 +231,49 @@ class Shell {
     Open(Database::Open(std::move(doc).value(), path));
   }
 
+  void Fold(std::istringstream* words) {
+    uint32_t factor = 0;
+    if (!(*words >> factor) || factor == 0) {
+      std::printf("usage: fold <factor>\n");
+      return;
+    }
+    Status st = engine_.Fold(factor);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::printf("folded x%u: %zu nodes now (stats version %llu — cached "
+                "plans will re-optimize)\n",
+                factor, engine_.db().doc().NumNodes(),
+                static_cast<unsigned long long>(engine_.stats_version()));
+  }
+
   void Open(Database db) {
-    db_ = std::make_unique<Database>(std::move(db));
-    estimator_ = std::make_unique<PositionalHistogramEstimator>(
-        PositionalHistogramEstimator::Build(db_->doc(), db_->index(),
-                                            db_->stats()));
-    std::printf("opened '%s': %zu nodes, %zu tags\n", db_->name().c_str(),
-                db_->doc().NumNodes(), db_->doc().dict().size());
+    if (!engine_.OpenDatabase(std::move(db)).ok()) return;
+    std::printf("opened '%s': %zu nodes, %zu tags\n",
+                engine_.db().name().c_str(), engine_.db().doc().NumNodes(),
+                engine_.db().doc().dict().size());
   }
 
   void Stats() {
     if (!Ready()) return;
-    std::printf("%s", db_->stats().ToString(db_->doc()).c_str());
+    std::printf("%s", engine_.db().stats().ToString(engine_.db().doc()).c_str());
   }
 
   void ChooseAlgo(std::istringstream* words) {
     std::string name;
     *words >> name;
-    if (name == "dp") {
-      optimizer_ = MakeDpOptimizer();
-    } else if (name == "dpp") {
-      optimizer_ = MakeDppOptimizer();
-    } else if (name == "dpap-eb") {
-      optimizer_ = MakeDpapEbOptimizer(8);
-    } else if (name == "dpap-ld") {
-      optimizer_ = MakeDpapLdOptimizer();
-    } else if (name == "fp") {
-      optimizer_ = MakeFpOptimizer();
-    } else {
-      std::printf("unknown algorithm '%s'\n", name.c_str());
+    Result<OptimizerKind> kind = ParseOptimizerKind(name);
+    if (!kind.ok()) {
+      std::printf("%s\n", kind.status().message().c_str());
       return;
     }
-    std::printf("optimizer: %s\n", optimizer_->name());
+    algo_ = kind.value();
+    std::printf("optimizer: %s\n", OptimizerKindName(algo_));
   }
 
   bool Ready() {
-    if (db_ == nullptr) {
+    if (!engine_.has_database()) {
       std::printf("no document loaded — use 'gen' or 'load' first\n");
       return false;
     }
@@ -265,10 +303,36 @@ class Shell {
     Execute("query", query.value().pattern);
   }
 
+  QueryOptions Options() const {
+    QueryOptions options;
+    options.optimizer = algo_;
+    options.deadline_ms = deadline_ms_;
+    options.max_live_bytes = mem_limit_bytes_;
+    return options;
+  }
+
+  void PrintPlanned(const PlannedQuery& planned, const Pattern& pattern) {
+    if (!planned.fallback_from.empty()) {
+      std::printf("note: %s hit its deadline; plan below is the FP fallback\n",
+                  planned.fallback_from.c_str());
+    }
+    if (planned.cache_hit) {
+      std::printf("%s plan (cache hit — no search ran):\n%s",
+                  planned.algorithm.c_str(),
+                  PrintPlan(planned.plan, pattern).c_str());
+    } else {
+      std::printf("%s plan (%.3f ms, %llu alternatives):\n%s",
+                  planned.algorithm.c_str(), planned.opt_stats.opt_time_ms,
+                  static_cast<unsigned long long>(
+                      planned.opt_stats.plans_considered),
+                  PrintPlan(planned.plan, pattern).c_str());
+    }
+  }
+
   void Execute(const std::string& mode, const Pattern& pattern) {
     if (mode == "twig") {
       TwigJoinStats stats;
-      Result<TupleSet> result = TwigJoin(*db_, pattern, &stats);
+      Result<TupleSet> result = TwigJoin(engine_.db(), pattern, &stats);
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
         return;
@@ -278,67 +342,49 @@ class Shell {
                   static_cast<unsigned long long>(stats.path_solutions));
       return;
     }
-    Result<PatternEstimates> estimates =
-        PatternEstimates::Make(pattern, db_->doc(), *estimator_);
-    if (!estimates.ok()) {
-      std::printf("error: %s\n", estimates.status().ToString().c_str());
+    if (mode == "plan") {
+      Result<PlannedQuery> planned = engine_.Plan(pattern, Options());
+      if (!planned.ok()) {
+        std::printf("error: %s\n", planned.status().ToString().c_str());
+        return;
+      }
+      PrintPlanned(planned.value(), pattern);
       return;
     }
-    OptimizeContext ctx{&pattern, &estimates.value(), &cost_model_, {}};
-    ctx.options.deadline_ms = static_cast<double>(deadline_ms_);
-    Result<OptimizeResult> plan = optimizer_->Optimize(ctx);
-    if (!plan.ok()) {
-      std::printf("error: %s\n", plan.status().ToString().c_str());
-      return;
-    }
-    if (!plan.value().fallback_from.empty()) {
-      std::printf("note: %s hit its deadline; plan below is the FP fallback\n",
-                  plan.value().fallback_from.c_str());
-    }
-    std::printf("%s plan (%.3f ms, %llu alternatives):\n%s",
-                optimizer_->name(), plan.value().stats.opt_time_ms,
-                static_cast<unsigned long long>(
-                    plan.value().stats.plans_considered),
-                PrintPlanWithEstimates(plan.value().plan, pattern,
-                                       estimates.value(), cost_model_)
-                    .c_str());
-    if (mode == "plan") return;
-    ExecOptions exec_options;
-    exec_options.deadline_ms = deadline_ms_;
-    exec_options.max_live_bytes = mem_limit_bytes_;
-    Executor executor(*db_, exec_options);
-    Result<ExecResult> result = executor.Execute(pattern, plan.value().plan);
+    QueryErrorInfo error_info;
+    Result<QueryResult> result = engine_.Query(pattern, Options(), &error_info);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       // The governor leaves partial stats behind when it cut the query short.
-      if (!executor.last_verdict().empty()) {
+      if (!error_info.verdict.empty()) {
         std::printf(
             "governor verdict: %s (after %.3f ms, %llu rows out, peak %llu "
             "live rows / %llu live bytes)\n",
-            executor.last_verdict().c_str(), executor.last_stats().wall_ms,
-            static_cast<unsigned long long>(executor.last_stats().result_rows),
+            error_info.verdict.c_str(), error_info.partial_stats.wall_ms,
             static_cast<unsigned long long>(
-                executor.last_stats().peak_live_rows),
+                error_info.partial_stats.result_rows),
             static_cast<unsigned long long>(
-                executor.last_stats().peak_live_bytes));
+                error_info.partial_stats.peak_live_rows),
+            static_cast<unsigned long long>(
+                error_info.partial_stats.peak_live_bytes));
       }
       return;
     }
+    PrintPlanned(result.value().planned, pattern);
     std::printf("%llu matches in %.3f ms (peak %llu live rows)\n",
-                static_cast<unsigned long long>(result.value().stats.result_rows),
+                static_cast<unsigned long long>(
+                    result.value().stats.result_rows),
                 result.value().stats.wall_ms,
                 static_cast<unsigned long long>(
                     result.value().stats.peak_live_rows));
     std::printf("measured (EXPLAIN ANALYZE):\n%s",
-                PrintPlanAnalyze(plan.value().plan, pattern,
+                PrintPlanAnalyze(result.value().planned.plan, pattern,
                                  result.value().op_stats)
                     .c_str());
   }
 
-  std::unique_ptr<Database> db_;
-  std::unique_ptr<PositionalHistogramEstimator> estimator_;
-  CostModel cost_model_;
-  std::unique_ptr<Optimizer> optimizer_ = MakeDppOptimizer();
+  Engine engine_;
+  OptimizerKind algo_ = OptimizerKind::kDpp;
   uint64_t deadline_ms_ = 0;        // \deadline — 0 disables
   uint64_t mem_limit_bytes_ = 0;    // \memlimit — 0 disables
 };

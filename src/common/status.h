@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnsupported,
   kDeadlineExceeded,
   kResourceExhausted,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "ParseError"...).
@@ -58,6 +59,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,13 @@
 // The optimizer interface shared by the five algorithms of Sec. 3, plus
 // the statistics each run reports (optimization time and the number of
 // alternative plans considered — the currency of Table 2).
+//
+// Expert path: these factories and OptimizeContext are the low-level
+// optimization API — you bring your own PatternEstimates and CostModel and
+// execute the plan yourself. Most callers should use sjos::Engine
+// (service/engine.h), which selects the algorithm via
+// QueryOptions::optimizer, caches plans across repeated patterns, and
+// handles estimation wiring internally.
 
 #ifndef SJOS_CORE_OPTIMIZER_H_
 #define SJOS_CORE_OPTIMIZER_H_

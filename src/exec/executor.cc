@@ -339,7 +339,8 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
   TraceSpan span(streaming ? "execute.streaming" : "execute.materialize");
   ExecResult result;
   result.op_stats.assign(plan.NumOps(), OpStats{});
-  QueryGovernor governor(options_.deadline_ms, options_.max_live_bytes);
+  QueryGovernor governor(options_.deadline_ms, options_.max_live_bytes,
+                         options_.cancel_token);
   governor_ = governor.has_limits() ? &governor : nullptr;
   last_verdict_.clear();
   Timer timer;
@@ -410,7 +411,8 @@ Result<ExecStats> Executor::ExecuteStreaming(const Pattern& pattern,
   std::vector<OpStats> local_ops;
   std::vector<OpStats>* ops = op_stats != nullptr ? op_stats : &local_ops;
   ops->assign(plan.NumOps(), OpStats{});
-  QueryGovernor governor(options_.deadline_ms, options_.max_live_bytes);
+  QueryGovernor governor(options_.deadline_ms, options_.max_live_bytes,
+                         options_.cancel_token);
   last_verdict_.clear();
   Timer timer;
   ExecContext ctx;

@@ -9,10 +9,17 @@
 // byte-identical tuples and identical counters. Wall time plus
 // operator-level counters let benches decompose where time and memory
 // went.
+//
+// Expert path: Executor is the low-level execution API — you bring your own
+// Database, plan (from core/optimizer.h), and ExecOptions. Most callers
+// should use sjos::Engine (service/engine.h) instead, which wires catalog,
+// estimation, optimizer choice, plan caching, and admission behind one
+// QueryOptions struct and delegates here.
 
 #ifndef SJOS_EXEC_EXECUTOR_H_
 #define SJOS_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -126,6 +133,13 @@ struct ExecOptions {
   /// halves the batch size once as relief; a breach that survives relief
   /// fails the query with Status::ResourceExhausted.
   uint64_t max_live_bytes = 0;
+
+  /// Externally owned cancel flag (e.g. a QueryHandle's token), polled at
+  /// the same cooperative points as the deadline. Once it reads true the
+  /// query unwinds with Status::Cancelled and verdict "cancelled". The
+  /// pointee must outlive the Execute/ExecuteStreaming call. Null = not
+  /// cancellable.
+  const std::atomic<bool>* cancel_token = nullptr;
 };
 
 /// Executes plans against one database.

@@ -16,9 +16,11 @@ std::chrono::steady_clock::time_point DeadlineFrom(uint64_t deadline_ms) {
 
 }  // namespace
 
-QueryGovernor::QueryGovernor(uint64_t deadline_ms, uint64_t max_live_bytes)
+QueryGovernor::QueryGovernor(uint64_t deadline_ms, uint64_t max_live_bytes,
+                             const std::atomic<bool>* external_cancel)
     : deadline_ms_(deadline_ms),
       max_live_bytes_(max_live_bytes),
+      external_cancel_(external_cancel),
       deadline_at_(DeadlineFrom(deadline_ms)) {}
 
 Status QueryGovernor::FailDeadline() {
@@ -43,6 +45,14 @@ Status QueryGovernor::FailMemory(uint64_t cur_live_bytes) {
       "query live set " + std::to_string(cur_live_bytes) +
       " bytes exceeds budget of " + std::to_string(max_live_bytes_) +
       " bytes");
+}
+
+Status QueryGovernor::FailCancelled() {
+  int expected = 0;
+  verdict_.compare_exchange_strong(expected, 3, std::memory_order_relaxed);
+  Cancel();
+  MetricsRegistry::Global().GetCounter("sjos_governor_cancelled_total").Add();
+  return Status::Cancelled("query cancelled by caller");
 }
 
 Status QueryGovernor::Check(uint64_t cur_live_bytes, size_t* batch_rows) {
@@ -72,8 +82,19 @@ Status QueryGovernor::Check(uint64_t cur_live_bytes, size_t* batch_rows) {
 }
 
 Status QueryGovernor::CheckDeadline() {
-  if (cancelled() && verdict_.load(std::memory_order_relaxed) == 1) {
-    return FailDeadline();
+  if (external_cancel_ != nullptr &&
+      external_cancel_->load(std::memory_order_relaxed)) {
+    return FailCancelled();
+  }
+  if (cancelled()) {
+    switch (verdict_.load(std::memory_order_relaxed)) {
+      case 1:
+        return FailDeadline();
+      case 3:
+        return FailCancelled();
+      default:
+        break;  // memory verdicts re-judge below (driver-only state).
+    }
   }
   if (deadline_ms_ == 0) return Status::OK();
   if (std::chrono::steady_clock::now() < deadline_at_) return Status::OK();
@@ -86,6 +107,8 @@ const char* QueryGovernor::verdict() const {
       return "deadline";
     case 2:
       return "memory";
+    case 3:
+      return "cancelled";
     default:
       return "";
   }

@@ -41,9 +41,17 @@ class QueryGovernor {
   static constexpr uint32_t kReliefGraceChecks = 8;
 
   /// `deadline_ms` / `max_live_bytes` of 0 disable that limit.
-  QueryGovernor(uint64_t deadline_ms, uint64_t max_live_bytes);
+  /// `external_cancel`, when non-null, is an externally owned flag (e.g. a
+  /// QueryHandle's cancel token) polled at every governance point; once it
+  /// reads true the query unwinds with Status::Cancelled. The pointee must
+  /// outlive the governor.
+  QueryGovernor(uint64_t deadline_ms, uint64_t max_live_bytes,
+                const std::atomic<bool>* external_cancel = nullptr);
 
-  bool has_limits() const { return deadline_ms_ != 0 || max_live_bytes_ != 0; }
+  bool has_limits() const {
+    return deadline_ms_ != 0 || max_live_bytes_ != 0 ||
+           external_cancel_ != nullptr;
+  }
   uint64_t deadline_ms() const { return deadline_ms_; }
   uint64_t max_live_bytes() const { return max_live_bytes_; }
 
@@ -64,7 +72,8 @@ class QueryGovernor {
   bool cancelled() const { return cancel_.load(std::memory_order_relaxed); }
   const std::atomic<bool>* cancel_token() const { return &cancel_; }
 
-  /// Which limit cut the query short: "" (none), "deadline", or "memory".
+  /// Which limit cut the query short: "" (none), "deadline", "memory", or
+  /// "cancelled" (external cancel token).
   const char* verdict() const;
 
   /// True once the byte-budget relief (batch halving) has been spent.
@@ -73,9 +82,11 @@ class QueryGovernor {
  private:
   Status FailDeadline();
   Status FailMemory(uint64_t cur_live_bytes);
+  Status FailCancelled();
 
   const uint64_t deadline_ms_;
   const uint64_t max_live_bytes_;
+  const std::atomic<bool>* const external_cancel_;
   const std::chrono::steady_clock::time_point deadline_at_;
 
   // Byte-budget relief state; driver thread only.
@@ -83,8 +94,9 @@ class QueryGovernor {
   uint32_t relief_grace_left_ = 0;
 
   std::atomic<bool> cancel_{false};
-  // 0 = none, 1 = deadline, 2 = memory. Atomic because partition workers
-  // can report a deadline breach while the driver reads the verdict.
+  // 0 = none, 1 = deadline, 2 = memory, 3 = cancelled. Atomic because
+  // partition workers can report a breach while the driver reads the
+  // verdict.
   std::atomic<int> verdict_{0};
 };
 

@@ -59,6 +59,24 @@ int PhysicalPlan::AddNavigate(PatternNodeId anc, PatternNodeId desc,
   return static_cast<int>(nodes_.size() - 1);
 }
 
+PhysicalPlan PhysicalPlan::WithRemappedPatternNodes(
+    const std::vector<PatternNodeId>& map) const {
+  auto remap = [&map](PatternNodeId id) -> PatternNodeId {
+    if (id == kNoPatternNode) return id;
+    SJOS_CHECK(id >= 0 && static_cast<size_t>(id) < map.size(),
+               "WithRemappedPatternNodes: id outside map");
+    return map[static_cast<size_t>(id)];
+  };
+  PhysicalPlan out = *this;
+  for (PlanNode& n : out.nodes_) {
+    n.scan_node = remap(n.scan_node);
+    n.anc_node = remap(n.anc_node);
+    n.desc_node = remap(n.desc_node);
+    n.sort_by = remap(n.sort_by);
+  }
+  return out;
+}
+
 int PhysicalPlan::AddSort(PatternNodeId sort_by, int input) {
   SJOS_CHECK(input >= 0 && static_cast<size_t>(input) < nodes_.size(),
              "AddSort input out of range");

@@ -97,6 +97,15 @@ class PhysicalPlan {
 
   bool Empty() const { return nodes_.empty() || root_ < 0; }
 
+  /// Returns a copy of this plan with every pattern-node reference
+  /// (scan_node / anc_node / desc_node / sort_by) rewritten through `map`:
+  /// id -> map[id]. Operator structure, estimates, and the note are kept.
+  /// The plan cache stores plans in canonical-id space and uses this to
+  /// translate to and from a concrete pattern's ids (see
+  /// PatternFingerprint::canonical_to_node).
+  PhysicalPlan WithRemappedPatternNodes(
+      const std::vector<PatternNodeId>& map) const;
+
  private:
   std::vector<PlanNode> nodes_;
   int root_ = -1;

@@ -1,5 +1,7 @@
 #include "query/pattern.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace sjos {
@@ -134,6 +136,77 @@ std::string Pattern::ToString() const {
   }
   return out;
 }
+
+namespace {
+
+// Appends the canonical encoding of the subtree rooted at `id` to the return
+// value and the subtree's nodes to `order` in canonical pre-order. Strings
+// (tags, predicate values) are length-prefixed so the encoding is injective:
+// no choice of tag or value can collide with the structural markers.
+std::string EncodeSubtree(const Pattern& p, PatternNodeId id,
+                          std::vector<PatternNodeId>* order) {
+  const PatternNode& n = p.node(id);
+  std::string enc;
+  if (n.parent != kNoPatternNode) enc += AxisToken(n.axis);
+  enc += std::to_string(n.tag.size());
+  enc += ':';
+  enc += n.tag;
+  if (!n.indexed) enc += '?';
+  if (!n.predicate.Empty()) {
+    enc += n.predicate.kind == ValuePredicate::Kind::kEquals ? '=' : '~';
+    enc += std::to_string(n.predicate.value.size());
+    enc += ':';
+    enc += n.predicate.value;
+  }
+  order->push_back(id);
+  struct ChildEnc {
+    std::string enc;
+    std::vector<PatternNodeId> order;
+    PatternNodeId id;
+  };
+  std::vector<ChildEnc> kids;
+  for (PatternNodeId child : p.ChildrenOf(id)) {
+    ChildEnc ce;
+    ce.id = child;
+    ce.enc = EncodeSubtree(p, child, &ce.order);
+    kids.push_back(std::move(ce));
+  }
+  // Identical sibling subtrees tie-break on id so the node mapping stays
+  // deterministic; the key itself is unaffected by the tie-break.
+  std::sort(kids.begin(), kids.end(), [](const ChildEnc& a, const ChildEnc& b) {
+    if (a.enc != b.enc) return a.enc < b.enc;
+    return a.id < b.id;
+  });
+  for (const ChildEnc& ce : kids) {
+    enc += '[';
+    enc += ce.enc;
+    enc += ']';
+    order->insert(order->end(), ce.order.begin(), ce.order.end());
+  }
+  return enc;
+}
+
+}  // namespace
+
+PatternFingerprint Pattern::CanonicalFingerprint() const {
+  PatternFingerprint fp;
+  if (nodes_.empty()) return fp;
+  fp.key = EncodeSubtree(*this, 0, &fp.canonical_to_node);
+  if (order_by_ != kNoPatternNode) {
+    // Record order_by as a canonical position so reordered-sibling patterns
+    // that order by corresponding nodes still share a key.
+    for (size_t i = 0; i < fp.canonical_to_node.size(); ++i) {
+      if (fp.canonical_to_node[i] == order_by_) {
+        fp.key += '!';
+        fp.key += std::to_string(i);
+        break;
+      }
+    }
+  }
+  return fp;
+}
+
+std::string Pattern::CanonicalKey() const { return CanonicalFingerprint().key; }
 
 bool Pattern::operator==(const Pattern& other) const {
   if (nodes_.size() != other.nodes_.size() || order_by_ != other.order_by_) {

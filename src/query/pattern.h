@@ -61,6 +61,20 @@ struct PatternNode {
   bool indexed = true;
 };
 
+/// Canonical identity of a pattern, used as the plan-cache fingerprint.
+/// `key` is an unambiguous serialization of the pattern tree in which the
+/// children of every node are ordered by their own canonical encodings, so
+/// two patterns that differ only in the insertion order of sibling subtrees
+/// share the same key. `canonical_to_node` maps each canonical position
+/// (a deterministic pre-order over the canonicalized tree) back to this
+/// pattern's node ids — the bridge that lets a plan cached under one
+/// sibling ordering be replayed against another (see
+/// PhysicalPlan::WithRemappedPatternNodes).
+struct PatternFingerprint {
+  std::string key;
+  std::vector<PatternNodeId> canonical_to_node;
+};
+
 /// A query pattern tree. Nodes are added root-first; the structure is
 /// immutable once handed to the optimizer.
 class Pattern {
@@ -113,6 +127,15 @@ class Pattern {
 
   /// Compact text form, e.g. "manager[//employee[/name]][//department]".
   std::string ToString() const;
+
+  /// Canonical fingerprint: covers tags, axes, value predicates, `indexed`
+  /// flags, and order_by, and is insensitive to the insertion order of
+  /// sibling subtrees. Everything the optimizer's plan choice can depend
+  /// on for a fixed document is in the key; nothing else is.
+  PatternFingerprint CanonicalFingerprint() const;
+
+  /// Just the key of CanonicalFingerprint(), for callers that only compare.
+  std::string CanonicalKey() const;
 
   bool operator==(const Pattern& other) const;
 

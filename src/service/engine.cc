@@ -1,0 +1,312 @@
+#include "service/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
+#include "xml/fold.h"
+
+namespace sjos {
+
+namespace {
+
+struct EngineMetrics {
+  Counter& queries;
+  Counter& submits;
+  Gauge& in_flight;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return new EngineMetrics{reg.GetCounter("sjos_engine_queries_total"),
+                               reg.GetCounter("sjos_engine_submits_total"),
+                               reg.GetGauge("sjos_engine_in_flight")};
+    }();
+    return *m;
+  }
+};
+
+/// Starts a trace session for one query when `path` is non-empty and no
+/// session is already active (an active session — e.g. SJOS_TRACE — keeps
+/// collecting instead); stops it when the query finishes.
+struct ScopedTraceSession {
+  explicit ScopedTraceSession(const std::string& path) {
+    if (!path.empty()) owned = Tracer::Global().Start(path).ok();
+  }
+  ~ScopedTraceSession() {
+    if (owned) Tracer::Global().Stop();
+  }
+  bool owned = false;
+};
+
+}  // namespace
+
+void QueryHandle::Cancel() {
+  if (state_ != nullptr) {
+    state_->cancel.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool QueryHandle::Done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+const Result<QueryResult>& QueryHandle::Wait() {
+  SJOS_CHECK(state_ != nullptr, "Wait on invalid QueryHandle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return *state_->result;
+}
+
+const QueryErrorInfo& QueryHandle::error_info() const {
+  SJOS_CHECK(state_ != nullptr, "error_info on invalid QueryHandle");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  SJOS_CHECK(state_->done, "error_info before the query finished");
+  return state_->error_info;
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      cache_(PlanCacheConfig{options.plan_cache_capacity,
+                             options.plan_cache_shards}),
+      pool_(std::make_unique<ThreadPool>(
+          std::max<size_t>(1, options.max_in_flight))) {}
+
+Engine::~Engine() {
+  // Drain submitted queries before any member they reference goes away.
+  pool_.reset();
+}
+
+Status Engine::InstallDatabase(Database db) {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  db_.emplace(std::move(db));
+  estimator_.emplace(PositionalHistogramEstimator::Build(
+      db_->doc(), db_->index(), db_->stats()));
+  doc_id_.fetch_add(1, std::memory_order_relaxed);
+  stats_version_.fetch_add(1, std::memory_order_relaxed);
+  // The new document gets a fresh id, so old entries could never be hit
+  // again — drop them eagerly instead of letting them squat in the LRU.
+  cache_.Clear();
+  return Status::OK();
+}
+
+Status Engine::Load(Document doc, std::string name) {
+  return InstallDatabase(Database::Open(std::move(doc), std::move(name)));
+}
+
+Status Engine::OpenDatabase(Database db) {
+  return InstallDatabase(std::move(db));
+}
+
+Status Engine::Fold(uint32_t factor) {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  if (!db_.has_value()) {
+    return Status::NotFound("no database loaded — call Engine::Load first");
+  }
+  Result<Document> folded = FoldDocument(db_->doc(), factor);
+  if (!folded.ok()) return folded.status();
+  std::string name = db_->name();
+  db_.emplace(Database::Open(std::move(folded).value(), std::move(name)));
+  estimator_.emplace(PositionalHistogramEstimator::Build(
+      db_->doc(), db_->index(), db_->stats()));
+  // Same logical document (the id is kept), new statistics: bump the
+  // version and let Get() invalidate entries lazily — this is the path
+  // plan_cache_test pins.
+  stats_version_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool Engine::has_database() const {
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  return db_.has_value();
+}
+
+const Database& Engine::db() const {
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  SJOS_CHECK(db_.has_value(), "Engine::db() without a loaded database");
+  return *db_;
+}
+
+Result<PlannedQuery> Engine::PlanLocked(const Pattern& pattern,
+                                        const QueryOptions& options) {
+  SJOS_RETURN_IF_ERROR(pattern.Validate());
+  if (!db_.has_value()) {
+    return Status::NotFound("no database loaded — call Engine::Load first");
+  }
+  PatternFingerprint fp = pattern.CanonicalFingerprint();
+  const uint64_t version = stats_version_.load(std::memory_order_relaxed);
+  const bool cache_enabled =
+      options.use_plan_cache && options_.plan_cache_capacity > 0;
+
+  PlannedQuery planned;
+  planned.cache_key = PlanCache::MakeKey(
+      fp.key, doc_id_.load(std::memory_order_relaxed), options.optimizer);
+
+  if (cache_enabled) {
+    CachedPlan cached;
+    if (cache_.Get(planned.cache_key, version, &cached)) {
+      // Cached plans live in canonical node-id space; translate to this
+      // pattern's ids. For the pattern the plan was cached from this is
+      // the identity, so results are byte-identical to a fresh optimize.
+      planned.plan = cached.plan.WithRemappedPatternNodes(fp.canonical_to_node);
+      planned.algorithm = std::move(cached.algorithm);
+      planned.search_cost = cached.search_cost;
+      planned.modelled_cost = cached.modelled_cost;
+      planned.cache_hit = true;
+      return planned;
+    }
+  }
+
+  Result<PatternEstimates> estimates =
+      PatternEstimates::Make(pattern, db_->doc(), *estimator_);
+  if (!estimates.ok()) return estimates.status();
+
+  std::unique_ptr<Optimizer> optimizer =
+      MakeOptimizer(options.optimizer, pattern.NumEdges());
+  OptimizeContext ctx{&pattern, &estimates.value(), &cost_model_,
+                      options.OptimizerView()};
+  Result<OptimizeResult> optimized = optimizer->Optimize(ctx);
+  if (!optimized.ok()) return optimized.status();
+
+  OptimizeResult& opt = optimized.value();
+  planned.plan = std::move(opt.plan);
+  planned.algorithm = opt.fallback_from.empty() ? optimizer->name() : "FP";
+  planned.fallback_from = std::move(opt.fallback_from);
+  planned.opt_stats = opt.stats;
+  planned.search_cost = opt.search_cost;
+  planned.modelled_cost = opt.modelled_cost;
+
+  // Don't cache fallback plans: FP stood in because the search ran out of
+  // budget, and a later, better-budgeted query should get the real search.
+  if (cache_enabled && planned.fallback_from.empty()) {
+    std::vector<PatternNodeId> to_canonical(fp.canonical_to_node.size());
+    for (size_t i = 0; i < fp.canonical_to_node.size(); ++i) {
+      to_canonical[static_cast<size_t>(fp.canonical_to_node[i])] =
+          static_cast<PatternNodeId>(i);
+    }
+    CachedPlan entry;
+    entry.plan = planned.plan.WithRemappedPatternNodes(to_canonical);
+    entry.algorithm = planned.algorithm;
+    entry.search_cost = planned.search_cost;
+    entry.modelled_cost = planned.modelled_cost;
+    entry.stats_version = version;
+    cache_.Put(planned.cache_key, std::move(entry));
+  }
+  return planned;
+}
+
+Result<PlannedQuery> Engine::Plan(const Pattern& pattern,
+                                  const QueryOptions& options) {
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  return PlanLocked(pattern, options);
+}
+
+Result<QueryResult> Engine::RunQuery(const Pattern& pattern,
+                                     const QueryOptions& options,
+                                     const std::atomic<bool>* cancel_token,
+                                     QueryErrorInfo* error_info) {
+  ScopedTraceSession trace_session(options.trace_path);
+  EngineMetrics::Get().queries.Add();
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+
+  Timer timer;
+  Result<PlannedQuery> planned = PlanLocked(pattern, options);
+  if (!planned.ok()) return planned.status();
+  const double plan_ms = timer.ElapsedMs();
+
+  ExecOptions exec = options.ExecView();
+  exec.cancel_token = cancel_token;
+  if (options.deadline_ms > 0) {
+    // The deadline covers the whole query: charge planning time and hand
+    // execution the remainder (a cache hit leaves nearly all of it).
+    const double remaining_ms =
+        static_cast<double>(options.deadline_ms) - plan_ms;
+    if (remaining_ms < 1.0) {
+      if (error_info != nullptr) error_info->verdict = "deadline";
+      return Status::DeadlineExceeded(
+          "query planning consumed the whole deadline of " +
+          std::to_string(options.deadline_ms) + " ms");
+    }
+    exec.deadline_ms = static_cast<uint64_t>(remaining_ms);
+  }
+
+  Executor executor(*db_, exec);
+  Result<ExecResult> executed = executor.Execute(pattern, planned.value().plan);
+  if (!executed.ok()) {
+    if (error_info != nullptr) {
+      error_info->partial_stats = executor.last_stats();
+      error_info->op_stats = executor.last_op_stats();
+      error_info->verdict = executor.last_verdict();
+    }
+    return executed.status();
+  }
+
+  // Self-eviction: a plan that mis-estimated this badly should not keep
+  // being served — drop it so the next occurrence re-optimizes.
+  if (options_.cache_max_q_error > 0 && options.use_plan_cache &&
+      options_.plan_cache_capacity > 0 &&
+      executed.value().stats.max_q_error > options_.cache_max_q_error) {
+    cache_.EvictForQError(planned.value().cache_key);
+  }
+
+  QueryResult out;
+  out.tuples = std::move(executed.value().tuples);
+  out.stats = executed.value().stats;
+  out.op_stats = std::move(executed.value().op_stats);
+  out.planned = std::move(planned).value();
+  return out;
+}
+
+Result<QueryResult> Engine::Query(const Pattern& pattern,
+                                  const QueryOptions& options,
+                                  QueryErrorInfo* error_info) {
+  return RunQuery(pattern, options, /*cancel_token=*/nullptr, error_info);
+}
+
+QueryHandle Engine::Submit(Pattern pattern, QueryOptions options) {
+  auto state = std::make_shared<QueryHandle::State>();
+  EngineMetrics::Get().submits.Add();
+  auto task = [this, state, pattern = std::move(pattern),
+               options = std::move(options)]() -> Status {
+    Status injected = Status::OK();
+    SJOS_FAILPOINT_CHECK("service.submit", injected);
+    std::optional<Result<QueryResult>> outcome;
+    QueryErrorInfo error_info;
+    if (!injected.ok()) {
+      outcome.emplace(std::move(injected));
+    } else if (state->cancel.load(std::memory_order_relaxed)) {
+      error_info.verdict = "cancelled";
+      outcome.emplace(Status::Cancelled("query cancelled before start"));
+    } else {
+      const size_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+      size_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+      while (now > peak && !peak_in_flight_.compare_exchange_weak(
+                               peak, now, std::memory_order_relaxed)) {
+      }
+      EngineMetrics::Get().in_flight.Add(1);
+      outcome.emplace(RunQuery(pattern, options, &state->cancel, &error_info));
+      EngineMetrics::Get().in_flight.Sub(1);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      state->result = std::move(outcome);
+      state->error_info = std::move(error_info);
+      state->done = true;
+    }
+    state->cv.notify_all();
+    return Status::OK();
+  };
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    pool_->Submit(std::move(task));
+  }
+  return QueryHandle(state);
+}
+
+}  // namespace sjos

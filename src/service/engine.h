@@ -1,0 +1,246 @@
+// sjos::Engine — the query-service facade. Owns the database (catalog,
+// tag index, statistics), the positional-histogram estimator, the cost
+// model, the plan cache, and a worker pool for concurrent query admission,
+// so callers go from XML to results in a handful of lines:
+//
+//   Engine engine;
+//   SJOS_CHECK(engine.Load(std::move(doc)).ok(), "load");
+//   Result<QueryResult> r = engine.Query(pattern, QueryOptions{});
+//
+// Planning: Engine::Plan resolves QueryOptions::optimizer to one of the
+// paper's five algorithms and consults the plan cache first — key =
+// canonical pattern fingerprint + document id + optimizer kind, entries
+// invalidated by the stats version bumped on every Load/Fold, plans stored
+// in canonical node-id space and remapped per concrete pattern. A hit
+// skips estimation and search entirely (no optimize:<ALGO> span appears in
+// a trace); plans that came from a deadline-triggered FP fallback are
+// never cached. After execution, a plan whose measured max_q_error
+// exceeds EngineOptions::cache_max_q_error is self-evicted so the next
+// occurrence re-optimizes.
+//
+// Concurrency: Submit() enqueues the query on the Engine's pool and
+// returns a future-style QueryHandle; at most EngineOptions::max_in_flight
+// queries execute concurrently (the admission gate — later submissions
+// queue in FIFO order), each under its own governor with the handle's
+// cancel token. Load/Fold are writer-exclusive against running queries.
+
+#ifndef SJOS_SERVICE_ENGINE_H_
+#define SJOS_SERVICE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/optimizer.h"
+#include "estimate/positional_histogram.h"
+#include "exec/executor.h"
+#include "plan/cost_model.h"
+#include "service/plan_cache.h"
+#include "service/query_options.h"
+#include "storage/catalog.h"
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Engine-wide settings, fixed at construction.
+struct EngineOptions {
+  /// Admission gate: queries executing concurrently via Submit(). Also
+  /// the Engine pool's worker count.
+  size_t max_in_flight = 4;
+
+  /// Plan cache sizing; a capacity of 0 disables caching entirely
+  /// (Get/Put are never consulted).
+  size_t plan_cache_capacity = 256;
+  size_t plan_cache_shards = 8;
+
+  /// Self-eviction threshold: a cached (or just-cached) plan whose
+  /// executed ExecStats::max_q_error exceeds this is dropped from the
+  /// cache. 0 disables self-eviction.
+  double cache_max_q_error = 64.0;
+};
+
+/// Outcome of the planning phase of one query.
+struct PlannedQuery {
+  PhysicalPlan plan;
+  /// Algorithm name as reported by the optimizer ("DP", "DPP", ...);
+  /// on a cache hit, the name of the kind the plan was cached under.
+  std::string algorithm;
+  /// See OptimizeResult::fallback_from; empty on a cache hit.
+  std::string fallback_from;
+  /// Zeroed on a cache hit (no search ran).
+  OptimizerStats opt_stats;
+  double search_cost = 0.0;
+  double modelled_cost = 0.0;
+  /// True when the plan came from the cache (no estimation, no search).
+  bool cache_hit = false;
+  /// The full cache key, also useful as a stable query identity in logs.
+  std::string cache_key;
+};
+
+/// A finished query: result bindings, execution counters, and how the
+/// plan was obtained.
+struct QueryResult {
+  TupleSet tuples;
+  ExecStats stats;
+  std::vector<OpStats> op_stats;
+  PlannedQuery planned;
+};
+
+/// Partial progress of a query that failed mid-execution: the counters
+/// gathered so far and which governor limit (if any) cut it short
+/// ("deadline", "memory", "cancelled", or "" for other failures).
+struct QueryErrorInfo {
+  ExecStats partial_stats;
+  std::vector<OpStats> op_stats;
+  std::string verdict;
+};
+
+/// Future-style handle to a query submitted with Engine::Submit. Copyable
+/// (all copies share one underlying state); default-constructed handles
+/// are invalid. The handle stays usable after the Engine is destroyed
+/// (the Engine drains in-flight queries first).
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Requests cooperative cancellation. A query that has not started is
+  /// dropped at dispatch; a running one unwinds with Status::Cancelled at
+  /// its next governance point. Idempotent; racing with completion is
+  /// safe (the result may then be the finished one).
+  void Cancel();
+
+  bool Done() const;
+
+  /// Blocks until the query finishes, then returns its outcome. The
+  /// reference stays valid while any copy of the handle lives.
+  const Result<QueryResult>& Wait();
+
+  /// Error-side details (partial stats, governor verdict); meaningful
+  /// after Wait() returned a non-OK result.
+  const QueryErrorInfo& error_info() const;
+
+ private:
+  friend class Engine;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<Result<QueryResult>> result;
+    QueryErrorInfo error_info;
+    std::atomic<bool> cancel{false};
+  };
+
+  explicit QueryHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// The service facade. Thread-safe: Query/Plan/Submit may be called
+/// concurrently; Load/Fold exclude running queries.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Opens `doc` as the Engine's database (builds tag index, statistics,
+  /// and the estimator), replacing any previous one. Bumps the stats
+  /// version and clears the plan cache.
+  Status Load(Document doc, std::string name = "db");
+
+  /// Adopts an already-opened Database. Same invalidation as Load.
+  Status OpenDatabase(Database db);
+
+  /// Replaces the document with its `factor`-folded version (Sec. 4.3
+  /// data scaling): same document identity, different statistics — so the
+  /// stats version bumps and cached plans re-optimize on next use.
+  Status Fold(uint32_t factor);
+
+  bool has_database() const;
+
+  /// The loaded database. SJOS_CHECK-fails when none is loaded — callers
+  /// needing the document/dictionary should check has_database() first.
+  const Database& db() const;
+
+  /// Plans `pattern` (cache first, then estimate + search). The returned
+  /// plan references `pattern`'s node ids.
+  Result<PlannedQuery> Plan(const Pattern& pattern,
+                            const QueryOptions& options = {});
+
+  /// Plans and executes `pattern` synchronously. On failure, fills
+  /// `error_info` (when non-null) with partial progress and the governor
+  /// verdict.
+  Result<QueryResult> Query(const Pattern& pattern,
+                            const QueryOptions& options = {},
+                            QueryErrorInfo* error_info = nullptr);
+
+  /// Enqueues the query for asynchronous execution on the Engine's pool
+  /// and returns immediately. At most EngineOptions::max_in_flight
+  /// submitted queries execute concurrently.
+  QueryHandle Submit(Pattern pattern, QueryOptions options = {});
+
+  PlanCache& plan_cache() { return cache_; }
+  const PlanCache& plan_cache() const { return cache_; }
+
+  /// Monotonic statistics version; bumped by Load/OpenDatabase/Fold.
+  uint64_t stats_version() const {
+    return stats_version_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of concurrently executing submitted queries (the
+  /// admission gate's observable).
+  size_t peak_in_flight() const {
+    return peak_in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status InstallDatabase(Database db);
+
+  /// Plan + execute under an already-held reader lock.
+  Result<QueryResult> RunQuery(const Pattern& pattern,
+                               const QueryOptions& options,
+                               const std::atomic<bool>* cancel_token,
+                               QueryErrorInfo* error_info);
+
+  Result<PlannedQuery> PlanLocked(const Pattern& pattern,
+                                  const QueryOptions& options);
+
+  const EngineOptions options_;
+
+  /// Guards db_/estimator_/doc_id_: queries hold it shared, Load/Fold
+  /// exclusively.
+  mutable std::shared_mutex db_mu_;
+  std::optional<Database> db_;
+  std::optional<PositionalHistogramEstimator> estimator_;
+  CostModel cost_model_;
+
+  PlanCache cache_;
+  std::atomic<uint64_t> stats_version_{1};
+  std::atomic<uint64_t> doc_id_{0};
+
+  /// The pool's Submit/WaitAll contract is single-caller; Engine::Submit
+  /// serializes through this mutex.
+  std::mutex submit_mu_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> peak_in_flight_{0};
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_SERVICE_ENGINE_H_

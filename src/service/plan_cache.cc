@@ -1,0 +1,151 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace sjos {
+
+namespace {
+
+struct CacheMetrics {
+  Counter& hits;
+  Counter& misses;
+  Counter& evictions;
+  Counter& invalidations;
+  Counter& qerror_evictions;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics* m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return new CacheMetrics{
+          reg.GetCounter("sjos_plan_cache_hits_total"),
+          reg.GetCounter("sjos_plan_cache_misses_total"),
+          reg.GetCounter("sjos_plan_cache_evictions_total"),
+          reg.GetCounter("sjos_plan_cache_invalidations_total"),
+          reg.GetCounter("sjos_plan_cache_qerror_evictions_total")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+PlanCache::PlanCache(PlanCacheConfig config)
+    : per_shard_capacity_(std::max<size_t>(
+          1, config.capacity / std::max<size_t>(1, config.shards))),
+      shards_(std::max<size_t>(1, config.shards)) {}
+
+std::string PlanCache::MakeKey(std::string_view pattern_key, uint64_t doc_id,
+                               OptimizerKind kind) {
+  std::string key = "doc";
+  key += std::to_string(doc_id);
+  key += '|';
+  key += OptimizerKindName(kind);
+  key += '|';
+  key += pattern_key;
+  return key;
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool PlanCache::EraseLocked(Shard& shard, const std::string& key) {
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  return true;
+}
+
+bool PlanCache::Get(const std::string& key, uint64_t stats_version,
+                    CachedPlan* out) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      if (it->second->plan.stats_version != stats_version) {
+        // Optimized under different statistics: stale, not reusable.
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::Get().invalidations.Add();
+      } else {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        *out = it->second->plan;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::Get().hits.Add();
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().misses.Add();
+  return false;
+}
+
+void PlanCache::Put(const std::string& key, CachedPlan plan) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->plan = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(plan)});
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().evictions.Add();
+  }
+}
+
+void PlanCache::EvictForQError(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (EraseLocked(shard, key)) {
+    qerror_evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().qerror_evictions.Add();
+  }
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t dropped = shard.lru.size();
+    shard.lru.clear();
+    shard.index.clear();
+    if (dropped > 0) {
+      invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+      CacheMetrics::Get().invalidations.Add(dropped);
+    }
+  }
+}
+
+size_t PlanCache::Size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+PlanCacheCounters PlanCache::Counters() const {
+  PlanCacheCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.invalidations = invalidations_.load(std::memory_order_relaxed);
+  c.qerror_evictions = qerror_evictions_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace sjos

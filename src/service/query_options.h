@@ -1,0 +1,103 @@
+// QueryOptions: the one knob struct of the service layer. It unifies what
+// the low-level API splits across ExecOptions (execution) and
+// OptimizerOptions (plan search) and adds the two service-level choices —
+// which of the paper's five algorithms plans the query (OptimizerKind) and
+// whether the Engine's plan cache may serve it. The old structs stay as
+// the expert path; QueryOptions derives them via ExecView()/OptimizerView()
+// so limits are declared once and enforced everywhere.
+
+#ifndef SJOS_SERVICE_QUERY_OPTIONS_H_
+#define SJOS_SERVICE_QUERY_OPTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+
+namespace sjos {
+
+/// The paper's Sec. 3 line-up, selectable per query.
+enum class OptimizerKind : uint8_t {
+  kDp,      // exhaustive dynamic programming
+  kDpp,     // DP with pruning (optimal; the default)
+  kDpapEb,  // approximate, expansion-bound = number of pattern edges
+  kDpapLd,  // approximate, limited-discrepancy
+  kFp,      // fixed-permutation linear heuristic
+};
+
+inline constexpr OptimizerKind kAllOptimizerKinds[] = {
+    OptimizerKind::kDp, OptimizerKind::kDpp, OptimizerKind::kDpapEb,
+    OptimizerKind::kDpapLd, OptimizerKind::kFp};
+
+/// Stable lower-case name: "dp", "dpp", "dpap-eb", "dpap-ld", "fp".
+const char* OptimizerKindName(OptimizerKind kind);
+
+/// Inverse of OptimizerKindName (case-sensitive); InvalidArgument listing
+/// the accepted names otherwise.
+Result<OptimizerKind> ParseOptimizerKind(std::string_view name);
+
+/// Instantiates `kind` with the paper's Table 1 settings (DPAP-EB bound =
+/// number of pattern edges, clamped to >= 1).
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind, size_t num_edges);
+
+/// Per-query settings for Engine::Plan/Query/Submit. Zero limits mean
+/// unlimited; the defaults match the low-level structs' defaults.
+struct QueryOptions {
+  /// Which algorithm plans the query (also part of the plan-cache key, so
+  /// switching algorithms never serves another algorithm's plan).
+  OptimizerKind optimizer = OptimizerKind::kDpp;
+
+  /// Wall-clock budget for the WHOLE query — optimization plus execution —
+  /// in milliseconds (0 = unlimited). The Engine charges optimization time
+  /// against it and hands the remainder to the executor; a plan-cache hit
+  /// leaves the full budget for execution. During the search phase a
+  /// breach degrades to the FP heuristic (see OptimizerOptions); during
+  /// execution it surfaces as Status::DeadlineExceeded.
+  uint64_t deadline_ms = 0;
+
+  /// Budget on live intermediate bytes (0 = unlimited); see
+  /// ExecOptions::max_live_bytes for enforcement and relief semantics.
+  uint64_t max_live_bytes = 0;
+
+  /// Abort any single join whose output exceeds this many rows
+  /// (0 = unlimited).
+  uint64_t max_join_output_rows = 0;
+
+  /// Worker threads for intra-query parallelism (1 = serial streaming
+  /// pipeline, the default). See ExecOptions::num_threads.
+  int num_threads = 1;
+
+  /// See ExecOptions::parallel_min_join_rows.
+  size_t parallel_min_join_rows = kParallelJoinMinInputRows;
+
+  /// Streaming batch capacity; 0 = auto (SJOS_EXEC_BATCH_ROWS or the
+  /// built-in default).
+  size_t batch_rows = 0;
+
+  /// Forces the one-shot materializing engine even for serial execution.
+  bool force_materialize = false;
+
+  /// When non-empty, the Engine traces the whole query (optimize spans
+  /// included) to this path; see common/trace.h.
+  std::string trace_path;
+
+  /// Whether the Engine's plan cache may serve and store this query's
+  /// plan. Off = always optimize fresh (the cache is left untouched).
+  bool use_plan_cache = true;
+
+  /// Execution-side view (everything ExecOptions carries). The Engine
+  /// overwrites deadline_ms with the post-optimization remainder and wires
+  /// cancel_token itself.
+  ExecOptions ExecView() const;
+
+  /// Search-side view for the expert optimizer API.
+  OptimizerOptions OptimizerView() const;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_SERVICE_QUERY_OPTIONS_H_

@@ -35,6 +35,11 @@ TEST(StatusTest, GovernanceCodesRoundTrip) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(r.ToString(), "ResourceExhausted: live bytes over budget");
+
+  Status c = Status::Cancelled("caller gave up");
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.ToString(), "Cancelled: caller gave up");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

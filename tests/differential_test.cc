@@ -21,6 +21,7 @@
 #include "exec/naive_matcher.h"
 #include "plan/plan_props.h"
 #include "query/workload.h"
+#include "service/engine.h"
 #include "storage/catalog.h"
 #include "xml/generators/dblp_gen.h"
 #include "xml/generators/mbench_gen.h"
@@ -159,6 +160,56 @@ TEST(DifferentialTest, DblpOptimizersMatchOracle) {
     config.seed = seed;
     Database db = Database::Open(GenerateDblp(config).value());
     RunDifferential(db, "DBLP");
+  }
+}
+
+// A plan served from the Engine's cache must be indistinguishable from a
+// fresh search: for every optimizer kind, serial and at 4 threads, the
+// cache-off reference, the populating miss, and the warm hit all produce
+// byte-identical tuples and counters.
+TEST(DifferentialTest, PlanCacheWarmMatchesCold) {
+  PersGenConfig config;
+  config.target_nodes = 900;
+  config.seed = 7;
+
+  for (OptimizerKind kind : kAllOptimizerKinds) {
+    SCOPED_TRACE(OptimizerKindName(kind));
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EngineOptions engine_opts;
+      engine_opts.cache_max_q_error = 0;  // isolate the warm/cold contract
+      Engine engine(engine_opts);
+      // The generator is deterministic, so every engine sees the same doc.
+      ASSERT_TRUE(engine.Load(GeneratePers(config).value(), "Pers").ok());
+
+      for (const BenchQuery& query : PaperWorkload()) {
+        if (query.dataset != "Pers") continue;
+        SCOPED_TRACE(query.id);
+
+        QueryOptions options;
+        options.optimizer = kind;
+        options.num_threads = threads;
+        options.parallel_min_join_rows = 0;
+        options.use_plan_cache = false;
+        Result<QueryResult> ref = engine.Query(query.pattern, options);
+        ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+        EXPECT_FALSE(ref.value().planned.cache_hit);
+
+        options.use_plan_cache = true;
+        Result<QueryResult> miss = engine.Query(query.pattern, options);
+        ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+        Result<QueryResult> hit = engine.Query(query.pattern, options);
+        ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+        if (miss.value().planned.fallback_from.empty()) {
+          EXPECT_TRUE(hit.value().planned.cache_hit);
+        }
+
+        ExpectIdenticalTuples(ref.value().tuples, miss.value().tuples);
+        ExpectIdenticalCounters(ref.value().stats, miss.value().stats);
+        ExpectIdenticalTuples(ref.value().tuples, hit.value().tuples);
+        ExpectIdenticalCounters(ref.value().stats, hit.value().stats);
+      }
+    }
   }
 }
 

@@ -1,0 +1,236 @@
+// Engine service-facade tests: lifecycle errors, concurrent Submit parity
+// with synchronous Query, the admission gate, cooperative cancellation,
+// submit-path fault injection, and the warm-cache contract (no optimize
+// span in the trace, hit counter incremented).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "exec/executor.h"
+#include "query/pattern_parser.h"
+#include "service/engine.h"
+#include "xml/generators/pers_gen.h"
+
+namespace sjos {
+namespace {
+
+Pattern Parse(const std::string& text) {
+  Result<Pattern> pattern = ParsePattern(text);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  return std::move(pattern).value();
+}
+
+Database SmallPers(uint64_t seed = 7) {
+  PersGenConfig config;
+  config.target_nodes = 900;
+  config.seed = seed;
+  return Database::Open(GeneratePers(config).value());
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(EngineTest, QueryWithoutDatabaseIsNotFound) {
+  Engine engine;
+  EXPECT_FALSE(engine.has_database());
+  Result<QueryResult> r = engine.Query(Parse("a[/b]"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.Fold(2).code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, InvalidPatternIsRejected) {
+  Engine engine;
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers()).ok());
+  Pattern empty;  // no root
+  EXPECT_FALSE(engine.Plan(empty).ok());
+}
+
+TEST(EngineTest, ConcurrentSubmitsMatchSynchronousQuery) {
+  const char* texts[] = {
+      "manager[//employee[/name]][//department]",
+      "employee[/name]",
+      "department[//employee]",
+      "manager[//department[/name]]",
+      "company[//manager[//employee]]",
+      "manager[/employee][/department]",
+  };
+
+  EngineOptions opts;
+  opts.cache_max_q_error = 0;  // deterministic residency for the hit check
+  Engine engine(opts);
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers()).ok());
+
+  std::vector<Pattern> patterns;
+  std::vector<std::vector<std::vector<uint32_t>>> expected;
+  for (const char* text : texts) {
+    patterns.push_back(Parse(text));
+    QueryOptions uncached;
+    uncached.use_plan_cache = false;
+    Result<QueryResult> r = engine.Query(patterns.back(), uncached);
+    ASSERT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+    expected.push_back(r.value().tuples.Canonical());
+  }
+
+  // Several rounds so later rounds run against a warm cache while earlier
+  // handles are still outstanding.
+  std::vector<QueryHandle> handles;
+  for (int round = 0; round < 3; ++round) {
+    for (const Pattern& pattern : patterns) {
+      handles.push_back(engine.Submit(pattern));
+    }
+  }
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const Result<QueryResult>& r = handles[i].Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().tuples.Canonical(), expected[i % expected.size()])
+        << "submit " << i;
+  }
+  EXPECT_GE(engine.plan_cache().Counters().hits, 1u);
+}
+
+TEST(EngineTest, AdmissionGateBoundsConcurrency) {
+  EngineOptions opts;
+  opts.max_in_flight = 2;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers()).ok());
+  Pattern pattern = Parse("manager[//employee[/name]][//department]");
+
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 8; ++i) handles.push_back(engine.Submit(pattern));
+  for (QueryHandle& handle : handles) {
+    ASSERT_TRUE(handle.Wait().ok());
+  }
+  EXPECT_GE(engine.peak_in_flight(), 1u);
+  EXPECT_LE(engine.peak_in_flight(), 2u);
+}
+
+TEST(EngineTest, CancelBeforeDispatchReturnsCancelled) {
+  // One worker + a dispatch delay: the second submission cannot start
+  // until the first finishes, so its cancel always lands first.
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("service.submit", "delay:20").ok());
+  EngineOptions opts;
+  opts.max_in_flight = 1;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers()).ok());
+  Pattern pattern = Parse("employee[/name]");
+
+  QueryHandle first = engine.Submit(pattern);
+  QueryHandle second = engine.Submit(pattern);
+  second.Cancel();
+
+  EXPECT_TRUE(first.Wait().ok());
+  const Result<QueryResult>& r = second.Wait();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(second.error_info().verdict, "cancelled");
+  FailpointRegistry::Global().Disable("service.submit");
+}
+
+TEST(EngineTest, ExecutorHonorsCancelToken) {
+  // A pre-set token makes the governor cut the run at its first check —
+  // the same path a mid-flight QueryHandle::Cancel takes.
+  Database db = SmallPers();
+  Pattern pattern = Parse("manager[//employee[/name]][//department]");
+  std::atomic<bool> cancel{true};
+  ExecOptions options;
+  options.cancel_token = &cancel;
+  Executor executor(db, options);
+  PhysicalPlan plan;
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDatabase(SmallPers()).ok());
+    Result<PlannedQuery> planned = engine.Plan(pattern);
+    ASSERT_TRUE(planned.ok());
+    plan = planned.value().plan;
+  }
+  Result<ExecResult> r = executor.Execute(pattern, plan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(executor.last_verdict(), "cancelled");
+}
+
+TEST(EngineTest, SubmitFailpointInjectsError) {
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("service.submit", "error").ok());
+  Engine engine;
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers()).ok());
+  QueryHandle handle = engine.Submit(Parse("employee[/name]"));
+  const Result<QueryResult>& r = handle.Wait();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  FailpointRegistry::Global().Disable("service.submit");
+
+  // The engine stays usable after an injected failure.
+  EXPECT_TRUE(engine.Query(Parse("employee[/name]")).ok());
+}
+
+TEST(EngineTest, WarmHitSkipsOptimizationEntirely) {
+  EngineOptions opts;
+  opts.cache_max_q_error = 0;  // keep the entry resident
+  Engine engine(opts);
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers()).ok());
+  Pattern pattern = Parse("manager[//employee[/name]][//department]");
+
+  const std::string cold_path = ::testing::TempDir() + "/engine_cold.json";
+  const std::string warm_path = ::testing::TempDir() + "/engine_warm.json";
+
+  Counter& hits =
+      MetricsRegistry::Global().GetCounter("sjos_plan_cache_hits_total");
+  const uint64_t hits_before = hits.Value();
+
+  QueryOptions options;
+  options.trace_path = cold_path;
+  Result<QueryResult> cold = engine.Query(pattern, options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold.value().planned.cache_hit);
+
+  options.trace_path = warm_path;
+  Result<QueryResult> warm = engine.Query(pattern, options);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm.value().planned.cache_hit);
+  EXPECT_EQ(warm.value().planned.opt_stats.plans_considered, 0u);
+  EXPECT_EQ(hits.Value(), hits_before + 1);
+
+  // The optimize span is recorded inside the search; a cache hit must not
+  // produce one.
+  const std::string cold_trace = ReadFileOrEmpty(cold_path);
+  const std::string warm_trace = ReadFileOrEmpty(warm_path);
+  EXPECT_NE(cold_trace.find("optimize:"), std::string::npos);
+  EXPECT_FALSE(warm_trace.empty());
+  EXPECT_EQ(warm_trace.find("optimize:"), std::string::npos);
+  std::remove(cold_path.c_str());
+  std::remove(warm_path.c_str());
+}
+
+TEST(EngineTest, LoadReplacesDatabaseAndClearsCache) {
+  EngineOptions opts;
+  opts.cache_max_q_error = 0;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers(7)).ok());
+  Pattern pattern = Parse("employee[/name]");
+  ASSERT_TRUE(engine.Query(pattern).ok());
+  EXPECT_EQ(engine.plan_cache().Size(), 1u);
+
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers(19)).ok());
+  EXPECT_EQ(engine.plan_cache().Size(), 0u);
+  Result<QueryResult> r = engine.Query(pattern);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().planned.cache_hit);
+}
+
+}  // namespace
+}  // namespace sjos
