@@ -1,0 +1,513 @@
+// bench_loadgen: open-loop load generator for the network query service.
+// Arrivals are scheduled on a fixed clock (an overloaded server does not
+// slow the offered rate — queueing shows up in the latency tail instead),
+// issued over real loopback sockets by a pool of connections, and measured
+// from scheduled arrival to final poll response, so coordinated omission
+// is accounted for.
+//
+// Two modes:
+//   --self                in-process servers: a Pers phase and a DBLP
+//                         phase (each its own Engine + QueryServer), with
+//                         a cache-miss mix, a deadline spread, and —
+//                         with --failpoints — low-probability fault
+//                         injection at service.submit / exec.batch.
+//                         With --saturation, a stepped rate sweep follows,
+//                         doubling the offered QPS until achieved
+//                         throughput drops below 90% of offered.
+//   --connect host:port   drive an already-running sjos_serve (the CI
+//                         smoke path); one phase, Pers workload.
+//
+// Reports per-phase p50/p95/p99/mean/max latency and achieved QPS, and
+// writes the whole run as BENCH_service.json (override with --json).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
+#include "query/workload.h"
+#include "service/engine.h"
+
+using namespace sjos;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  bool self = true;
+  std::string connect_host;
+  uint16_t connect_port = 0;
+  double qps = 50.0;
+  double duration_s = 3.0;
+  size_t connections = 4;
+  double miss_fraction = 0.3;    // requests sent with use_plan_cache=false
+  bool deadline_spread = true;   // rotate {none, 100ms, 5ms}
+  bool failpoints = false;       // self mode: arm low-probability faults
+  bool saturation = false;       // stepped rate sweep after the phases
+  uint64_t nodes = 20'000;       // self-mode dataset size
+  uint64_t quota_in_flight = 32; // self-mode per-tenant in-flight cap
+  std::string json_path = "BENCH_service.json";
+};
+
+struct PhaseResult {
+  std::string name;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_cut = 0;
+  uint64_t errors = 0;
+  std::vector<double> latencies_ms;  // completed (ok) requests only
+
+  double Percentile(double q) const {
+    if (latencies_ms.empty()) return 0.0;
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+  }
+  double Mean() const {
+    if (latencies_ms.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : latencies_ms) sum += v;
+    return sum / static_cast<double>(latencies_ms.size());
+  }
+  double Max() const {
+    double m = 0.0;
+    for (double v : latencies_ms) m = std::max(m, v);
+    return m;
+  }
+};
+
+std::vector<std::string> WorkloadQueries(const std::string& dataset) {
+  std::vector<std::string> queries;
+  for (const BenchQuery& q : PaperWorkload()) {
+    if (q.dataset == dataset) queries.push_back(q.pattern_text);
+  }
+  SJOS_CHECK(!queries.empty(), "no workload queries for dataset");
+  return queries;
+}
+
+std::string BuildSubmit(const std::string& id, const std::string& query,
+                        bool use_cache, uint64_t deadline_ms) {
+  std::string out = "{\"verb\":\"submit\",\"id\":";
+  net::AppendJsonString(id, &out);
+  out += ",\"query\":";
+  net::AppendJsonString(query, &out);
+  if (!use_cache) out += ",\"use_plan_cache\":false";
+  if (deadline_ms > 0) {
+    out += ",\"deadline_ms\":";
+    net::AppendJsonUint(deadline_ms, &out);
+  }
+  out += "}";
+  return out;
+}
+
+const net::JsonValue* Field(const net::JsonValue& v, const char* key) {
+  return v.is_object() ? v.Find(key) : nullptr;
+}
+
+bool FieldBool(const net::JsonValue& v, const char* key) {
+  const net::JsonValue* f = Field(v, key);
+  return f != nullptr && f->is_bool() && f->bool_value();
+}
+
+std::string FieldString(const net::JsonValue& v, const char* key) {
+  const net::JsonValue* f = Field(v, key);
+  return f != nullptr && f->is_string() ? f->string_value() : std::string();
+}
+
+/// One worker: claims arrival slots off the shared schedule, runs each
+/// request to completion (submit + blocking polls) on its own connection.
+void Worker(const std::string& host, uint16_t port, size_t worker_index,
+            const std::vector<std::string>& queries, const Config& config,
+            Clock::time_point start, uint64_t total_arrivals,
+            std::atomic<uint64_t>* next_arrival, std::mutex* result_mu,
+            PhaseResult* result) {
+  Result<net::Client> connected = net::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::lock_guard<std::mutex> lock(*result_mu);
+    result->errors += 1;  // count the dead worker once, not per arrival
+    return;
+  }
+  net::Client client = std::move(connected).value();
+  const double interval_s = 1.0 / config.qps;
+
+  uint64_t local_ok = 0, local_shed = 0, local_deadline = 0, local_errors = 0,
+           local_requests = 0;
+  std::vector<double> local_latencies;
+
+  for (;;) {
+    const uint64_t i = next_arrival->fetch_add(1, std::memory_order_relaxed);
+    if (i >= total_arrivals) break;
+    const Clock::time_point scheduled =
+        start + std::chrono::microseconds(
+                    static_cast<uint64_t>(i * interval_s * 1e6));
+    std::this_thread::sleep_until(scheduled);
+    ++local_requests;
+
+    const std::string id =
+        "lg-" + std::to_string(worker_index) + "-" + std::to_string(i);
+    const bool use_cache =
+        config.miss_fraction <= 0.0 ||
+        static_cast<double>(i % 100) >= config.miss_fraction * 100.0;
+    uint64_t deadline_ms = 0;
+    if (config.deadline_spread) {
+      switch (i % 3) {
+        case 1: deadline_ms = 100; break;
+        case 2: deadline_ms = 5; break;
+        default: break;
+      }
+    }
+
+    Result<net::JsonValue> submitted = client.Call(
+        BuildSubmit(id, queries[i % queries.size()], use_cache, deadline_ms));
+    if (!submitted.ok()) {
+      ++local_errors;
+      break;  // transport broken; stop this worker
+    }
+    if (!FieldBool(submitted.value(), "ok")) {
+      if (FieldString(submitted.value(), "code") == "ResourceExhausted") {
+        ++local_shed;
+      } else {
+        ++local_errors;
+      }
+      continue;
+    }
+
+    bool finished = false;
+    bool transport_down = false;
+    while (!finished) {
+      std::string poll = "{\"verb\":\"poll\",\"id\":";
+      net::AppendJsonString(id, &poll);
+      poll += ",\"wait_ms\":2000}";
+      Result<net::JsonValue> response = client.Call(poll);
+      if (!response.ok()) {
+        ++local_errors;
+        transport_down = true;
+        break;
+      }
+      const net::JsonValue& r = response.value();
+      if (FieldBool(r, "ok") && !FieldBool(r, "done")) continue;
+      finished = true;
+      if (FieldBool(r, "ok")) {
+        ++local_ok;
+        local_latencies.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      scheduled)
+                .count());
+      } else if (FieldString(r, "verdict") == "deadline") {
+        ++local_deadline;
+      } else {
+        ++local_errors;
+      }
+    }
+    if (transport_down) break;
+  }
+
+  std::lock_guard<std::mutex> lock(*result_mu);
+  result->requests += local_requests;
+  result->ok += local_ok;
+  result->shed += local_shed;
+  result->deadline_cut += local_deadline;
+  result->errors += local_errors;
+  result->latencies_ms.insert(result->latencies_ms.end(),
+                              local_latencies.begin(), local_latencies.end());
+}
+
+PhaseResult RunPhase(const std::string& name, const std::string& host,
+                     uint16_t port, const std::vector<std::string>& queries,
+                     const Config& config) {
+  PhaseResult result;
+  result.name = name;
+  result.offered_qps = config.qps;
+
+  const uint64_t total_arrivals =
+      std::max<uint64_t>(1, static_cast<uint64_t>(config.qps *
+                                                  config.duration_s));
+  std::atomic<uint64_t> next_arrival{0};
+  std::mutex result_mu;
+  const Clock::time_point start = Clock::now() + std::chrono::milliseconds(20);
+
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  for (size_t w = 0; w < config.connections; ++w) {
+    workers.emplace_back(Worker, host, port, w, std::cref(queries),
+                         std::cref(config), start, total_arrivals,
+                         &next_arrival, &result_mu, &result);
+  }
+  for (std::thread& t : workers) t.join();
+
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.achieved_qps =
+      elapsed_s > 0.0 ? static_cast<double>(result.ok) / elapsed_s : 0.0;
+  return result;
+}
+
+void PrintPhase(const PhaseResult& r) {
+  std::printf(
+      "%-10s offered %7.1f qps  achieved %7.1f qps  n=%llu ok=%llu "
+      "shed=%llu deadline=%llu err=%llu\n"
+      "           p50=%.2fms p95=%.2fms p99=%.2fms mean=%.2fms max=%.2fms\n",
+      r.name.c_str(), r.offered_qps, r.achieved_qps,
+      static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.deadline_cut),
+      static_cast<unsigned long long>(r.errors), r.Percentile(0.50),
+      r.Percentile(0.95), r.Percentile(0.99), r.Mean(), r.Max());
+}
+
+void AppendPhaseJson(const PhaseResult& r, std::string* out) {
+  *out += "{\"name\":";
+  net::AppendJsonString(r.name, out);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"offered_qps\":%.2f,\"achieved_qps\":%.2f,\"requests\":%llu,"
+      "\"ok\":%llu,\"shed\":%llu,\"deadline_cut\":%llu,\"errors\":%llu,"
+      "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
+      "\"mean\":%.3f,\"max\":%.3f}}",
+      r.offered_qps, r.achieved_qps,
+      static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.deadline_cut),
+      static_cast<unsigned long long>(r.errors), r.Percentile(0.50),
+      r.Percentile(0.95), r.Percentile(0.99), r.Mean(), r.Max());
+  *out += buf;
+}
+
+bool WriteReport(const Config& config, const std::vector<PhaseResult>& phases,
+                 const std::vector<PhaseResult>& saturation_steps,
+                 double saturation_qps) {
+  std::string out = "{\"bench\":\"service_loadgen\",\"mode\":";
+  net::AppendJsonString(config.self ? "self" : "connect", &out);
+  out += ",\"connections\":";
+  net::AppendJsonUint(config.connections, &out);
+  out += ",\"phases\":[";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendPhaseJson(phases[i], &out);
+  }
+  out += "],\"saturation\":{\"steps\":[";
+  for (size_t i = 0; i < saturation_steps.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendPhaseJson(saturation_steps[i], &out);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "],\"saturation_qps\":%.2f}}",
+                saturation_qps);
+  out += buf;
+  out += '\n';
+
+  std::FILE* f = std::fopen(config.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+    return false;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", config.json_path.c_str());
+  return true;
+}
+
+/// In-process server for the self-mode phases; the dataset name doubles
+/// as the workload selector.
+struct SelfServer {
+  Engine engine;
+  net::QueryServer server;
+
+  SelfServer(const std::string& dataset, const Config& config)
+      : engine(MakeEngineOptions()), server(&engine, MakeOptions(config)) {
+    DatasetScale scale;
+    scale.base_nodes = config.nodes;
+    Result<Database> db = MakePaperDataset(dataset, scale);
+    SJOS_CHECK(db.ok(), "dataset construction failed");
+    SJOS_CHECK(engine.OpenDatabase(std::move(db).value()).ok(), "open");
+    SJOS_CHECK(server.Start().ok(), "server start");
+  }
+
+  static EngineOptions MakeEngineOptions() {
+    EngineOptions options;
+    options.max_in_flight = 4;
+    return options;
+  }
+
+  static net::ServerOptions MakeOptions(const Config& config) {
+    net::ServerOptions options;
+    options.default_quota.max_in_flight = config.quota_in_flight;
+    // The broad Pers workload twigs legitimately return ~100k-row results
+    // (~8 MB serialized); the bench measures service latency, not the
+    // frame-size guard, so give responses room.
+    options.max_frame_bytes = 16 * 1024 * 1024;
+    return options;
+  }
+};
+
+double SaturationSweep(const Config& base, const std::string& host,
+                       uint16_t port, const std::vector<std::string>& queries,
+                       std::vector<PhaseResult>* steps) {
+  double saturated_at = 0.0;
+  Config step = base;
+  step.duration_s = std::min(base.duration_s, 1.5);
+  step.deadline_spread = false;  // measure capacity, not governor cuts
+  // Start below the base rate: heavy workloads saturate under the steady
+  // phase's offered QPS, and a sweep that opens past the knee would report
+  // nothing. One overloaded step past the knee still runs so the sweep
+  // brackets the capacity instead of stopping at the last clean step.
+  step.qps = std::max(2.0, base.qps / 8.0);
+  for (int k = 0; k < 6; ++k) {
+    PhaseResult r = RunPhase("step" + std::to_string(k), host, port, queries,
+                             step);
+    PrintPhase(r);
+    steps->push_back(r);
+    // Saturation QPS is the peak sustained completion rate observed; the
+    // keeping-up test only decides when to stop climbing.
+    saturated_at = std::max(saturated_at, r.achieved_qps);
+    if (r.achieved_qps < 0.9 * r.offered_qps) break;
+    step.qps *= 2.0;
+  }
+  return saturated_at;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--self") {
+      config.self = true;
+    } else if (arg == "--connect") {
+      const std::string target = next("--connect");
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect wants host:port\n");
+        return 2;
+      }
+      config.self = false;
+      config.connect_host = target.substr(0, colon);
+      config.connect_port = static_cast<uint16_t>(
+          std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+    } else if (arg == "--qps") {
+      config.qps = std::strtod(next("--qps").c_str(), nullptr);
+    } else if (arg == "--duration") {
+      config.duration_s = std::strtod(next("--duration").c_str(), nullptr);
+    } else if (arg == "--connections") {
+      config.connections = std::strtoul(next("--connections").c_str(),
+                                        nullptr, 10);
+    } else if (arg == "--miss-fraction") {
+      config.miss_fraction =
+          std::strtod(next("--miss-fraction").c_str(), nullptr);
+    } else if (arg == "--no-deadline-spread") {
+      config.deadline_spread = false;
+    } else if (arg == "--failpoints") {
+      config.failpoints = true;
+    } else if (arg == "--saturation") {
+      config.saturation = true;
+    } else if (arg == "--nodes") {
+      config.nodes = std::strtoull(next("--nodes").c_str(), nullptr, 10);
+    } else if (arg == "--quota-in-flight") {
+      config.quota_in_flight =
+          std::strtoull(next("--quota-in-flight").c_str(), nullptr, 10);
+    } else if (arg == "--json") {
+      config.json_path = next("--json");
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: bench_loadgen [--self | --connect host:port] [--qps N]\n"
+          "  [--duration S] [--connections K] [--miss-fraction F]\n"
+          "  [--no-deadline-spread] [--failpoints] [--saturation]\n"
+          "  [--nodes N] [--quota-in-flight N] [--json FILE]\n");
+      return 2;
+    }
+  }
+  if (config.qps <= 0.0 || config.connections == 0) {
+    std::fprintf(stderr, "--qps and --connections must be positive\n");
+    return 2;
+  }
+
+  std::vector<PhaseResult> phases;
+  std::vector<PhaseResult> saturation_steps;
+  double saturation_qps = 0.0;
+
+  if (config.self) {
+    if (config.failpoints) {
+      // Low-probability faults: occasional submit-time errors, occasional
+      // per-batch stalls — the sustained-load soak profile.
+      SJOS_CHECK(FailpointRegistry::Global()
+                     .Enable("service.submit", "prob:0.01")
+                     .ok(),
+                 "arm service.submit");
+      SJOS_CHECK(
+          FailpointRegistry::Global().Enable("exec.batch", "delay:1").ok(),
+          "arm exec.batch");
+    }
+    for (const char* dataset : {"Pers", "DBLP"}) {
+      SelfServer self(dataset, config);
+      PhaseResult r = RunPhase(dataset, "127.0.0.1", self.server.port(),
+                               WorkloadQueries(dataset), config);
+      PrintPhase(r);
+      phases.push_back(std::move(r));
+      if (config.saturation && std::strcmp(dataset, "Pers") == 0) {
+        FailpointRegistry::Global().DisableAll();
+        saturation_qps =
+            SaturationSweep(config, "127.0.0.1", self.server.port(),
+                            WorkloadQueries(dataset), &saturation_steps);
+        std::printf("saturation: %.1f qps\n", saturation_qps);
+        if (config.failpoints) {
+          // Re-arm: the sweep measures clean capacity, but later phases
+          // keep the soak profile.
+          SJOS_CHECK(FailpointRegistry::Global()
+                         .Enable("service.submit", "prob:0.01")
+                         .ok(),
+                     "re-arm service.submit");
+          SJOS_CHECK(
+              FailpointRegistry::Global().Enable("exec.batch", "delay:1").ok(),
+              "re-arm exec.batch");
+        }
+      }
+      self.server.Stop();
+    }
+    FailpointRegistry::Global().DisableAll();
+  } else {
+    PhaseResult r = RunPhase("remote", config.connect_host,
+                             config.connect_port, WorkloadQueries("Pers"),
+                             config);
+    PrintPhase(r);
+    phases.push_back(std::move(r));
+  }
+
+  const bool wrote = WriteReport(config, phases, saturation_steps,
+                                 saturation_qps);
+  uint64_t completed = 0;
+  for (const PhaseResult& r : phases) completed += r.ok;
+  if (!wrote) return 1;
+  if (completed == 0) {
+    std::fprintf(stderr, "no request completed — server unreachable?\n");
+    return 1;
+  }
+  return 0;
+}

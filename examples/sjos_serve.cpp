@@ -1,0 +1,128 @@
+// sjos_serve: the network query server as a binary. Loads or generates a
+// dataset, wraps it in sjos::Engine, and serves the framed-JSON wire
+// protocol (see src/net/codec.h) until stdin reaches EOF — so a harness
+// can run it in the background and stop it by closing the pipe:
+//
+//   ./build/examples/sjos_serve --dataset Pers --nodes 20000 --port 7544 &
+//   ... drive it with sjos_shell --connect 127.0.0.1:7544 or bench_loadgen
+//
+// The chosen port is printed as "LISTENING <port>" on stdout (flushed) so
+// scripts can scrape it when --port 0 picked an ephemeral one.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "net/server.h"
+#include "query/workload.h"
+#include "service/engine.h"
+#include "xml/parser.h"
+
+using namespace sjos;
+
+namespace {
+
+uint64_t ArgU64(int argc, char** argv, int* i, const char* flag) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", flag);
+    std::exit(2);
+  }
+  return std::strtoull(argv[++*i], nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "Pers";
+  std::string load_path;
+  uint64_t nodes = 20'000;
+  net::ServerOptions server_options;
+  EngineOptions engine_options;
+  uint64_t quota_in_flight = 0;
+  uint64_t quota_qps = 0;
+  // The paper workload's broad Pers twigs return ~100k-row results; the
+  // standalone server defaults to a frame budget that carries them.
+  server_options.max_frame_bytes = 16 * 1024 * 1024;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--port") == 0) {
+      server_options.port = static_cast<uint16_t>(ArgU64(argc, argv, &i, arg));
+    } else if (std::strcmp(arg, "--dataset") == 0 && i + 1 < argc) {
+      dataset = argv[++i];
+    } else if (std::strcmp(arg, "--load") == 0 && i + 1 < argc) {
+      load_path = argv[++i];
+    } else if (std::strcmp(arg, "--nodes") == 0) {
+      nodes = ArgU64(argc, argv, &i, arg);
+    } else if (std::strcmp(arg, "--max-in-flight") == 0) {
+      engine_options.max_in_flight =
+          static_cast<size_t>(ArgU64(argc, argv, &i, arg));
+    } else if (std::strcmp(arg, "--quota-in-flight") == 0) {
+      quota_in_flight = ArgU64(argc, argv, &i, arg);
+    } else if (std::strcmp(arg, "--quota-qps") == 0) {
+      quota_qps = ArgU64(argc, argv, &i, arg);
+    } else if (std::strcmp(arg, "--max-connections") == 0) {
+      server_options.max_connections =
+          static_cast<size_t>(ArgU64(argc, argv, &i, arg));
+    } else if (std::strcmp(arg, "--max-frame-bytes") == 0) {
+      server_options.max_frame_bytes =
+          static_cast<size_t>(ArgU64(argc, argv, &i, arg));
+    } else {
+      std::fprintf(stderr,
+                   "usage: sjos_serve [--port N] [--dataset Pers|DBLP|Mbench] "
+                   "[--load file.xml] [--nodes N] [--max-in-flight N] "
+                   "[--quota-in-flight N] [--quota-qps N] "
+                   "[--max-connections N] [--max-frame-bytes N]\n");
+      return 2;
+    }
+  }
+
+  server_options.default_quota.max_in_flight = quota_in_flight;
+  server_options.default_quota.qps = static_cast<double>(quota_qps);
+
+  Engine engine(engine_options);
+  if (!load_path.empty()) {
+    Result<Document> doc = ParseXmlFile(load_path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    if (!engine.OpenDatabase(Database::Open(std::move(doc).value(), load_path))
+             .ok()) {
+      return 1;
+    }
+  } else {
+    DatasetScale scale;
+    scale.base_nodes = nodes;
+    Result<Database> db = MakePaperDataset(dataset, scale);
+    if (!db.ok()) {
+      std::fprintf(stderr, "dataset '%s' failed: %s\n", dataset.c_str(),
+                   db.status().ToString().c_str());
+      return 1;
+    }
+    if (!engine.OpenDatabase(std::move(db).value()).ok()) return 1;
+  }
+  std::fprintf(stderr, "serving '%s' (%zu nodes)\n",
+               engine.db().name().c_str(), engine.db().doc().NumNodes());
+
+  net::QueryServer server(&engine, server_options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  // Serve until the harness closes our stdin (or sends "quit").
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit") break;
+  }
+  server.Stop();
+  std::fprintf(stderr, "server stopped\n");
+  return 0;
+}

@@ -18,9 +18,15 @@
 //
 // Also usable non-interactively:  echo 'gen Pers\nquery manager[//name]' |
 //   ./build/examples/sjos_shell
+//
+// Remote mode:  sjos_shell --connect 127.0.0.1:7544  talks to a running
+// sjos_serve over the wire protocol instead of an in-process Engine
+// (commands: query, xpath, plan, algo, \metrics, ping, quit).
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -28,6 +34,8 @@
 #include "common/str_util.h"
 #include "common/trace.h"
 #include "exec/twig_join.h"
+#include "net/client.h"
+#include "net/json.h"
 #include "plan/plan_printer.h"
 #include "query/pattern_parser.h"
 #include "query/workload.h"
@@ -389,9 +397,212 @@ class Shell {
   uint64_t mem_limit_bytes_ = 0;    // \memlimit — 0 disables
 };
 
+/// The shell's remote face: the same query/xpath/plan commands, executed
+/// on a sjos_serve instance over the wire protocol. Each query is a
+/// submit + blocking poll round trip on one connection.
+class RemoteShell {
+ public:
+  explicit RemoteShell(net::Client client) : client_(std::move(client)) {}
+
+  int Run() {
+    std::printf("sjos shell (remote) — query/xpath/plan/algo/"
+                "\\metrics/ping/quit\n");
+    std::string line;
+    while (NextLine(&line)) {
+      std::istringstream words(line);
+      std::string command;
+      if (!(words >> command)) continue;
+      if (command[0] == '#') continue;
+      if (command == "quit" || command == "exit") break;
+      if (command == "query" || command == "xpath") {
+        RunQuery(command == "xpath", Rest(line, command));
+      } else if (command == "plan") {
+        Explain(Rest(line, command));
+      } else if (command == "algo") {
+        words >> algo_;
+        std::printf("optimizer: %s\n", algo_.c_str());
+      } else if (command == "\\metrics") {
+        Stats();
+      } else if (command == "ping") {
+        Ping();
+      } else {
+        std::printf("remote commands: query <pattern> | xpath <x> | "
+                    "plan <pattern> | algo <name> | \\metrics | ping | "
+                    "quit\n");
+      }
+    }
+    return 0;
+  }
+
+ private:
+  static bool NextLine(std::string* line) {
+    std::printf("> ");
+    std::fflush(stdout);
+    return static_cast<bool>(std::getline(std::cin, *line));
+  }
+
+  static std::string Rest(const std::string& line, const std::string& command) {
+    std::string rest = line.substr(line.find(command) + command.size());
+    return std::string(Trim(rest));
+  }
+
+  std::string NextId() { return "sh-" + std::to_string(next_id_++); }
+
+  /// One round trip; prints transport errors and returns the parsed
+  /// response otherwise.
+  std::optional<net::JsonValue> Call(const std::string& request) {
+    Result<net::JsonValue> response = client_.Call(request);
+    if (!response.ok()) {
+      std::printf("transport error: %s\n",
+                  response.status().ToString().c_str());
+      return std::nullopt;
+    }
+    return std::move(response).value();
+  }
+
+  static bool IsOk(const net::JsonValue& response) {
+    const net::JsonValue* ok = response.Find("ok");
+    return ok != nullptr && ok->is_bool() &&
+           ok->bool_value();
+  }
+
+  static void PrintError(const net::JsonValue& response) {
+    const net::JsonValue* code = response.Find("code");
+    const net::JsonValue* error = response.Find("error");
+    std::printf("server error [%s]: %s\n",
+                code != nullptr ? code->string_value().c_str() : "?",
+                error != nullptr ? error->string_value().c_str() : "?");
+    const net::JsonValue* retry = response.Find("retry_after_ms");
+    if (retry != nullptr) {
+      std::printf("  retry after %.0f ms\n", retry->number_value());
+    }
+  }
+
+  std::string SubmitRequest(const char* verb, const std::string& id,
+                            const std::string& text, bool xpath) {
+    std::string request = "{\"verb\":\"";
+    request += verb;
+    request += "\",\"id\":";
+    net::AppendJsonString(id, &request);
+    request += ",\"query\":";
+    net::AppendJsonString(text, &request);
+    request += ",\"optimizer\":";
+    net::AppendJsonString(algo_, &request);
+    if (xpath) request += ",\"xpath\":true";
+    request += "}";
+    return request;
+  }
+
+  void RunQuery(bool xpath, const std::string& text) {
+    const std::string id = NextId();
+    std::optional<net::JsonValue> submitted =
+        Call(SubmitRequest("submit", id, text, xpath));
+    if (!submitted) return;
+    if (!IsOk(*submitted)) {
+      PrintError(*submitted);
+      return;
+    }
+    // Block on the result: repeated long polls until done.
+    for (;;) {
+      std::string poll = "{\"verb\":\"poll\",\"id\":";
+      net::AppendJsonString(id, &poll);
+      poll += ",\"wait_ms\":5000}";
+      std::optional<net::JsonValue> response = Call(poll);
+      if (!response) return;
+      if (!IsOk(*response)) {
+        PrintError(*response);
+        const net::JsonValue* verdict = response->Find("verdict");
+        if (verdict != nullptr && !verdict->string_value().empty()) {
+          std::printf("governor verdict: %s\n",
+                      verdict->string_value().c_str());
+        }
+        return;
+      }
+      const net::JsonValue* done = response->Find("done");
+      if (done == nullptr || !done->bool_value()) continue;
+      const net::JsonValue* result = response->Find("result");
+      if (result == nullptr) return;
+      const net::JsonValue* rows = result->Find("row_count");
+      const net::JsonValue* stats = result->Find("stats");
+      const net::JsonValue* algorithm = result->Find("algorithm");
+      const net::JsonValue* cache_hit = result->Find("cache_hit");
+      double wall_ms = 0.0;
+      if (stats != nullptr) {
+        const net::JsonValue* wall = stats->Find("wall_ms");
+        if (wall != nullptr) wall_ms = wall->number_value();
+      }
+      std::printf("%.0f matches in %.3f ms (%s%s)\n",
+                  rows != nullptr ? rows->number_value() : 0.0, wall_ms,
+                  algorithm != nullptr ? algorithm->string_value().c_str() : "?",
+                  cache_hit != nullptr && cache_hit->bool_value()
+                      ? ", cache hit"
+                      : "");
+      return;
+    }
+  }
+
+  void Explain(const std::string& text) {
+    std::optional<net::JsonValue> response =
+        Call(SubmitRequest("explain", NextId(), text, false));
+    if (!response) return;
+    if (!IsOk(*response)) {
+      PrintError(*response);
+      return;
+    }
+    const net::JsonValue* algorithm = response->Find("algorithm");
+    const net::JsonValue* plan = response->Find("plan");
+    std::printf("%s plan:\n%s",
+                algorithm != nullptr ? algorithm->string_value().c_str() : "?",
+                plan != nullptr ? plan->string_value().c_str() : "");
+  }
+
+  void Stats() {
+    std::optional<net::JsonValue> response =
+        Call("{\"verb\":\"stats\",\"id\":\"m\"}");
+    if (!response) return;
+    const net::JsonValue* text = response->Find("prometheus");
+    if (text != nullptr) std::printf("%s", text->string_value().c_str());
+  }
+
+  void Ping() {
+    std::optional<net::JsonValue> response =
+        Call("{\"verb\":\"ping\",\"id\":\"p\"}");
+    if (!response) return;
+    const net::JsonValue* db = response->Find("db");
+    const net::JsonValue* nodes = response->Find("nodes");
+    std::printf("pong: db=%s nodes=%.0f\n",
+                db != nullptr ? db->string_value().c_str() : "(none)",
+                nodes != nullptr ? nodes->number_value() : 0.0);
+  }
+
+  net::Client client_;
+  std::string algo_ = "dpp";
+  uint64_t next_id_ = 1;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--connect" && i + 1 < argc) {
+      const std::string target = argv[i + 1];
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect wants host:port\n");
+        return 2;
+      }
+      const std::string host = target.substr(0, colon);
+      const uint16_t port = static_cast<uint16_t>(
+          std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+      Result<net::Client> client = net::Client::Connect(host, port);
+      if (!client.ok()) {
+        std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+        return 1;
+      }
+      RemoteShell remote(std::move(client).value());
+      return remote.Run();
+    }
+  }
   Shell shell;
   return shell.Run();
 }

@@ -15,14 +15,46 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace sjos {
+
+/// Escapes a Prometheus label value: backslash, double quote, and newline
+/// become \\, \", and \n.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Renders a labeled series name, `family{k1="v1",k2="v2"}`, with the
+/// values escaped. Labeled instruments are registered under this full name
+/// (the registry itself is label-agnostic); the Prometheus exporter groups
+/// every series of a family under one TYPE line. An empty label list
+/// returns the bare family name.
+std::string SeriesName(
+    std::string_view family,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Splits a registered series name into its family and the label block
+/// between the braces ("" when unlabeled).
+void SplitSeriesName(std::string_view series, std::string_view* family,
+                     std::string_view* labels);
+
+/// Checks `text` against the Prometheus text exposition grammar: line
+/// shapes, metric/label name charsets, label-value escaping, HELP/TYPE
+/// appearing at most once per family and before its samples, family
+/// contiguity, no duplicate series, and histogram structure (_bucket/_sum/
+/// _count only, ascending cumulative `le` buckets ending at +Inf). Returns
+/// InvalidArgument naming the first offending line. Scrape breakage is
+/// caught in-tree by running every export through this.
+Status ValidatePrometheusText(std::string_view text);
 
 /// Monotonically increasing counter.
 class Counter {
@@ -91,6 +123,8 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<HistogramData> histograms;
+  /// (family, help text) pairs registered via MetricsRegistry::SetHelp.
+  std::vector<std::pair<std::string, std::string>> helps;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string ToJson() const;
@@ -111,6 +145,33 @@ class MetricsRegistry {
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
 
+  /// Labeled variants: the instrument is registered under
+  /// SeriesName(family, labels), so distinct label values are distinct
+  /// series of one exported family.
+  Counter& GetCounter(
+      std::string_view family,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          labels) {
+    return GetCounter(SeriesName(family, labels));
+  }
+  Gauge& GetGauge(
+      std::string_view family,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          labels) {
+    return GetGauge(SeriesName(family, labels));
+  }
+  Histogram& GetHistogram(
+      std::string_view family,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          labels) {
+    return GetHistogram(SeriesName(family, labels));
+  }
+
+  /// Registers (or replaces) the HELP text exported for `family`. Help is
+  /// per family, not per series; newlines and backslashes are escaped on
+  /// export.
+  void SetHelp(std::string_view family, std::string_view help);
+
   MetricsSnapshot Snapshot() const;
 
   /// Zeroes every instrument without destroying it.
@@ -121,6 +182,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> helps_;
 };
 
 }  // namespace sjos

@@ -1,0 +1,96 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/frame.h"
+
+namespace sjos {
+namespace net {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad server address '" + host +
+                                   "' (IPv4 literal required)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status st = Status::Internal("connect to " + host + ":" +
+                                    std::to_string(port) +
+                                    " failed: " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;  // request/response round trips want low latency
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Send(std::string_view payload) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  return SendFrame(fd_, payload);
+}
+
+Result<std::string> Client::Receive() {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  std::string payload;
+  bool clean_eof = false;
+  // The server enforces its own frame limit; the client accepts anything
+  // up to the protocol's absolute ceiling.
+  Status st = RecvFrame(fd_, kFrameAbsoluteMaxPayload, &payload, &clean_eof);
+  if (!st.ok()) return st;
+  if (clean_eof) {
+    return Status::Internal("server closed the connection");
+  }
+  return payload;
+}
+
+Result<JsonValue> Client::Call(std::string_view request_json) {
+  Status sent = Send(request_json);
+  if (!sent.ok()) return sent;
+  Result<std::string> payload = Receive();
+  if (!payload.ok()) return payload.status();
+  return ParseJson(payload.value());
+}
+
+}  // namespace net
+}  // namespace sjos

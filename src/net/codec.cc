@@ -1,0 +1,149 @@
+#include "net/codec.h"
+
+#include "net/json.h"
+
+namespace sjos {
+namespace net {
+
+namespace {
+
+constexpr size_t kMaxIdBytes = 256;
+
+Result<Verb> ParseVerb(std::string_view name) {
+  if (name == "ping") return Verb::kPing;
+  if (name == "submit") return Verb::kSubmit;
+  if (name == "poll") return Verb::kPoll;
+  if (name == "cancel") return Verb::kCancel;
+  if (name == "explain") return Verb::kExplain;
+  if (name == "stats") return Verb::kStats;
+  return Status::InvalidArgument(
+      "unknown verb '" + std::string(name) +
+      "' (expected ping|submit|poll|cancel|explain|stats)");
+}
+
+}  // namespace
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kPing: return "ping";
+    case Verb::kSubmit: return "submit";
+    case Verb::kPoll: return "poll";
+    case Verb::kCancel: return "cancel";
+    case Verb::kExplain: return "explain";
+    case Verb::kStats: return "stats";
+  }
+  return "?";
+}
+
+QueryOptions WireRequest::ToQueryOptions() const {
+  QueryOptions options;
+  if (!optimizer.empty()) {
+    // Validated in DecodeRequest; a bad name cannot reach here.
+    options.optimizer = ParseOptimizerKind(optimizer).value();
+  }
+  options.deadline_ms = deadline_ms;
+  options.max_live_bytes = max_live_bytes;
+  options.max_join_output_rows = max_join_output_rows;
+  options.use_plan_cache = use_plan_cache;
+  options.tenant = tenant.empty() ? "default" : tenant;
+  return options;
+}
+
+Result<WireRequest> DecodeRequest(std::string_view payload) {
+  Result<JsonValue> parsed = ParseJson(payload);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request payload must be a JSON object");
+  }
+
+  const JsonValue* verb_field = root.Find("verb");
+  if (verb_field == nullptr) {
+    return Status::InvalidArgument("request is missing the 'verb' field");
+  }
+  if (!verb_field->is_string()) {
+    return Status::InvalidArgument("field 'verb' must be a string");
+  }
+  Result<Verb> verb = ParseVerb(verb_field->string_value());
+  if (!verb.ok()) return verb.status();
+
+  WireRequest req;
+  req.verb = verb.value();
+
+#define SJOS_NET_ASSIGN(dst, expr)          \
+  do {                                      \
+    auto _r = (expr);                       \
+    if (!_r.ok()) return _r.status();       \
+    (dst) = std::move(_r).value();          \
+  } while (0)
+
+  SJOS_NET_ASSIGN(req.id, root.GetString("id", ""));
+  SJOS_NET_ASSIGN(req.tenant, root.GetString("tenant", ""));
+  SJOS_NET_ASSIGN(req.query, root.GetString("query", ""));
+  SJOS_NET_ASSIGN(req.xpath, root.GetBool("xpath", false));
+  SJOS_NET_ASSIGN(req.optimizer, root.GetString("optimizer", ""));
+  SJOS_NET_ASSIGN(req.deadline_ms, root.GetUint("deadline_ms", 0));
+  SJOS_NET_ASSIGN(req.max_live_bytes, root.GetUint("max_live_bytes", 0));
+  SJOS_NET_ASSIGN(req.max_join_output_rows,
+                  root.GetUint("max_join_output_rows", 0));
+  SJOS_NET_ASSIGN(req.use_plan_cache, root.GetBool("use_plan_cache", true));
+  SJOS_NET_ASSIGN(req.wait_ms, root.GetUint("wait_ms", 0));
+#undef SJOS_NET_ASSIGN
+
+  if (req.id.size() > kMaxIdBytes) {
+    return Status::InvalidArgument("field 'id' exceeds " +
+                                   std::to_string(kMaxIdBytes) + " bytes");
+  }
+  if (req.tenant.size() > kMaxIdBytes) {
+    return Status::InvalidArgument("field 'tenant' exceeds " +
+                                   std::to_string(kMaxIdBytes) + " bytes");
+  }
+
+  switch (req.verb) {
+    case Verb::kSubmit:
+    case Verb::kExplain:
+      if (req.id.empty()) {
+        return Status::InvalidArgument(std::string(VerbName(req.verb)) +
+                                       " requires a non-empty 'id'");
+      }
+      if (req.query.empty()) {
+        return Status::InvalidArgument(std::string(VerbName(req.verb)) +
+                                       " requires a non-empty 'query'");
+      }
+      if (!req.optimizer.empty()) {
+        Result<OptimizerKind> kind = ParseOptimizerKind(req.optimizer);
+        if (!kind.ok()) return kind.status();
+      }
+      break;
+    case Verb::kPoll:
+    case Verb::kCancel:
+      if (req.id.empty()) {
+        return Status::InvalidArgument(std::string(VerbName(req.verb)) +
+                                       " requires a non-empty 'id'");
+      }
+      break;
+    case Verb::kPing:
+    case Verb::kStats:
+      break;
+  }
+  return req;
+}
+
+std::string EncodeErrorResponse(std::string_view id, const Status& status,
+                                uint64_t retry_after_ms) {
+  std::string out = "{\"id\":";
+  AppendJsonString(id, &out);
+  out += ",\"ok\":false,\"code\":";
+  AppendJsonString(StatusCodeName(status.code()), &out);
+  out += ",\"error\":";
+  AppendJsonString(status.message(), &out);
+  if (retry_after_ms > 0) {
+    out += ",\"retry_after_ms\":";
+    AppendJsonUint(retry_after_ms, &out);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace net
+}  // namespace sjos

@@ -1,0 +1,80 @@
+// Wire protocol structs and the request codec (DESIGN.md §10). One frame
+// carries one JSON object. Requests:
+//
+//   {"verb":"submit","id":"q1","tenant":"acme","query":"a[//b]",
+//    "optimizer":"dpp","deadline_ms":100,"max_live_bytes":0,
+//    "use_plan_cache":true,"xpath":false}
+//   {"verb":"poll","id":"q1","wait_ms":50}
+//   {"verb":"cancel","id":"q1"}
+//   {"verb":"explain","id":"e1","query":"a[//b]","optimizer":"dp"}
+//   {"verb":"stats"}        {"verb":"ping"}
+//
+// Responses always carry "id" (echoed, possibly empty) and "ok". Errors
+// add "code" (StatusCodeName), "error", and — for load shedding — a
+// "retry_after_ms" hint:
+//
+//   {"id":"q1","ok":false,"code":"ResourceExhausted",
+//    "error":"tenant 'acme' at max in-flight","retry_after_ms":50}
+//
+// Decoding is total: any malformed payload yields an error Status the
+// server answers with EncodeErrorResponse — never a crash or silent drop.
+
+#ifndef SJOS_NET_CODEC_H_
+#define SJOS_NET_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "service/query_options.h"
+
+namespace sjos {
+namespace net {
+
+enum class Verb : uint8_t {
+  kPing,
+  kSubmit,
+  kPoll,
+  kCancel,
+  kExplain,
+  kStats,
+};
+
+const char* VerbName(Verb verb);
+
+/// One decoded request. Option fields default like QueryOptions.
+struct WireRequest {
+  Verb verb = Verb::kPing;
+  std::string id;      // query identity for submit/poll/cancel/explain
+  std::string tenant;  // "" → the server's default tenant bucket
+  std::string query;   // pattern (or XPath) text for submit/explain
+  bool xpath = false;  // parse `query` as XPath instead of a pattern
+  std::string optimizer;  // "" → dpp; else an OptimizerKindName
+  uint64_t deadline_ms = 0;
+  uint64_t max_live_bytes = 0;
+  uint64_t max_join_output_rows = 0;
+  bool use_plan_cache = true;
+  uint64_t wait_ms = 0;  // poll: block up to this long for completion
+
+  /// Service-layer options derived from the wire fields (tenant label
+  /// included). The server clamps max_live_bytes against the tenant quota
+  /// afterwards.
+  QueryOptions ToQueryOptions() const;
+};
+
+/// Parses and validates one request payload. InvalidArgument/ParseError
+/// on malformed JSON, a non-object payload, a missing/unknown verb, bad
+/// field types, an over-long id (> 256 bytes), a missing id or query on
+/// verbs that need one, or an unknown optimizer name.
+Result<WireRequest> DecodeRequest(std::string_view payload);
+
+/// `{"id":<id>,"ok":false,"code":...,"error":...[,"retry_after_ms":N]}`.
+/// retry_after_ms is emitted only when non-zero.
+std::string EncodeErrorResponse(std::string_view id, const Status& status,
+                                uint64_t retry_after_ms = 0);
+
+}  // namespace net
+}  // namespace sjos
+
+#endif  // SJOS_NET_CODEC_H_

@@ -1,0 +1,124 @@
+#include "net/frame.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace sjos {
+namespace net {
+
+std::string EncodeFrame(std::string_view payload) {
+  SJOS_CHECK(payload.size() <= kFrameAbsoluteMaxPayload,
+             "frame payload exceeds the absolute maximum");
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+FrameDecode DecodeFrame(std::string_view buffer, size_t max_payload,
+                        std::string_view* payload, size_t* consumed,
+                        uint64_t* declared) {
+  if (buffer.size() < kFrameHeaderBytes) return FrameDecode::kNeedMore;
+  const uint64_t len =
+      (static_cast<uint64_t>(static_cast<unsigned char>(buffer[0])) << 24) |
+      (static_cast<uint64_t>(static_cast<unsigned char>(buffer[1])) << 16) |
+      (static_cast<uint64_t>(static_cast<unsigned char>(buffer[2])) << 8) |
+      static_cast<uint64_t>(static_cast<unsigned char>(buffer[3]));
+  if (declared != nullptr) *declared = len;
+  if (len > max_payload || len > kFrameAbsoluteMaxPayload) {
+    return FrameDecode::kOversize;
+  }
+  if (buffer.size() < kFrameHeaderBytes + len) return FrameDecode::kNeedMore;
+  *payload = buffer.substr(kFrameHeaderBytes, static_cast<size_t>(len));
+  *consumed = kFrameHeaderBytes + static_cast<size_t>(len);
+  return FrameDecode::kOk;
+}
+
+namespace {
+
+Status SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) return Status::Internal("send wrote zero bytes");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `len` bytes. *eof_at_start is set (with OK returned,
+/// zero bytes read) when the peer closed before the first byte.
+Status RecvAll(int fd, char* data, size_t len, bool* eof_at_start) {
+  if (eof_at_start != nullptr) *eof_at_start = false;
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return Status::OK();
+      }
+      return Status::Internal("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SendFrame(int fd, std::string_view payload) {
+  const std::string frame = EncodeFrame(payload);
+  return SendAll(fd, frame.data(), frame.size());
+}
+
+Status RecvFrame(int fd, size_t max_payload, std::string* payload,
+                 bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  payload->clear();
+  char header[kFrameHeaderBytes];
+  bool eof = false;
+  SJOS_RETURN_IF_ERROR(RecvAll(fd, header, kFrameHeaderBytes, &eof));
+  if (eof) {
+    if (clean_eof != nullptr) *clean_eof = true;
+    return Status::OK();
+  }
+  const uint64_t len =
+      (static_cast<uint64_t>(static_cast<unsigned char>(header[0])) << 24) |
+      (static_cast<uint64_t>(static_cast<unsigned char>(header[1])) << 16) |
+      (static_cast<uint64_t>(static_cast<unsigned char>(header[2])) << 8) |
+      static_cast<uint64_t>(static_cast<unsigned char>(header[3]));
+  if (len > max_payload || len > kFrameAbsoluteMaxPayload) {
+    return Status::ResourceExhausted(
+        "frame of " + std::to_string(len) + " bytes exceeds the limit of " +
+        std::to_string(max_payload));
+  }
+  payload->resize(static_cast<size_t>(len));
+  if (len > 0) {
+    SJOS_RETURN_IF_ERROR(RecvAll(fd, payload->data(),
+                                 static_cast<size_t>(len), nullptr));
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace sjos

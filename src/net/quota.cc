@@ -1,0 +1,117 @@
+#include "net/quota.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/metrics.h"
+
+namespace sjos {
+namespace net {
+
+namespace {
+
+/// Hint for an in-flight rejection: there is no completion estimate, so
+/// suggest a short fixed backoff.
+constexpr uint64_t kInFlightRetryHintMs = 50;
+
+}  // namespace
+
+TenantQuotaTable::TenantQuotaTable(TenantQuota default_quota)
+    : default_quota_(default_quota) {}
+
+TenantQuotaTable::TenantState& TenantQuotaTable::GetLocked(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    TenantState state;
+    state.quota = default_quota_;
+    it = tenants_.emplace(tenant, std::move(state)).first;
+  }
+  return it->second;
+}
+
+void TenantQuotaTable::SetQuota(const std::string& tenant, TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = GetLocked(tenant);
+  state.quota = quota;
+  state.bucket_started = false;
+  state.tokens = 0.0;
+}
+
+TenantQuotaTable::Decision TenantQuotaTable::Admit(const std::string& tenant,
+                                                   uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = GetLocked(tenant);
+  Decision decision;
+
+  if (state.quota.max_in_flight > 0 &&
+      state.in_flight >= state.quota.max_in_flight) {
+    decision.reason = "in_flight";
+    decision.retry_after_ms = kInFlightRetryHintMs;
+    MetricsRegistry::Global()
+        .GetCounter("sjos_server_shed_total", {{"reason", "in_flight"}})
+        .Add();
+    return decision;
+  }
+
+  if (state.quota.qps > 0) {
+    const double burst = state.quota.burst > 0
+                             ? state.quota.burst
+                             : std::max(1.0, state.quota.qps);
+    if (!state.bucket_started) {
+      // A fresh bucket starts full so a tenant's first burst is admitted.
+      state.tokens = burst;
+      state.last_refill_us = now_us;
+      state.bucket_started = true;
+    } else if (now_us > state.last_refill_us) {
+      const double elapsed_s =
+          static_cast<double>(now_us - state.last_refill_us) / 1e6;
+      state.tokens = std::min(burst, state.tokens + elapsed_s * state.quota.qps);
+      state.last_refill_us = now_us;
+    }
+    if (state.tokens < 1.0) {
+      decision.reason = "qps";
+      const double deficit_s = (1.0 - state.tokens) / state.quota.qps;
+      decision.retry_after_ms =
+          std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(deficit_s * 1e3)));
+      MetricsRegistry::Global()
+          .GetCounter("sjos_server_shed_total", {{"reason", "qps"}})
+          .Add();
+      return decision;
+    }
+    state.tokens -= 1.0;
+  }
+
+  state.in_flight += 1;
+  decision.admitted = true;
+  return decision;
+}
+
+void TenantQuotaTable::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = GetLocked(tenant);
+  if (state.in_flight > 0) state.in_flight -= 1;
+}
+
+uint64_t TenantQuotaTable::LiveBytesCap(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? default_quota_.max_live_bytes
+                              : it->second.quota.max_live_bytes;
+}
+
+uint64_t TenantQuotaTable::InFlight(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.in_flight;
+}
+
+uint64_t TenantQuotaTable::TotalInFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, state] : tenants_) total += state.in_flight;
+  return total;
+}
+
+}  // namespace net
+}  // namespace sjos

@@ -1,0 +1,495 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/metrics.h"
+#include "common/str_util.h"
+#include "net/frame.h"
+#include "net/json.h"
+#include "plan/plan_printer.h"
+#include "query/pattern_parser.h"
+#include "query/xpath.h"
+
+namespace sjos {
+namespace net {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ServerMetrics {
+  Counter& connections;
+  Counter& disconnect_cancels;
+  Gauge& connections_active;
+  Gauge& live_queries;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      reg.SetHelp("sjos_server_connections_total",
+                  "Connections accepted by the query server");
+      reg.SetHelp("sjos_server_requests_total",
+                  "Wire requests decoded, by verb and by tenant");
+      reg.SetHelp("sjos_server_shed_total",
+                  "Submissions shed by per-tenant quota, by reason");
+      return new ServerMetrics{
+          reg.GetCounter("sjos_server_connections_total"),
+          reg.GetCounter("sjos_server_disconnect_cancels_total"),
+          reg.GetGauge("sjos_server_connections_active"),
+          reg.GetGauge("sjos_server_live_queries")};
+    }();
+    return *m;
+  }
+};
+
+void CountRequest(Verb verb, const std::string& tenant) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("sjos_server_requests_total", {{"verb", VerbName(verb)}})
+      .Add();
+  if (!tenant.empty()) {
+    reg.GetCounter("sjos_server_requests_total", {{"tenant", tenant}}).Add();
+  }
+}
+
+void AppendOkHead(std::string_view id, std::string* out) {
+  *out += "{\"id\":";
+  AppendJsonString(id, out);
+  *out += ",\"ok\":true";
+}
+
+}  // namespace
+
+QueryServer::QueryServer(Engine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)),
+      quotas_(options_.default_quota) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  SJOS_CHECK(!started_.load(), "QueryServer::Start called twice");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal("bind to " + options_.host + ":" +
+                                 std::to_string(options_.port) +
+                                 " failed: " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status st = Status::Internal(std::string("listen failed: ") +
+                                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  started_.store(true);
+  stopping_.store(false);
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!started_.exchange(false)) return;
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  connections_.clear();
+}
+
+void QueryServer::ReapFinishedLocked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    Connection* conn = it->get();
+    if (conn->finished.load(std::memory_order_acquire)) {
+      if (conn->thread.joinable()) conn->thread.join();
+      if (conn->fd >= 0) ::close(conn->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    sockaddr_in peer;
+    socklen_t len = sizeof(peer);
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop (or a fatal accept error)
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedLocked();
+    if (connections_.size() >= options_.max_connections) {
+      // Shed the connection itself, with the same explicit contract as
+      // tenant shedding: one clean response, then close.
+      (void)SendFrame(fd, EncodeErrorResponse(
+                              "", Status::ResourceExhausted(
+                                      "server at its connection limit"),
+                              /*retry_after_ms=*/100));
+      ::close(fd);
+      continue;
+    }
+    ServerMetrics::Get().connections.Add();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread(&QueryServer::ServeConnection, this, raw);
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void QueryServer::ServeConnection(Connection* conn) {
+  ServerMetrics::Get().connections_active.Add(1);
+  std::string payload;
+  bool clean_eof = false;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Status st = RecvFrame(conn->fd, options_.max_frame_bytes, &payload,
+                          &clean_eof);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kResourceExhausted) {
+        // Oversize length prefix: the stream cannot be resynchronized, so
+        // answer once, then close.
+        (void)SendFrame(conn->fd, EncodeErrorResponse("", st));
+      }
+      break;
+    }
+    if (clean_eof) break;
+    const std::string response = HandleRequest(conn, payload);
+    if (!SendFrame(conn->fd, response).ok()) break;
+  }
+
+  // Cancel-on-disconnect: every query submitted over this connection that
+  // has not finished is cancelled, and all are drained so their admission
+  // slots and tenant quota are released before the connection is gone.
+  uint64_t cancelled = 0;
+  for (auto& [id, lq] : conn->queries) {
+    if (!lq.handle.Done()) {
+      lq.handle.Cancel();
+      ++cancelled;
+    }
+  }
+  for (auto& [id, lq] : conn->queries) lq.handle.Wait();
+  conn->queries.clear();
+  if (cancelled > 0) ServerMetrics::Get().disconnect_cancels.Add(cancelled);
+  // Signal EOF to a peer still reading (e.g. after an oversize-frame
+  // error response); the fd itself is closed by the reaper or Stop().
+  ::shutdown(conn->fd, SHUT_RDWR);
+  ServerMetrics::Get().connections_active.Sub(1);
+  conn->finished.store(true, std::memory_order_release);
+}
+
+std::string QueryServer::HandleRequest(Connection* conn,
+                                       std::string_view payload) {
+  Result<WireRequest> decoded = DecodeRequest(payload);
+  if (!decoded.ok()) {
+    return EncodeErrorResponse("", decoded.status());
+  }
+  const WireRequest& req = decoded.value();
+  CountRequest(req.verb, req.tenant);
+  switch (req.verb) {
+    case Verb::kPing: return HandlePing(req);
+    case Verb::kSubmit: return HandleSubmit(conn, req);
+    case Verb::kPoll: return HandlePoll(conn, req);
+    case Verb::kCancel: return HandleCancel(conn, req);
+    case Verb::kExplain: return HandleExplain(req);
+    case Verb::kStats: return HandleStats(req);
+  }
+  return EncodeErrorResponse(req.id, Status::Internal("unreachable verb"));
+}
+
+std::string QueryServer::HandleSubmit(Connection* conn,
+                                      const WireRequest& req) {
+  for (const auto& [id, lq] : conn->queries) {
+    if (id == req.id) {
+      return EncodeErrorResponse(
+          req.id, Status::InvalidArgument("duplicate request id '" + req.id +
+                                          "' on this connection"));
+    }
+  }
+
+  Pattern pattern;
+  if (req.xpath) {
+    Result<XPathQuery> q = ParseXPath(req.query);
+    if (!q.ok()) return EncodeErrorResponse(req.id, q.status());
+    pattern = std::move(q).value().pattern;
+  } else {
+    Result<Pattern> p = ParsePattern(req.query);
+    if (!p.ok()) return EncodeErrorResponse(req.id, p.status());
+    pattern = std::move(p).value();
+  }
+
+  QueryOptions options = req.ToQueryOptions();
+  // By value: `options` is moved into Submit below, and the quota release
+  // in the done-callback must use the same key Admit charged.
+  const std::string tenant = options.tenant;
+
+  const TenantQuotaTable::Decision decision = quotas_.Admit(tenant, NowUs());
+  if (!decision.admitted) {
+    return EncodeErrorResponse(
+        req.id,
+        Status::ResourceExhausted("tenant '" + tenant + "' over its " +
+                                  decision.reason + " quota — retry later"),
+        decision.retry_after_ms);
+  }
+
+  const uint64_t cap = quotas_.LiveBytesCap(tenant);
+  if (cap > 0) {
+    options.max_live_bytes = options.max_live_bytes == 0
+                                 ? cap
+                                 : std::min(options.max_live_bytes, cap);
+  }
+
+  QueryHandle handle = engine_->Submit(std::move(pattern), std::move(options));
+  live_queries_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::Get().live_queries.Add(1);
+  handle.SetDoneCallback([this, tenant] {
+    quotas_.Release(tenant);
+    live_queries_.fetch_sub(1, std::memory_order_relaxed);
+    ServerMetrics::Get().live_queries.Sub(1);
+  });
+  conn->queries.emplace_back(req.id, LiveQuery{handle, tenant});
+
+  std::string out;
+  AppendOkHead(req.id, &out);
+  out += ",\"queued\":true}";
+  return out;
+}
+
+namespace {
+
+/// Serializes a finished query. Rows are emitted in canonical form
+/// (columns by ascending pattern-node id, rows sorted) so two executions
+/// of the same query — in-process or across the wire — compare equal
+/// byte for byte.
+std::string EncodeDoneResult(std::string_view id, const QueryResult& qr,
+                             size_t max_payload) {
+  std::vector<std::vector<NodeId>> rows = qr.tuples.Canonical();
+  std::vector<PatternNodeId> slots = qr.tuples.slots();
+  std::sort(slots.begin(), slots.end());
+
+  // A response the framing layer could never carry must degrade to an
+  // explicit error, not an SJOS_CHECK abort inside EncodeFrame.
+  const size_t approx_bytes = rows.size() * (slots.size() + 1) * 12 + 4096;
+  if (approx_bytes > std::min(max_payload, kFrameAbsoluteMaxPayload)) {
+    return EncodeErrorResponse(
+        id, Status::ResourceExhausted(
+                "result of " + std::to_string(rows.size()) +
+                " rows is too large for one response frame — tighten the "
+                "query or raise max_frame_bytes"));
+  }
+
+  std::string out;
+  AppendOkHead(id, &out);
+  out += ",\"done\":true,\"result\":{\"slots\":[";
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendJsonUint(static_cast<uint64_t>(slots[i]), &out);
+  }
+  out += "],\"rows\":[";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '[';
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += ',';
+      AppendJsonUint(static_cast<uint64_t>(rows[r][c]), &out);
+    }
+    out += ']';
+  }
+  out += "],\"row_count\":";
+  AppendJsonUint(rows.size(), &out);
+  out += ",\"stats\":{\"result_rows\":";
+  AppendJsonUint(qr.stats.result_rows, &out);
+  out += ",\"wall_ms\":" + FormatDouble(qr.stats.wall_ms, 3);
+  out += ",\"peak_live_rows\":";
+  AppendJsonUint(qr.stats.peak_live_rows, &out);
+  out += ",\"peak_live_bytes\":";
+  AppendJsonUint(qr.stats.peak_live_bytes, &out);
+  out += ",\"max_q_error\":" + FormatDouble(qr.stats.max_q_error, 4);
+  out += "},\"algorithm\":";
+  AppendJsonString(qr.planned.algorithm, &out);
+  out += ",\"cache_hit\":";
+  out += qr.planned.cache_hit ? "true" : "false";
+  out += ",\"fallback_from\":";
+  AppendJsonString(qr.planned.fallback_from, &out);
+  out += "}}";
+  return out;
+}
+
+std::string EncodeDoneError(std::string_view id, const Status& status,
+                            const QueryErrorInfo& info) {
+  std::string out = "{\"id\":";
+  AppendJsonString(id, &out);
+  out += ",\"ok\":false,\"done\":true,\"code\":";
+  AppendJsonString(StatusCodeName(status.code()), &out);
+  out += ",\"error\":";
+  AppendJsonString(status.message(), &out);
+  out += ",\"verdict\":";
+  AppendJsonString(info.verdict, &out);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string QueryServer::HandlePoll(Connection* conn, const WireRequest& req) {
+  auto it = conn->queries.begin();
+  for (; it != conn->queries.end(); ++it) {
+    if (it->first == req.id) break;
+  }
+  if (it == conn->queries.end()) {
+    return EncodeErrorResponse(
+        req.id, Status::NotFound("no live query with id '" + req.id +
+                                 "' on this connection"));
+  }
+  LiveQuery& lq = it->second;
+  bool done = lq.handle.Done();
+  if (!done && req.wait_ms > 0) {
+    done = lq.handle.WaitFor(std::min(req.wait_ms, options_.max_poll_wait_ms));
+  }
+  if (!done) {
+    std::string out;
+    AppendOkHead(req.id, &out);
+    out += ",\"done\":false}";
+    return out;
+  }
+  const Result<QueryResult>& result = lq.handle.Wait();
+  std::string response =
+      result.ok()
+          ? EncodeDoneResult(req.id, result.value(), options_.max_frame_bytes)
+          : EncodeDoneError(req.id, result.status(), lq.handle.error_info());
+  conn->queries.erase(it);  // the id becomes reusable once consumed
+  return response;
+}
+
+std::string QueryServer::HandleCancel(Connection* conn,
+                                      const WireRequest& req) {
+  for (auto& [id, lq] : conn->queries) {
+    if (id != req.id) continue;
+    lq.handle.Cancel();
+    std::string out;
+    AppendOkHead(req.id, &out);
+    out += ",\"cancelled\":true,\"done\":";
+    out += lq.handle.Done() ? "true" : "false";
+    out += "}";
+    return out;
+  }
+  return EncodeErrorResponse(
+      req.id, Status::NotFound("no live query with id '" + req.id +
+                               "' on this connection"));
+}
+
+std::string QueryServer::HandleExplain(const WireRequest& req) {
+  Pattern pattern;
+  if (req.xpath) {
+    Result<XPathQuery> q = ParseXPath(req.query);
+    if (!q.ok()) return EncodeErrorResponse(req.id, q.status());
+    pattern = std::move(q).value().pattern;
+  } else {
+    Result<Pattern> p = ParsePattern(req.query);
+    if (!p.ok()) return EncodeErrorResponse(req.id, p.status());
+    pattern = std::move(p).value();
+  }
+  Result<PlannedQuery> planned = engine_->Plan(pattern, req.ToQueryOptions());
+  if (!planned.ok()) return EncodeErrorResponse(req.id, planned.status());
+
+  std::string out;
+  AppendOkHead(req.id, &out);
+  out += ",\"algorithm\":";
+  AppendJsonString(planned.value().algorithm, &out);
+  out += ",\"cache_hit\":";
+  out += planned.value().cache_hit ? "true" : "false";
+  out += ",\"fallback_from\":";
+  AppendJsonString(planned.value().fallback_from, &out);
+  out += ",\"plan\":";
+  AppendJsonString(PrintPlan(planned.value().plan, pattern), &out);
+  out += "}";
+  return out;
+}
+
+std::string QueryServer::HandleStats(const WireRequest& req) {
+  std::string out;
+  AppendOkHead(req.id, &out);
+  out += ",\"live_queries\":";
+  AppendJsonUint(live_queries_.load(std::memory_order_relaxed), &out);
+  out += ",\"prometheus\":";
+  AppendJsonString(MetricsRegistry::Global().Snapshot().ToPrometheus(), &out);
+  out += "}";
+  return out;
+}
+
+std::string QueryServer::HandlePing(const WireRequest& req) {
+  std::string out;
+  AppendOkHead(req.id, &out);
+  out += ",\"server\":\"sjos\"";
+  if (engine_->has_database()) {
+    out += ",\"db\":";
+    AppendJsonString(engine_->db().name(), &out);
+    out += ",\"nodes\":";
+    AppendJsonUint(engine_->db().doc().NumNodes(), &out);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace net
+}  // namespace sjos

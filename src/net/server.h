@@ -1,0 +1,146 @@
+// QueryServer: the wire on sjos::Engine. A framed-TCP (4-byte big-endian
+// length prefix + JSON, see net/frame.h and net/codec.h) request/response
+// server mapping the protocol verbs onto the service facade:
+//
+//   submit  → Engine::Submit (async; response acknowledges queueing)
+//   poll    → QueryHandle::Done/WaitFor + result serialization
+//   cancel  → QueryHandle::Cancel
+//   explain → Engine::Plan (plan text, no execution)
+//   stats   → MetricsRegistry Prometheus text export
+//   ping    → liveness + database identity
+//
+// Admission: every submit passes the per-tenant TenantQuotaTable first;
+// a tenant over its in-flight cap or QPS bucket gets an explicit
+// kResourceExhausted response with a retry_after_ms hint — shed, never
+// queued. Admitted queries release their quota slot through the
+// QueryHandle done-callback, so completion (success, failure, or cancel)
+// frees it without requiring a poll.
+//
+// Connections: one thread per connection, one in-flight request per
+// connection (submitted queries complete in the background; concurrency
+// comes from multiple connections). A client disconnect cancels every
+// live query submitted on that connection and waits for them to unwind,
+// so admission slots and quota are freed deterministically.
+//
+// Lifetime: the server must be destroyed (or Stop()ed) before the Engine
+// it wraps.
+
+#ifndef SJOS_NET_SERVER_H_
+#define SJOS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/codec.h"
+#include "net/quota.h"
+#include "service/engine.h"
+
+namespace sjos {
+namespace net {
+
+struct ServerOptions {
+  /// Listen address. Tests and the loadgen use the loopback default; 0
+  /// picks an ephemeral port (read it back with port()).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Per-frame payload ceiling; an over-long length prefix is answered
+  /// with one error response and the connection closed (the stream cannot
+  /// be resynchronized).
+  size_t max_frame_bytes = 1u << 20;
+
+  /// Concurrent connections; one past the limit is answered with a
+  /// kResourceExhausted frame and closed.
+  size_t max_connections = 64;
+
+  /// Quota applied to tenants without an explicit SetQuota entry.
+  TenantQuota default_quota;
+
+  /// Upper bound on a poll's wait_ms block (keeps one connection thread
+  /// from sleeping unboundedly).
+  uint64_t max_poll_wait_ms = 10'000;
+};
+
+class QueryServer {
+ public:
+  /// `engine` must outlive this server.
+  QueryServer(Engine* engine, ServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Fails (without leaking
+  /// the socket) when the address cannot be bound.
+  Status Start();
+
+  /// Shuts down the listener and every connection, cancels and drains all
+  /// live queries, joins all threads. Idempotent; called by the
+  /// destructor.
+  void Stop();
+
+  /// The bound port (after Start); useful with ServerOptions::port == 0.
+  uint16_t port() const { return port_; }
+
+  TenantQuotaTable& quotas() { return quotas_; }
+
+  /// Submitted-but-unreleased queries across all connections — returns to
+  /// 0 once every query finished (the soak test's leak check).
+  size_t live_queries() const {
+    return live_queries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct LiveQuery {
+    QueryHandle handle;
+    std::string tenant;
+  };
+
+  /// One accepted connection: the fd, its serving thread, and the queries
+  /// submitted over it (touched only by that thread).
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+    std::vector<std::pair<std::string, LiveQuery>> queries;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Joins and frees finished connections (accept-loop housekeeping).
+  void ReapFinishedLocked();
+
+  std::string HandleRequest(Connection* conn, std::string_view payload);
+  std::string HandleSubmit(Connection* conn, const WireRequest& req);
+  std::string HandlePoll(Connection* conn, const WireRequest& req);
+  std::string HandleCancel(Connection* conn, const WireRequest& req);
+  std::string HandleExplain(const WireRequest& req);
+  std::string HandleStats(const WireRequest& req);
+  std::string HandlePing(const WireRequest& req);
+
+  Engine* engine_;
+  const ServerOptions options_;
+  TenantQuotaTable quotas_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<size_t> live_queries_{0};
+};
+
+}  // namespace net
+}  // namespace sjos
+
+#endif  // SJOS_NET_SERVER_H_

@@ -1,6 +1,7 @@
 #include "service/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -61,6 +62,27 @@ const Result<QueryResult>& QueryHandle::Wait() {
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [this] { return state_->done; });
   return *state_->result;
+}
+
+bool QueryHandle::WaitFor(uint64_t timeout_ms) {
+  SJOS_CHECK(state_ != nullptr, "WaitFor on invalid QueryHandle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [this] { return state_->done; });
+}
+
+void QueryHandle::SetDoneCallback(std::function<void()> fn) {
+  SJOS_CHECK(state_ != nullptr, "SetDoneCallback on invalid QueryHandle");
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (!state_->done) {
+      state_->on_done = std::move(fn);
+      return;
+    }
+  }
+  // Already finished — the completing worker consumed (or never saw) the
+  // callback slot, so run it here.
+  fn();
 }
 
 const QueryErrorInfo& QueryHandle::error_info() const {
@@ -212,6 +234,13 @@ Result<QueryResult> Engine::RunQuery(const Pattern& pattern,
                                      QueryErrorInfo* error_info) {
   ScopedTraceSession trace_session(options.trace_path);
   EngineMetrics::Get().queries.Add();
+  if (!options.tenant.empty()) {
+    // Per-tenant series of the same family; the unlabeled series remains
+    // the all-tenants total.
+    MetricsRegistry::Global()
+        .GetCounter("sjos_engine_queries_total", {{"tenant", options.tenant}})
+        .Add();
+  }
   std::shared_lock<std::shared_mutex> lock(db_mu_);
 
   Timer timer;
@@ -271,6 +300,11 @@ Result<QueryResult> Engine::Query(const Pattern& pattern,
 QueryHandle Engine::Submit(Pattern pattern, QueryOptions options) {
   auto state = std::make_shared<QueryHandle::State>();
   EngineMetrics::Get().submits.Add();
+  if (!options.tenant.empty()) {
+    MetricsRegistry::Global()
+        .GetCounter("sjos_engine_submits_total", {{"tenant", options.tenant}})
+        .Add();
+  }
   auto task = [this, state, pattern = std::move(pattern),
                options = std::move(options)]() -> Status {
     Status injected = Status::OK();
@@ -280,7 +314,9 @@ QueryHandle Engine::Submit(Pattern pattern, QueryOptions options) {
     if (!injected.ok()) {
       outcome.emplace(std::move(injected));
     } else if (state->cancel.load(std::memory_order_relaxed)) {
-      error_info.verdict = "cancelled";
+      // Distinct from the governor's mid-execute "cancelled": this query
+      // never optimized or executed at all.
+      error_info.verdict = "cancelled-before-dispatch";
       outcome.emplace(Status::Cancelled("query cancelled before start"));
     } else {
       const size_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -298,6 +334,16 @@ QueryHandle Engine::Submit(Pattern pattern, QueryOptions options) {
       state->result = std::move(outcome);
       state->error_info = std::move(error_info);
       state->done = true;
+      // Run the callback while still holding mu: any thread that observes
+      // done == true (Done/Wait/WaitFor all lock mu) then has the
+      // callback's effects happen-before it, so a caller may tear down
+      // the resources the callback releases (the server's quota table)
+      // the moment completion is visible. This is why SetDoneCallback
+      // forbids callbacks that touch the handle.
+      if (state->on_done) {
+        std::function<void()> on_done = std::move(state->on_done);
+        on_done();
+      }
     }
     state->cv.notify_all();
     return Status::OK();

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -96,7 +97,11 @@ struct QueryResult {
 
 /// Partial progress of a query that failed mid-execution: the counters
 /// gathered so far and which governor limit (if any) cut it short
-/// ("deadline", "memory", "cancelled", or "" for other failures).
+/// ("deadline", "memory", "cancelled", or "" for other failures). A
+/// submitted query whose cancel landed before it ever started reports
+/// "cancelled-before-dispatch" instead of the governor's "cancelled", so
+/// callers (and the network service's disconnect path) can tell the two
+/// apart.
 struct QueryErrorInfo {
   ExecStats partial_stats;
   std::vector<OpStats> op_stats;
@@ -125,6 +130,21 @@ class QueryHandle {
   /// reference stays valid while any copy of the handle lives.
   const Result<QueryResult>& Wait();
 
+  /// Blocks up to `timeout_ms` milliseconds; returns true when the query
+  /// finished within the window (Wait() then returns immediately).
+  bool WaitFor(uint64_t timeout_ms);
+
+  /// Registers `fn` to run exactly once when the query finishes, on the
+  /// worker that completed it (immediately, on the calling thread, if it
+  /// already did). The callback's effects happen-before any observation
+  /// of completion through Done/Wait/WaitFor — the network service relies
+  /// on this to release per-tenant quota before a client can react to the
+  /// result, with or without a poll, cancelled queries included. The
+  /// callback runs under the handle's internal lock: keep it small,
+  /// non-blocking, and never touch the handle from inside it. At most one
+  /// callback per handle state.
+  void SetDoneCallback(std::function<void()> fn);
+
   /// Error-side details (partial stats, governor verdict); meaningful
   /// after Wait() returned a non-OK result.
   const QueryErrorInfo& error_info() const;
@@ -139,6 +159,9 @@ class QueryHandle {
     std::optional<Result<QueryResult>> result;
     QueryErrorInfo error_info;
     std::atomic<bool> cancel{false};
+    /// Invoked (outside mu) right after done flips true; see
+    /// SetDoneCallback.
+    std::function<void()> on_done;
   };
 
   explicit QueryHandle(std::shared_ptr<State> state)

@@ -89,6 +89,14 @@ struct QueryOptions {
   /// plan. Off = always optimize fresh (the cache is left untouched).
   bool use_plan_cache = true;
 
+  /// Attribution label for multi-tenant serving (the network service sets
+  /// it from the wire request). Non-empty: the engine additionally bumps
+  /// per-tenant series of its query/submit counters,
+  /// e.g. sjos_engine_queries_total{tenant="<name>"}. Purely
+  /// observational — quota enforcement lives in the server's
+  /// TenantQuotaTable.
+  std::string tenant;
+
   /// Execution-side view (everything ExecOptions carries). The Engine
   /// overwrites deadline_ms with the post-optimization remainder and wires
   /// cancel_token itself.

@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -136,8 +138,34 @@ TEST(EngineTest, CancelBeforeDispatchReturnsCancelled) {
   const Result<QueryResult>& r = second.Wait();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
-  EXPECT_EQ(second.error_info().verdict, "cancelled");
+  // The query never optimized or executed — the verdict distinguishes the
+  // pre-dispatch drop from the governor's mid-execute "cancelled".
+  EXPECT_EQ(second.error_info().verdict, "cancelled-before-dispatch");
   FailpointRegistry::Global().Disable("service.submit");
+}
+
+TEST(EngineTest, CancelMidExecuteReportsGovernorVerdict) {
+  // Slow every batch, then cancel only once the query is observably past
+  // the dispatch gate (peak_in_flight flips to 1 after the pre-dispatch
+  // cancel check): the cancel must land in the governor, whose verdict is
+  // "cancelled", not "cancelled-before-dispatch".
+  ASSERT_TRUE(FailpointRegistry::Global().Enable("exec.batch", "delay:20").ok());
+  Engine engine;
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers()).ok());
+  Pattern pattern = Parse("manager[//employee[/name]][//department]");
+  QueryOptions options;
+  options.use_plan_cache = false;
+
+  QueryHandle handle = engine.Submit(pattern, options);
+  while (engine.peak_in_flight() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  handle.Cancel();
+  const Result<QueryResult>& r = handle.Wait();
+  FailpointRegistry::Global().Disable("exec.batch");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(handle.error_info().verdict, "cancelled");
 }
 
 TEST(EngineTest, ExecutorHonorsCancelToken) {

@@ -1,0 +1,129 @@
+// Prometheus text-format conformance: the line-grammar checker itself
+// (accepting well-formed exposition, rejecting each malformation class)
+// and the registry's own ToPrometheus output — including labeled series
+// and histograms — validated against it. The stats-verb variant of this
+// check lives in net_service_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace sjos {
+namespace {
+
+TEST(PrometheusConformanceTest, AcceptsWellFormedExposition) {
+  const std::string text =
+      "# HELP demo_requests_total Requests served.\n"
+      "# TYPE demo_requests_total counter\n"
+      "demo_requests_total 10\n"
+      "demo_requests_total{tenant=\"acme\"} 3\n"
+      "demo_requests_total{tenant=\"esc \\\"q\\\" \\\\ \\n\"} 1\n"
+      "# TYPE demo_depth gauge\n"
+      "demo_depth -4\n"
+      "# TYPE demo_latency histogram\n"
+      "demo_latency_bucket{le=\"1\"} 5\n"
+      "demo_latency_bucket{le=\"8\"} 9\n"
+      "demo_latency_bucket{le=\"+Inf\"} 12\n"
+      "demo_latency_sum 140\n"
+      "demo_latency_count 12\n";
+  Status st = ValidatePrometheusText(text);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(PrometheusConformanceTest, AcceptsEmptyAndCommentOnly) {
+  EXPECT_TRUE(ValidatePrometheusText("").ok());
+  EXPECT_TRUE(ValidatePrometheusText("# just a comment\n").ok());
+}
+
+struct BadCase {
+  const char* label;
+  const char* text;
+};
+
+TEST(PrometheusConformanceTest, RejectsEachMalformationClass) {
+  const BadCase cases[] = {
+      {"bad metric name", "9metric 1\n"},
+      {"bad label name", "m{9l=\"x\"} 1\n"},
+      {"unterminated label value", "m{l=\"x} 1\n"},
+      {"bad escape in label value", "m{l=\"\\q\"} 1\n"},
+      {"missing value", "m{l=\"x\"}\n"},
+      {"non-numeric value", "m one\n"},
+      {"duplicate series", "m{a=\"1\"} 1\nm{a=\"1\"} 2\n"},
+      {"duplicate series reordered labels",
+       "m{a=\"1\",b=\"2\"} 1\nm{b=\"2\",a=\"1\"} 2\n"},
+      {"duplicate label name", "m{a=\"1\",a=\"2\"} 1\n"},
+      {"TYPE after samples", "m 1\n# TYPE m counter\n"},
+      {"second TYPE", "# TYPE m counter\nm 1\n# TYPE m gauge\n"},
+      {"second HELP", "# HELP m a\n# HELP m b\n# TYPE m counter\nm 1\n"},
+      {"unknown type", "# TYPE m enum\nm 1\n"},
+      {"family not contiguous", "# TYPE a counter\na 1\nb 2\na{l=\"x\"} 3\n"},
+      {"histogram buckets out of order",
+       "# TYPE h histogram\nh_bucket{le=\"8\"} 1\nh_bucket{le=\"1\"} 2\n"
+       "h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+      {"histogram counts not cumulative",
+       "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"8\"} 3\n"
+       "h_bucket{le=\"+Inf\"} 6\nh_sum 1\nh_count 6\n"},
+      {"histogram missing +Inf",
+       "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"8\"} 2\n"
+       "h_sum 1\nh_count 2\n"},
+  };
+  for (const BadCase& c : cases) {
+    Status st = ValidatePrometheusText(c.text);
+    EXPECT_FALSE(st.ok()) << "accepted: " << c.label;
+  }
+}
+
+TEST(PrometheusConformanceTest, RegistryExportConforms) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.SetHelp("conf_demo_total", "Conformance demo counter.");
+  reg.GetCounter("conf_demo_total").Add(5);
+  reg.GetCounter("conf_demo_total", {{"tenant", "a\"b\\c\nd"}}).Add(2);
+  reg.GetCounter("conf_demo_total", {{"tenant", "plain"}}).Add(1);
+  // A family whose name is a prefix of another: grouping must not
+  // interleave them (sorted order would put conf_demo_total between
+  // conf_demo{...} series if grouping were adjacency-based).
+  reg.GetCounter("conf_demo").Add(1);
+  reg.GetGauge("conf_depth", {{"shard", "0"}}).Set(-3);
+  reg.GetHistogram("conf_latency").Observe(0);
+  reg.GetHistogram("conf_latency").Observe(7);
+  reg.GetHistogram("conf_latency").Observe(1u << 20);
+  reg.GetHistogram("conf_latency", {{"op", "join"}}).Observe(42);
+
+  const std::string text = MetricsRegistry::Global().Snapshot().ToPrometheus();
+  Status st = ValidatePrometheusText(text);
+  EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << text;
+
+  // Spot-check the shapes the checker relies on.
+  EXPECT_NE(text.find("# HELP conf_demo_total Conformance demo counter."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE conf_demo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("conf_demo_total{tenant=\"plain\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("conf_demo_total{tenant=\"a\\\"b\\\\c\\nd\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("conf_latency_bucket{op=\"join\",le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("conf_latency_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+}
+
+TEST(PrometheusConformanceTest, SeriesNameHelpersRoundTrip) {
+  const std::string series =
+      SeriesName("fam_total", {{"b", "2"}, {"a", "va\"l"}});
+  std::string_view family;
+  std::string_view labels;
+  SplitSeriesName(series, &family, &labels);
+  EXPECT_EQ(family, "fam_total");
+  EXPECT_NE(std::string(labels).find("a=\"va\\\"l\""), std::string::npos);
+
+  const std::string bare = SeriesName("fam_total", {});
+  EXPECT_EQ(bare, "fam_total");
+  SplitSeriesName(bare, &family, &labels);
+  EXPECT_EQ(family, "fam_total");
+  EXPECT_TRUE(labels.empty());
+}
+
+}  // namespace
+}  // namespace sjos

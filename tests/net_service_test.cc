@@ -1,0 +1,336 @@
+// Loopback service tests: the submit/poll/cancel lifecycle over real
+// sockets, per-tenant quota shedding (shed, never queued), cancel-on-
+// disconnect freeing admission slots, result byte-identity with the
+// in-process Engine for all five optimizer kinds, and the stats verb
+// passing the Prometheus conformance checker.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
+#include "query/pattern_parser.h"
+#include "query/workload.h"
+#include "service/engine.h"
+
+namespace sjos {
+namespace net {
+namespace {
+
+Pattern Parse(const std::string& text) {
+  Result<Pattern> pattern = ParsePattern(text);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  return std::move(pattern).value();
+}
+
+std::string SubmitJson(const std::string& id, const std::string& query,
+                       const std::string& extra = "") {
+  std::string out = "{\"verb\":\"submit\",\"id\":";
+  AppendJsonString(id, &out);
+  out += ",\"query\":";
+  AppendJsonString(query, &out);
+  out += extra;
+  out += "}";
+  return out;
+}
+
+std::string PollJson(const std::string& id, uint64_t wait_ms) {
+  std::string out = "{\"verb\":\"poll\",\"id\":";
+  AppendJsonString(id, &out);
+  out += ",\"wait_ms\":";
+  AppendJsonUint(wait_ms, &out);
+  out += "}";
+  return out;
+}
+
+bool OkOf(const JsonValue& v) {
+  const JsonValue* ok = v.Find("ok");
+  return ok != nullptr && ok->is_bool() && ok->bool_value();
+}
+
+std::string StringField(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.Find(key);
+  return f != nullptr && f->is_string() ? f->string_value() : std::string();
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}, size_t engine_workers = 4) {
+    EngineOptions engine_options;
+    engine_options.max_in_flight = engine_workers;
+    engine_ = std::make_unique<Engine>(engine_options);
+    DatasetScale scale;
+    scale.base_nodes = 2'000;
+    ASSERT_TRUE(
+        engine_->OpenDatabase(MakePaperDataset("Pers", scale).value()).ok());
+    server_ = std::make_unique<QueryServer>(engine_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    FailpointRegistry::Global().DisableAll();
+    if (server_) server_->Stop();
+  }
+
+  Client Connect() {
+    Result<Client> c = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+TEST_F(ServiceTest, SubmitPollLifecycle) {
+  StartServer();
+  Client client = Connect();
+
+  Result<JsonValue> submitted =
+      client.Call(SubmitJson("q1", "manager[//employee[/name]]"));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(OkOf(submitted.value()));
+  EXPECT_TRUE(submitted.value().Find("queued")->bool_value());
+
+  Result<JsonValue> polled = client.Call(PollJson("q1", 5'000));
+  ASSERT_TRUE(polled.ok());
+  ASSERT_TRUE(OkOf(polled.value())) << StringField(polled.value(), "error");
+  ASSERT_TRUE(polled.value().Find("done")->bool_value());
+  const JsonValue* result = polled.value().Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->Find("row_count")->number_value(), 0.0);
+  EXPECT_FALSE(StringField(*result, "algorithm").empty());
+
+  // The id was consumed by the terminal poll.
+  Result<JsonValue> again = client.Call(PollJson("q1", 0));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(OkOf(again.value()));
+  EXPECT_EQ(StringField(again.value(), "code"), "NotFound");
+
+  EXPECT_EQ(server_->live_queries(), 0u);
+}
+
+TEST_F(ServiceTest, CancelShortensSlowQuery) {
+  StartServer();
+  // Every batch stalls 50 ms, so the cancel lands mid-execution.
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:50").ok());
+  Client client = Connect();
+
+  ASSERT_TRUE(OkOf(client
+                       .Call(SubmitJson(
+                           "slow", "manager[//employee[/name]][//department]",
+                           ",\"use_plan_cache\":false"))
+                       .value()));
+  Result<JsonValue> cancelled =
+      client.Call("{\"verb\":\"cancel\",\"id\":\"slow\"}");
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_TRUE(OkOf(cancelled.value()));
+
+  Result<JsonValue> final_poll = client.Call(PollJson("slow", 10'000));
+  ASSERT_TRUE(final_poll.ok());
+  EXPECT_FALSE(OkOf(final_poll.value()));
+  EXPECT_EQ(StringField(final_poll.value(), "code"), "Cancelled");
+  const std::string verdict = StringField(final_poll.value(), "verdict");
+  EXPECT_TRUE(verdict == "cancelled" || verdict == "cancelled-before-dispatch")
+      << verdict;
+  EXPECT_EQ(server_->live_queries(), 0u);
+}
+
+TEST_F(ServiceTest, TenantOverInFlightQuotaIsShedNotQueued) {
+  ServerOptions options;
+  options.default_quota.max_in_flight = 1;
+  StartServer(options);
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:50").ok());
+  Client client = Connect();
+
+  ASSERT_TRUE(OkOf(client
+                       .Call(SubmitJson("a", "manager[//employee[/name]]",
+                                        ",\"use_plan_cache\":false"))
+                       .value()));
+
+  // Second submit for the same (default) tenant: an immediate shed with a
+  // retry hint — not queued behind the first.
+  Result<JsonValue> shed =
+      client.Call(SubmitJson("b", "manager[//employee[/name]]"));
+  ASSERT_TRUE(shed.ok());
+  EXPECT_FALSE(OkOf(shed.value()));
+  EXPECT_EQ(StringField(shed.value(), "code"), "ResourceExhausted");
+  ASSERT_NE(shed.value().Find("retry_after_ms"), nullptr);
+  EXPECT_GT(shed.value().Find("retry_after_ms")->number_value(), 0.0);
+
+  // A different tenant has its own bucket and is admitted.
+  Result<JsonValue> other = client.Call(SubmitJson(
+      "c", "manager[//employee[/name]]", ",\"tenant\":\"other\""));
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(OkOf(other.value())) << StringField(other.value(), "error");
+
+  // Draining the first frees the slot; the tenant can submit again.
+  ASSERT_TRUE(client.Call(PollJson("a", 20'000)).ok());
+  ASSERT_TRUE(client.Call(PollJson("c", 20'000)).ok());
+  FailpointRegistry::Global().DisableAll();
+  Result<JsonValue> after =
+      client.Call(SubmitJson("d", "manager[//employee[/name]]"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(OkOf(after.value()));
+  ASSERT_TRUE(client.Call(PollJson("d", 20'000)).ok());
+}
+
+TEST_F(ServiceTest, TenantOverQpsQuotaIsShedWithRetryHint) {
+  ServerOptions options;
+  options.default_quota.qps = 1.0;
+  options.default_quota.burst = 1.0;
+  StartServer(options);
+  Client client = Connect();
+
+  Result<JsonValue> first =
+      client.Call(SubmitJson("a", "manager[//employee[/name]]"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(OkOf(first.value()));
+
+  Result<JsonValue> second =
+      client.Call(SubmitJson("b", "manager[//employee[/name]]"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(OkOf(second.value()));
+  EXPECT_EQ(StringField(second.value(), "code"), "ResourceExhausted");
+  EXPECT_GT(second.value().Find("retry_after_ms")->number_value(), 0.0);
+
+  ASSERT_TRUE(client.Call(PollJson("a", 20'000)).ok());
+}
+
+TEST_F(ServiceTest, DisconnectCancelsLiveQueriesAndFreesQuota) {
+  ServerOptions options;
+  options.default_quota.max_in_flight = 2;
+  StartServer(options);
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:50").ok());
+
+  {
+    Client client = Connect();
+    ASSERT_TRUE(OkOf(client
+                         .Call(SubmitJson(
+                             "gone1", "manager[//employee[/name]]",
+                             ",\"use_plan_cache\":false"))
+                         .value()));
+    ASSERT_TRUE(OkOf(client
+                         .Call(SubmitJson(
+                             "gone2",
+                             "manager[//employee[/name]][//department]",
+                             ",\"use_plan_cache\":false"))
+                         .value()));
+    EXPECT_EQ(server_->quotas().TotalInFlight(), 2u);
+  }  // abrupt disconnect: both queries must be cancelled and drained
+
+  // The connection thread cancels + waits on its way out; give it a
+  // bounded window to unwind.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((server_->live_queries() > 0 ||
+          server_->quotas().TotalInFlight() > 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->live_queries(), 0u);
+  EXPECT_EQ(server_->quotas().TotalInFlight(), 0u);
+
+  // The freed slots are immediately usable by a new connection.
+  Client fresh = Connect();
+  Result<JsonValue> next = fresh.Call(
+      SubmitJson("fresh", "manager[//employee[/name]]"));
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(OkOf(next.value())) << StringField(next.value(), "error");
+  ASSERT_TRUE(fresh.Call(PollJson("fresh", 20'000)).ok());
+}
+
+TEST_F(ServiceTest, WireResultsMatchInProcessForAllOptimizers) {
+  StartServer();
+  Client client = Connect();
+  const std::string query = "manager[//employee[/name]][//department]";
+  Pattern pattern = Parse(query);
+
+  for (const char* algo : {"dp", "dpp", "dpap-eb", "dpap-ld", "fp"}) {
+    SCOPED_TRACE(algo);
+
+    // In-process reference, bypassing the wire entirely.
+    QueryOptions options;
+    ASSERT_TRUE(ParseOptimizerKind(algo).ok());
+    options.optimizer = ParseOptimizerKind(algo).value();
+    options.use_plan_cache = false;
+    QueryHandle handle = engine_->Submit(pattern, options);
+    const Result<QueryResult>& expected = handle.Wait();
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    const std::vector<std::vector<NodeId>> reference =
+        expected.value().tuples.Canonical();
+
+    // Same query over the socket.
+    const std::string id = std::string("bi-") + algo;
+    std::string extra = ",\"use_plan_cache\":false,\"optimizer\":";
+    AppendJsonString(algo, &extra);
+    ASSERT_TRUE(OkOf(client.Call(SubmitJson(id, query, extra)).value()));
+    Result<JsonValue> polled = client.Call(PollJson(id, 30'000));
+    ASSERT_TRUE(polled.ok());
+    ASSERT_TRUE(OkOf(polled.value())) << StringField(polled.value(), "error");
+    const JsonValue* result = polled.value().Find("result");
+    ASSERT_NE(result, nullptr);
+    const JsonValue* rows = result->Find("rows");
+    ASSERT_NE(rows, nullptr);
+
+    // Byte-identity via the canonical form: same row count, same ids in
+    // the same order.
+    ASSERT_EQ(rows->array().size(), reference.size());
+    for (size_t r = 0; r < reference.size(); ++r) {
+      const std::vector<JsonValue>& row = rows->array()[r].array();
+      ASSERT_EQ(row.size(), reference[r].size());
+      for (size_t c = 0; c < reference[r].size(); ++c) {
+        EXPECT_EQ(static_cast<uint64_t>(row[c].number_value()),
+                  static_cast<uint64_t>(reference[r][c]));
+      }
+    }
+  }
+}
+
+TEST_F(ServiceTest, StatsVerbExportPassesConformance) {
+  StartServer();
+  Client client = Connect();
+  // Exercise the engine a little so the export has series to validate.
+  ASSERT_TRUE(OkOf(
+      client.Call(SubmitJson("warm", "manager[//employee[/name]]")).value()));
+  ASSERT_TRUE(client.Call(PollJson("warm", 20'000)).ok());
+
+  Result<JsonValue> stats = client.Call("{\"verb\":\"stats\",\"id\":\"s\"}");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(OkOf(stats.value()));
+  const JsonValue* text = stats.value().Find("prometheus");
+  ASSERT_NE(text, nullptr);
+  ASSERT_TRUE(text->is_string());
+  Status valid = ValidatePrometheusText(text->string_value());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_NE(text->string_value().find("sjos_server_requests_total"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, ExplainReturnsPlanWithoutExecuting) {
+  StartServer();
+  Client client = Connect();
+  Result<JsonValue> explained = client.Call(
+      "{\"verb\":\"explain\",\"id\":\"e\",\"query\":"
+      "\"manager[//employee[/name]]\",\"optimizer\":\"dp\"}");
+  ASSERT_TRUE(explained.ok());
+  ASSERT_TRUE(OkOf(explained.value()))
+      << StringField(explained.value(), "error");
+  EXPECT_FALSE(StringField(explained.value(), "plan").empty());
+  EXPECT_EQ(server_->live_queries(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sjos

@@ -1,0 +1,216 @@
+// Sustained-load soak: several client threads hammer one loopback server
+// for a few seconds with a mixed submit/poll/cancel/stats workload while
+// service.submit and exec.batch failpoints fire at low probability, and
+// one churn thread connects, submits, and slams the connection shut in a
+// loop. Afterwards: no leaked in-flight slots (live_queries and the
+// tenant table both drain to zero), counters are monotonic across
+// snapshots, and the final export still passes the Prometheus
+// conformance checker. The TSan/ASan CI legs run this binary for the
+// sanitizer half of the contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
+#include "query/workload.h"
+#include "service/engine.h"
+
+namespace sjos {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool OkOf(const JsonValue& v) {
+  const JsonValue* ok = v.Find("ok");
+  return ok != nullptr && ok->is_bool() && ok->bool_value();
+}
+
+std::string SubmitJson(const std::string& id, const std::string& query,
+                       bool use_cache, const std::string& tenant) {
+  std::string out = "{\"verb\":\"submit\",\"id\":";
+  AppendJsonString(id, &out);
+  out += ",\"query\":";
+  AppendJsonString(query, &out);
+  out += ",\"tenant\":";
+  AppendJsonString(tenant, &out);
+  if (!use_cache) out += ",\"use_plan_cache\":false";
+  out += "}";
+  return out;
+}
+
+std::string PollJson(const std::string& id, uint64_t wait_ms) {
+  std::string out = "{\"verb\":\"poll\",\"id\":";
+  AppendJsonString(id, &out);
+  out += ",\"wait_ms\":";
+  AppendJsonUint(wait_ms, &out);
+  out += "}";
+  return out;
+}
+
+/// Counter values of one snapshot, keyed by full series name.
+std::vector<std::pair<std::string, uint64_t>> CounterValues() {
+  std::vector<std::pair<std::string, uint64_t>> values;
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    values.emplace_back(name, value);
+  }
+  return values;
+}
+
+TEST(NetSoakTest, SustainedMixedLoadLeaksNothing) {
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .Enable("service.submit", "prob:0.05")
+                  .ok());
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:1").ok());
+
+  EngineOptions engine_options;
+  engine_options.max_in_flight = 3;
+  Engine engine(engine_options);
+  DatasetScale scale;
+  scale.base_nodes = 2'000;
+  ASSERT_TRUE(
+      engine.OpenDatabase(MakePaperDataset("Pers", scale).value()).ok());
+
+  ServerOptions options;
+  options.default_quota.max_in_flight = 4;
+  QueryServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::string> queries;
+  for (const BenchQuery& q : PaperWorkload()) {
+    if (q.dataset == "Pers") queries.push_back(q.pattern_text);
+  }
+  ASSERT_FALSE(queries.empty());
+
+  const auto soak_end = Clock::now() + std::chrono::milliseconds(4'000);
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> injected{0};
+  std::atomic<bool> monotonic_ok{true};
+
+  // Steady clients: submit → sometimes cancel → poll to completion.
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      Result<Client> connected = Client::Connect("127.0.0.1", server.port());
+      ASSERT_TRUE(connected.ok());
+      Client client = std::move(connected).value();
+      uint64_t seq = 0;
+      const std::string tenant = "soak-" + std::to_string(t);
+      while (Clock::now() < soak_end) {
+        const std::string id =
+            tenant + "-" + std::to_string(seq);
+        const std::string& query = queries[seq % queries.size()];
+        Result<JsonValue> submitted = client.Call(
+            SubmitJson(id, query, /*use_cache=*/seq % 3 != 0, tenant));
+        ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+        if (!OkOf(submitted.value())) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+          ++seq;
+          continue;
+        }
+        if (seq % 7 == 3) {
+          std::string cancel = "{\"verb\":\"cancel\",\"id\":";
+          AppendJsonString(id, &cancel);
+          cancel += "}";
+          ASSERT_TRUE(client.Call(cancel).ok());
+        }
+        for (;;) {
+          Result<JsonValue> polled = client.Call(PollJson(id, 2'000));
+          ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+          const JsonValue* done = polled.value().Find("done");
+          if (done != nullptr && done->is_bool() && !done->bool_value()) {
+            continue;
+          }
+          if (OkOf(polled.value())) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            injected.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        if (seq % 11 == 5) {
+          ASSERT_TRUE(client.Call("{\"verb\":\"stats\",\"id\":\"s\"}").ok());
+        }
+        ++seq;
+      }
+    });
+  }
+
+  // Churn client: submit-and-vanish, exercising cancel-on-disconnect.
+  clients.emplace_back([&] {
+    uint64_t seq = 0;
+    while (Clock::now() < soak_end) {
+      Result<Client> connected = Client::Connect("127.0.0.1", server.port());
+      if (!connected.ok()) break;
+      Client client = std::move(connected).value();
+      const std::string id = "churn-" + std::to_string(seq);
+      (void)client.Call(
+          SubmitJson(id, queries[seq % queries.size()], false, "churn"));
+      ++seq;
+      // Destructor slams the socket with the query (usually) in flight.
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+
+  // Counter-monotonicity sampler: every counter must be non-decreasing
+  // between consecutive snapshots taken mid-flight.
+  clients.emplace_back([&] {
+    auto previous = CounterValues();
+    while (Clock::now() < soak_end) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      auto current = CounterValues();
+      for (const auto& [name, value] : previous) {
+        for (const auto& [now_name, now_value] : current) {
+          if (now_name == name && now_value < value) {
+            monotonic_ok.store(false, std::memory_order_relaxed);
+          }
+        }
+      }
+      previous = std::move(current);
+    }
+  });
+
+  for (std::thread& t : clients) t.join();
+
+  // Drain: every slot must come back with nothing left in flight.
+  const auto drain_deadline = Clock::now() + std::chrono::seconds(15);
+  while ((server.live_queries() > 0 || server.quotas().TotalInFlight() > 0) &&
+         Clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.live_queries(), 0u) << "leaked in-flight slots";
+  EXPECT_EQ(server.quotas().TotalInFlight(), 0u) << "leaked tenant quota";
+  EXPECT_TRUE(monotonic_ok.load()) << "a counter went backwards";
+  EXPECT_GT(completed.load(), 0u) << "soak did no useful work";
+
+  // The registry survives the abuse in exportable form.
+  Status valid =
+      ValidatePrometheusText(MetricsRegistry::Global().Snapshot()
+                                 .ToPrometheus());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  std::printf("soak: completed=%llu shed=%llu injected=%llu\n",
+              static_cast<unsigned long long>(completed.load()),
+              static_cast<unsigned long long>(shed.load()),
+              static_cast<unsigned long long>(injected.load()));
+
+  server.Stop();
+  FailpointRegistry::Global().DisableAll();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sjos
