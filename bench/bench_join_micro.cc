@@ -3,16 +3,30 @@
 // nesting shapes, plus the sort operator. These calibrate the cost-model
 // factors (see DESIGN.md) and catch performance regressions in the join
 // kernels.
+//
+// With --json <file> the binary instead times every columnar kernel's
+// Scalar variant against its Vector variant on document-derived columns
+// and writes the scalar-vs-vectorized rows/sec comparison (the
+// BENCH_kernels.json trajectory artifact). Checksums verify the two
+// variants agreed on every timed sweep.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
+#include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "exec/operators.h"
 #include "exec/stack_tree.h"
+#include "exec/vector_kernels.h"
 #include "query/pattern_parser.h"
 #include "storage/catalog.h"
 #include "xml/generators/tree_gen.h"
@@ -185,12 +199,238 @@ void BM_IndexScan(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexScan)->Arg(100000)->Arg(400000);
 
+// --------------------------------------------------------------------------
+// Kernel comparison mode (--json <file>): Scalar vs Vector rows/sec for
+// every kernel in exec/vector_kernels.h, on columns drawn from the same
+// generated document the join benches use.
+
+/// Best-of-`reps` wall seconds for one invocation of `body`.
+template <typename Fn>
+double BestSeconds(Fn&& body, int reps) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct KernelRow {
+  std::string name;
+  size_t rows = 0;
+  double scalar_rps = 0.0;
+  double vector_rps = 0.0;
+  bool agree = false;  // scalar and vector sweeps produced equal checksums
+};
+
+/// Times one kernel: `scalar`/`vector` each sweep `rows` values and return
+/// a checksum; equal checksums certify the timed work was identical.
+template <typename ScalarFn, typename VectorFn>
+KernelRow TimeKernel(const std::string& name, size_t rows, ScalarFn&& scalar,
+                     VectorFn&& vector, int reps) {
+  KernelRow row;
+  row.name = name;
+  row.rows = rows;
+  uint64_t scalar_check = 0;
+  uint64_t vector_check = 0;
+  scalar_check = scalar();  // warm both code paths and the column
+  vector_check = vector();
+  row.agree = scalar_check == vector_check;
+  uint64_t sink = 0;
+  const double ss = BestSeconds([&] { sink ^= scalar(); }, reps);
+  const double vs = BestSeconds([&] { sink ^= vector(); }, reps);
+  benchmark::DoNotOptimize(sink);
+  row.scalar_rps = static_cast<double>(rows) / ss;
+  row.vector_rps = static_cast<double>(rows) / vs;
+  return row;
+}
+
+int RunKernelComparison(const std::string& path) {
+  using kernels::CountContainedScalar;
+  using kernels::CountContainedVector;
+  const Database& db = TreeDb(400000);
+  const Document& doc = db.doc();
+  const int reps = 25;
+
+  // Containment input: the t1 candidate start column, the window the
+  // middle t0 ancestor's subtree would probe (widened to ~50% selectivity
+  // so the selection-vector store path is exercised, not skipped).
+  std::vector<NodeId> starts;
+  {
+    TupleSet t1 = Candidates(db, "t1", 0);
+    starts.reserve(t1.size());
+    for (size_t i = 0; i < t1.size(); ++i) starts.push_back(t1.At(i, 0));
+  }
+  const size_t n = starts.size();
+  const NodeId lo = starts[n / 4];
+  const NodeId hi = starts[(3 * n) / 4];
+  std::vector<uint32_t> sel(std::max(n, doc.NumNodes()));
+
+  auto sel_sum = [&sel](size_t k) {
+    uint64_t h = k;
+    for (size_t i = 0; i < k; ++i) h = h * 31 + sel[i];
+    return h;
+  };
+
+  std::vector<KernelRow> rows;
+  rows.push_back(TimeKernel(
+      "sel_contained", n,
+      [&] {
+        return sel_sum(
+            kernels::SelContainedScalar(starts.data(), n, lo, hi, sel.data()));
+      },
+      [&] {
+        return sel_sum(
+            kernels::SelContainedVector(starts.data(), n, lo, hi, sel.data()));
+      },
+      reps));
+  rows.push_back(TimeKernel(
+      "count_contained", n,
+      [&] { return CountContainedScalar(starts.data(), n, lo, hi); },
+      [&] { return CountContainedVector(starts.data(), n, lo, hi); }, reps));
+
+  // Tag filter: the full document tag column against t0's id (the scan
+  // and navigation filter shape).
+  const size_t doc_n = doc.NumNodes();
+  const TagId t0 = db.doc().dict().Find("t0");
+  rows.push_back(TimeKernel(
+      "sel_equals_u32", doc_n,
+      [&] {
+        return sel_sum(
+            kernels::SelEqualsU32Scalar(doc.TagData(), doc_n, t0, sel.data()));
+      },
+      [&] {
+        return sel_sum(
+            kernels::SelEqualsU32Vector(doc.TagData(), doc_n, t0, sel.data()));
+      },
+      reps));
+
+  // Level filter: the document level column against a mid depth (the
+  // parent-child qualification shape).
+  rows.push_back(TimeKernel(
+      "sel_equals_u16", doc_n,
+      [&] {
+        return sel_sum(kernels::SelEqualsU16Scalar(doc.LevelData(), doc_n, 6,
+                                                   sel.data()));
+      },
+      [&] {
+        return sel_sum(kernels::SelEqualsU16Vector(doc.LevelData(), doc_n, 6,
+                                                   sel.data()));
+      },
+      reps));
+
+  // Group detection: run-by-run sweep of a sorted column with the join's
+  // ancestor-run shape (geometric runs, mean length 8).
+  std::vector<NodeId> runs(n);
+  {
+    Rng rng(2003);
+    NodeId v = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(1.0 / 8.0)) v += 1 + static_cast<NodeId>(
+                                            rng.NextBelow(5));
+      runs[i] = v;
+    }
+  }
+  rows.push_back(TimeKernel(
+      "run_length_end", n,
+      [&] {
+        uint64_t h = 0;
+        for (size_t i = 0; i < n; i = kernels::RunLengthEndScalar(
+                                    runs.data(), n, i)) {
+          ++h;
+        }
+        return h;
+      },
+      [&] {
+        uint64_t h = 0;
+        for (size_t i = 0; i < n; i = kernels::RunLengthEndVector(
+                                    runs.data(), n, i)) {
+          ++h;
+        }
+        return h;
+      },
+      reps));
+
+  rows.push_back(TimeKernel(
+      "is_non_decreasing", n,
+      [&] {
+        return static_cast<uint64_t>(
+            kernels::IsNonDecreasingScalar(starts.data(), n));
+      },
+      [&] {
+        return static_cast<uint64_t>(
+            kernels::IsNonDecreasingVector(starts.data(), n));
+      },
+      reps));
+
+  // Sort permutation application: gather through a random permutation.
+  std::vector<uint32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+  Rng(7).Shuffle(&idx);
+  std::vector<uint32_t> dst(n);
+  auto dst_sum = [&dst, n] {
+    uint64_t h = 0;
+    for (size_t i = 0; i < n; ++i) h = h * 31 + dst[i];
+    return h;
+  };
+  rows.push_back(TimeKernel(
+      "gather_u32", n,
+      [&] {
+        kernels::GatherU32Scalar(starts.data(), idx.data(), n, dst.data());
+        return dst_sum();
+      },
+      [&] {
+        kernels::GatherU32Vector(starts.data(), idx.data(), n, dst.data());
+        return dst_sum();
+      },
+      reps));
+
+  std::string out = "{\n  \"bench\": \"bench_join_micro\",\n";
+  out += "  \"mode\": \"kernels\",\n";
+  out += StrFormat("  \"isa\": \"%s\",\n  \"reps\": %d,\n  \"kernels\": [",
+                   SimdIsa(), reps);
+  bool all_agree = true;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const KernelRow& r = rows[i];
+    all_agree = all_agree && r.agree;
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat(
+        "    {\"name\": \"%s\", \"rows\": %llu, "
+        "\"scalar_rows_per_sec\": %.0f, \"vector_rows_per_sec\": %.0f, "
+        "\"speedup\": %.2f, \"agree\": %s}",
+        r.name.c_str(), static_cast<unsigned long long>(r.rows), r.scalar_rps,
+        r.vector_rps, r.vector_rps / r.scalar_rps, r.agree ? "true" : "false");
+    std::printf("%-18s %12.0f %12.0f   %5.2fx%s\n", r.name.c_str(),
+                r.scalar_rps, r.vector_rps, r.vector_rps / r.scalar_rps,
+                r.agree ? "" : "  MISMATCH");
+  }
+  out += "\n  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  if (!ok || !all_agree) {
+    std::fprintf(stderr, "bench: %s\n",
+                 !ok ? "short write" : "scalar/vector checksum mismatch");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace sjos
 
-// Custom main: strip --threads before google-benchmark sees the flags.
+// Custom main: strip --threads / --json before google-benchmark sees the
+// flags. --json switches to the kernel comparison mode.
 int main(int argc, char** argv) {
   sjos::g_threads = sjos::bench::ParseThreadsFlag(&argc, argv, 1);
+  const std::string json = sjos::bench::ParseJsonFlag(&argc, argv);
+  if (!json.empty()) return sjos::RunKernelComparison(json);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -112,7 +112,7 @@ size_t Executor::ResolveBatchRows() const {
   return kDefaultExecBatchRows;
 }
 
-void Executor::MatLiveAdd(ExecStats* stats, const TupleSet& set) {
+void Executor::MatLiveAdd(ExecStats* stats, const ColumnBatch& set) {
   mat_cur_live_ += set.size();
   mat_cur_live_bytes_ += set.size() * set.arity() * sizeof(NodeId);
   if (mat_cur_live_ > stats->peak_live_rows) {
@@ -123,7 +123,7 @@ void Executor::MatLiveAdd(ExecStats* stats, const TupleSet& set) {
   }
 }
 
-void Executor::MatLiveSub(const TupleSet& set) {
+void Executor::MatLiveSub(const ColumnBatch& set) {
   mat_cur_live_ -= set.size();
   mat_cur_live_bytes_ -= set.size() * set.arity() * sizeof(NodeId);
 }
@@ -179,18 +179,18 @@ Status Executor::PrecomputeLeaves(const Pattern& pattern,
       ExecStats* local = &task_stats[t];
       Timer timer;
       if (node.op == PlanOp::kIndexScan) {
-        TupleSet set = ScanCandidates(db_, pattern, node.scan_node);
+        ColumnBatch set = ScanCandidateColumns(db_, pattern, node.scan_node);
         local->rows_scanned += set.size();
         FillOp(op_stats, index, set.size(), timer.ElapsedMs());
         leaf_cache_[static_cast<size_t>(index)] = std::move(set);
         return Status::OK();
       }
       // Fused sort-over-scan; the scan node gets its own op entry.
-      TupleSet set =
-          ScanCandidates(db_, pattern, plan.At(node.left).scan_node);
+      ColumnBatch set =
+          ScanCandidateColumns(db_, pattern, plan.At(node.left).scan_node);
       local->rows_scanned += set.size();
       FillOp(op_stats, node.left, set.size(), timer.ElapsedMs());
-      SJOS_RETURN_IF_ERROR(SortTuples(&set, node.sort_by));
+      SJOS_RETURN_IF_ERROR(SortColumns(&set, node.sort_by));
       local->rows_sorted += set.size();
       ++local->num_sorts;
       ObserveSortSpill(set.size());
@@ -213,14 +213,14 @@ Status Executor::PrecomputeLeaves(const Pattern& pattern,
   return Status::OK();
 }
 
-Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
-                                    const PhysicalPlan& plan, int index,
-                                    ExecStats* stats,
-                                    std::vector<OpStats>* op_stats) {
+Result<ColumnBatch> Executor::Evaluate(const Pattern& pattern,
+                                       const PhysicalPlan& plan, int index,
+                                       ExecStats* stats,
+                                       std::vector<OpStats>* op_stats) {
   if (static_cast<size_t>(index) < leaf_cache_.size() &&
       leaf_cache_[static_cast<size_t>(index)].has_value()) {
     // Pre-pass output: op stats and live rows were accounted at merge time.
-    TupleSet cached = std::move(*leaf_cache_[static_cast<size_t>(index)]);
+    ColumnBatch cached = std::move(*leaf_cache_[static_cast<size_t>(index)]);
     leaf_cache_[static_cast<size_t>(index)].reset();
     return cached;
   }
@@ -236,7 +236,7 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
   switch (node.op) {
     case PlanOp::kIndexScan: {
       SJOS_FAILPOINT("exec.scan");
-      TupleSet set = ScanCandidates(db_, pattern, node.scan_node);
+      ColumnBatch set = ScanCandidateColumns(db_, pattern, node.scan_node);
       stats->rows_scanned += set.size();
       MatLiveAdd(stats, set);
       FillOp(op_stats, index, set.size(), timer.ElapsedMs());
@@ -244,11 +244,11 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
     }
     case PlanOp::kSort: {
       SJOS_FAILPOINT("exec.sort");
-      Result<TupleSet> input =
+      Result<ColumnBatch> input =
           Evaluate(pattern, plan, node.left, stats, op_stats);
       if (!input.ok()) return input;
-      TupleSet set = std::move(input).value();
-      SJOS_RETURN_IF_ERROR(SortTuples(&set, node.sort_by));
+      ColumnBatch set = std::move(input).value();
+      SJOS_RETURN_IF_ERROR(SortColumns(&set, node.sort_by));
       stats->rows_sorted += set.size();
       ++stats->num_sorts;
       ObserveSortSpill(set.size());
@@ -256,12 +256,12 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
       return set;
     }
     case PlanOp::kNavigate: {
-      Result<TupleSet> input =
+      Result<ColumnBatch> input =
           Evaluate(pattern, plan, node.left, stats, op_stats);
       if (!input.ok()) return input;
-      Result<TupleSet> out =
-          NavigateTuples(db_, pattern, input.value(), node.anc_node,
-                         node.desc_node, node.axis, &stats->nodes_navigated);
+      Result<ColumnBatch> out =
+          NavigateColumns(db_, pattern, input.value(), node.anc_node,
+                          node.desc_node, node.axis, &stats->nodes_navigated);
       if (!out.ok()) return out;
       ++stats->num_navigates;
       MatLiveAdd(stats, out.value());
@@ -271,10 +271,10 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
     }
     case PlanOp::kStackTreeAnc:
     case PlanOp::kStackTreeDesc: {
-      Result<TupleSet> left =
+      Result<ColumnBatch> left =
           Evaluate(pattern, plan, node.left, stats, op_stats);
       if (!left.ok()) return left;
-      Result<TupleSet> right =
+      Result<ColumnBatch> right =
           Evaluate(pattern, plan, node.right, stats, op_stats);
       if (!right.ok()) return right;
       int anc_slot = left.value().SlotOf(node.anc_node);
@@ -283,7 +283,7 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
         return Status::Internal("join endpoints missing from inputs");
       }
       JoinStats join_stats;
-      Result<TupleSet> out = StackTreeJoinParallel(
+      Result<ColumnBatch> out = StackTreeJoinParallel(
           db_.doc(), left.value(), static_cast<size_t>(anc_slot),
           right.value(), static_cast<size_t>(desc_slot), node.axis,
           /*output_by_ancestor=*/node.op == PlanOp::kStackTreeAnc, pool_.get(),
@@ -304,14 +304,15 @@ Result<TupleSet> Executor::Evaluate(const Pattern& pattern,
 }
 
 Status Executor::RunPipeline(const PhysicalPlan& plan, ExecContext* ctx,
-                             TupleSet* result_schema, const BatchSink& sink) {
+                             ColumnBatch* result_schema,
+                             const ColumnSink& sink) {
   Result<std::unique_ptr<Operator>> compiled =
       CompileOperatorTree(ctx, plan, plan.root());
   if (!compiled.ok()) return compiled.status();
   Operator* root = compiled.value().get();
   if (result_schema != nullptr) *result_schema = root->MakeBatch();
   SJOS_RETURN_IF_ERROR(Operator::OpenTimed(root));
-  TupleSet batch = root->MakeBatch();
+  ColumnBatch batch = root->MakeBatch();
   const uint64_t row_bytes = batch.arity() * sizeof(NodeId);
   bool eos = false;
   while (!eos) {
@@ -366,9 +367,10 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
     ctx.stats = &result.stats;
     ctx.op_stats = &result.op_stats;
     ctx.governor = governor_;
-    Status st = RunPipeline(plan, &ctx, &result.tuples,
-                            [&result, &ctx](const TupleSet& batch) {
-                              result.tuples.AppendSet(batch);
+    ColumnBatch acc;
+    Status st = RunPipeline(plan, &ctx, &acc,
+                            [&acc, &ctx](const ColumnBatch& batch) {
+                              acc.AppendBatch(batch);
                               ctx.AddLive(batch.size(),
                                           batch.size() * batch.arity() *
                                               sizeof(NodeId));
@@ -376,6 +378,9 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
                             });
     result.stats.peak_live_rows = ctx.peak_live_rows;
     result.stats.peak_live_bytes = ctx.peak_live_bytes;
+    // Convert before the error check so a cut-short query still reports
+    // the rows delivered up to the failure.
+    result.tuples = acc.ToRows();
     if (!st.ok()) return finish(st);
   } else {
     mat_cur_live_ = 0;
@@ -389,11 +394,11 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
         return finish(st);
       }
     }
-    Result<TupleSet> tuples =
+    Result<ColumnBatch> tuples =
         Evaluate(pattern, plan, plan.root(), &result.stats, &result.op_stats);
     leaf_cache_.clear();
     if (!tuples.ok()) return finish(tuples.status());
-    result.tuples = std::move(tuples).value();
+    result.tuples = tuples.value().ToRows();
   }
   result.stats.max_q_error = ComputeMaxQError(plan, result.op_stats);
   (void)finish(Status::OK());
@@ -425,9 +430,9 @@ Result<ExecStats> Executor::ExecuteStreaming(const Pattern& pattern,
   ctx.governor = governor.has_limits() ? &governor : nullptr;
   uint64_t delivered = 0;
   Status st = RunPipeline(plan, &ctx, /*result_schema=*/nullptr,
-                          [&delivered, &sink](const TupleSet& batch) {
+                          [&delivered, &sink](const ColumnBatch& batch) {
                             delivered += batch.size();
-                            return sink(batch);
+                            return sink(batch.ToRows());
                           });
   stats.peak_live_rows = ctx.peak_live_rows;
   stats.peak_live_bytes = ctx.peak_live_bytes;

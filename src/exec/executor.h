@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/column_batch.h"
 #include "exec/op_stats.h"
 #include "exec/stack_tree.h"
 #include "exec/tuple_set.h"
@@ -146,8 +147,13 @@ struct ExecOptions {
 class Executor {
  public:
   /// Receives each non-empty result batch of a streaming execution. The
-  /// batch is only valid for the duration of the call.
+  /// batch is only valid for the duration of the call. Batches cross the
+  /// engine's columnar core in struct-of-arrays form and are converted to
+  /// row-major TupleSets only here, at the wire boundary.
   using BatchSink = std::function<Status(const TupleSet&)>;
+
+  /// Columnar sink used inside the engine (no row-major conversion).
+  using ColumnSink = std::function<Status(const ColumnBatch&)>;
 
   explicit Executor(const Database& db, ExecOptions options = {});
   ~Executor();
@@ -181,16 +187,17 @@ class Executor {
 
  private:
   /// Compiles the plan and pulls batches from the root into `sink`.
-  /// `result_schema`, when non-null, is set to an empty TupleSet carrying
+  /// `result_schema`, when non-null, is set to an empty batch carrying
   /// the root operator's schema and ordering property before any pull.
   Status RunPipeline(const PhysicalPlan& plan, ExecContext* ctx,
-                     TupleSet* result_schema, const BatchSink& sink);
+                     ColumnBatch* result_schema, const ColumnSink& sink);
 
   size_t ResolveBatchRows() const;
 
-  Result<TupleSet> Evaluate(const Pattern& pattern, const PhysicalPlan& plan,
-                            int index, ExecStats* stats,
-                            std::vector<OpStats>* op_stats);
+  Result<ColumnBatch> Evaluate(const Pattern& pattern,
+                               const PhysicalPlan& plan, int index,
+                               ExecStats* stats,
+                               std::vector<OpStats>* op_stats);
 
   /// Parallel leaf pre-pass: evaluates every reachable index scan — and
   /// every sort whose input is an index scan, fused — on the pool, caching
@@ -204,13 +211,13 @@ class Executor {
   /// deltas are applied at fixed points of the serial tree walk (and, for
   /// precomputed leaves, after WaitAll in plan-node-index order), so the
   /// resulting peaks do not depend on worker scheduling.
-  void MatLiveAdd(ExecStats* stats, const TupleSet& set);
-  void MatLiveSub(const TupleSet& set);
+  void MatLiveAdd(ExecStats* stats, const ColumnBatch& set);
+  void MatLiveSub(const ColumnBatch& set);
 
   const Database& db_;
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when options_.num_threads <= 1
-  std::vector<std::optional<TupleSet>> leaf_cache_;  // per Execute() call
+  std::vector<std::optional<ColumnBatch>> leaf_cache_;  // per Execute() call
   uint64_t mat_cur_live_ = 0;  // materializing engine's live-row counter
   uint64_t mat_cur_live_bytes_ = 0;
   bool owns_trace_ = false;    // this executor started the trace session

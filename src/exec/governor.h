@@ -6,10 +6,12 @@
 // a runaway plan can overshoot either limit.
 //
 // Limits come from ExecOptions::{deadline_ms, max_live_bytes}; 0 disables
-// a limit. On a breach the engine unwinds with Status::DeadlineExceeded /
-// Status::ResourceExhausted while keeping the partial ExecStats gathered
-// so far, and the governor remembers which limit fired (verdict()) for
-// shell/EXPLAIN reporting.
+// a limit. Live bytes are rows × arity × sizeof(NodeId) summed over the
+// engine's resident columnar batches — the same figure whichever layout
+// (row-major or struct-of-arrays) holds the rows. On a breach the engine
+// unwinds with Status::DeadlineExceeded / Status::ResourceExhausted while
+// keeping the partial ExecStats gathered so far, and the governor
+// remembers which limit fired (verdict()) for shell/EXPLAIN reporting.
 //
 // Memory relief: the first byte-budget breach does not fail the query.
 // The governor halves the streaming batch size once and grants a short

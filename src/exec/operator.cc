@@ -16,6 +16,7 @@
 #include "common/trace.h"
 #include "exec/executor.h"
 #include "exec/governor.h"
+#include "exec/vector_kernels.h"
 
 namespace sjos {
 
@@ -56,8 +57,8 @@ Operator::Operator(ExecContext* ctx, int plan_index,
 
 Operator::~Operator() = default;
 
-TupleSet Operator::MakeBatch() const {
-  TupleSet batch(slots_);
+ColumnBatch Operator::MakeBatch() const {
+  ColumnBatch batch(slots_);
   batch.set_ordered_by_slot(ordered_by_slot_);
   return batch;
 }
@@ -70,7 +71,7 @@ Status Operator::OpenTimed(Operator* op) {
   return st;
 }
 
-Status Operator::PullTimed(Operator* op, TupleSet* out, bool* eos) {
+Status Operator::PullTimed(Operator* op, ColumnBatch* out, bool* eos) {
   // The batch boundary is the streaming engine's cooperative yield point:
   // every limit check and injected fault lands here, between batches,
   // never mid-batch.
@@ -102,7 +103,7 @@ void Operator::OwnSub(uint64_t rows) {
   ctx_->SubLive(rows, rows * arity() * sizeof(NodeId));
 }
 
-Status Operator::PullChild(Operator* child, TupleSet* batch, size_t* cursor,
+Status Operator::PullChild(Operator* child, ColumnBatch* batch, size_t* cursor,
                            bool* child_eos) {
   OwnSub(batch->size());
   *cursor = 0;
@@ -133,17 +134,28 @@ Status ScanOperator::Open() {
   return Status::OK();
 }
 
-Status ScanOperator::NextBatch(TupleSet* out, bool* eos) {
+Status ScanOperator::NextBatch(ColumnBatch* out, bool* eos) {
   SJOS_FAILPOINT("exec.scan.next");
   const size_t cap = ctx_->batch_rows;
   const Document& doc = ctx_->db->doc();
   const bool filtered = !pnode_->predicate.Empty();
-  while (pos_ < count_ && out->size() < cap) {
-    const NodeId id = data_[pos_++];
-    if (filtered && !pnode_->predicate.Matches(doc.TextOf(id))) continue;
-    out->AppendRow(&id);
-    ++ctx_->stats->rows_scanned;
+  out->Reserve(cap);
+  std::vector<NodeId>& col = out->Raw(0);
+  if (!filtered) {
+    // Predicate-free: the batch is a straight slice of the posting arena.
+    const size_t take = std::min(cap - col.size(), count_ - pos_);
+    col.insert(col.end(), data_ + pos_, data_ + pos_ + take);
+    pos_ += take;
+    ctx_->stats->rows_scanned += take;
+  } else {
+    while (pos_ < count_ && col.size() < cap) {
+      const NodeId id = data_[pos_++];
+      if (!pnode_->predicate.Matches(doc.TextOf(id))) continue;
+      col.push_back(id);
+      ++ctx_->stats->rows_scanned;
+    }
   }
+  out->SetRows(col.size());
   *eos = pos_ >= count_;
   return Status::OK();
 }
@@ -167,11 +179,11 @@ Status SortOperator::Open() {
   SJOS_FAILPOINT("exec.sort");
   SJOS_RETURN_IF_ERROR(Operator::OpenTimed(child_.get()));
   buffer_ = child_->MakeBatch();
-  TupleSet batch = child_->MakeBatch();
+  ColumnBatch batch = child_->MakeBatch();
   bool eos = false;
   while (!eos) {
     SJOS_RETURN_IF_ERROR(Operator::PullTimed(child_.get(), &batch, &eos));
-    buffer_.AppendSet(batch);
+    buffer_.AppendBatch(batch);
     OwnAdd(batch.size());
   }
   buffer_.SortBySlot(sort_slot_);
@@ -184,12 +196,12 @@ Status SortOperator::Open() {
   return Status::OK();
 }
 
-Status SortOperator::NextBatch(TupleSet* out, bool* eos) {
+Status SortOperator::NextBatch(ColumnBatch* out, bool* eos) {
   const size_t cap = ctx_->batch_rows;
   const size_t total = buffer_.size();
   const size_t take = std::min(cap - out->size(), total - emit_row_);
   if (take > 0) {
-    out->AppendRows(buffer_.Row(emit_row_), take);
+    out->AppendRange(buffer_, emit_row_, take);
     emit_row_ += take;
   }
   if (emit_row_ >= total) {
@@ -227,37 +239,44 @@ Status NavigateOperator::Open() {
   tag_ = ctx_->db->doc().dict().Find(tnode.tag);
   tag_valid_ = tag_ != kInvalidTag;
   input_ = child_->MakeBatch();
-  row_scratch_.reserve(arity());
   ++ctx_->stats->num_navigates;
   return Status::OK();
 }
 
-Status NavigateOperator::NextBatch(TupleSet* out, bool* eos) {
+Status NavigateOperator::NextBatch(ColumnBatch* out, bool* eos) {
   const size_t cap = ctx_->batch_rows;
   const Document& doc = ctx_->db->doc();
   const PatternNode& tnode = ctx_->pattern->node(target_);
   const size_t in_arity = input_.arity();
   for (;;) {
     if (row_active_) {
-      const NodeId a = input_.At(input_row_, anchor_slot_);
-      for (; cand_ <= cand_end_; ++cand_) {
+      // Emit the precomputed match offsets in chunks, pausing whenever the
+      // batch fills with subtree candidates still unexamined — the same
+      // resume points as a per-candidate walk.
+      for (;;) {
+        if (cand_off_ >= span_) {
+          row_active_ = false;
+          ++input_row_;
+          break;
+        }
         if (out->size() >= cap) return Status::OK();  // resume mid-subtree
-        if (doc.TagOf(cand_) != tag_) continue;
-        if (axis_ == Axis::kChild &&
-            doc.LevelOf(cand_) != doc.LevelOf(a) + 1) {
+        if (sel_pos_ >= sel_count_) {
+          cand_off_ = span_;  // no matches left: the tail can't emit
           continue;
         }
-        if (!tnode.predicate.Empty() &&
-            !tnode.predicate.Matches(doc.TextOf(cand_))) {
-          continue;
+        const size_t take = std::min(cap - out->size(), sel_count_ - sel_pos_);
+        for (size_t c = 0; c < in_arity; ++c) {
+          std::vector<NodeId>& col = out->Raw(c);
+          col.insert(col.end(), take, input_.At(input_row_, c));
         }
-        row_scratch_.assign(input_.Row(input_row_),
-                            input_.Row(input_row_) + in_arity);
-        row_scratch_.push_back(cand_);
-        out->AppendRow(row_scratch_.data());
+        std::vector<NodeId>& tcol = out->Raw(in_arity);
+        for (size_t i = 0; i < take; ++i) {
+          tcol.push_back(row_base_ + sel_[sel_pos_ + i]);
+        }
+        out->SetRows(out->size() + take);
+        sel_pos_ += take;
+        cand_off_ = sel_[sel_pos_ - 1] + 1;
       }
-      row_active_ = false;
-      ++input_row_;
     } else if (input_row_ < input_.size()) {
       if (!tag_valid_) {
         // Target tag absent: no output, but the child is still drained so
@@ -266,9 +285,33 @@ Status NavigateOperator::NextBatch(TupleSet* out, bool* eos) {
         continue;
       }
       const NodeId a = input_.At(input_row_, anchor_slot_);
-      cand_ = a + 1;
-      cand_end_ = doc.EndOf(a);
-      ctx_->stats->nodes_navigated += cand_end_ - a;
+      const NodeId end = doc.EndOf(a);
+      ctx_->stats->nodes_navigated += end - a;
+      span_ = end - a;  // subtree = pre-order range (a, end]
+      row_base_ = a + 1;
+      sel_.resize(span_);
+      sel_count_ =
+          kernels::SelEqualsU32(doc.TagData() + a + 1, span_, tag_,
+                                sel_.data());
+      if (axis_ == Axis::kChild) {
+        const int want = doc.LevelOf(a) + 1;
+        size_t w = 0;
+        for (size_t i = 0; i < sel_count_; ++i) {
+          if (doc.LevelData()[a + 1 + sel_[i]] == want) sel_[w++] = sel_[i];
+        }
+        sel_count_ = w;
+      }
+      if (!tnode.predicate.Empty()) {
+        size_t w = 0;
+        for (size_t i = 0; i < sel_count_; ++i) {
+          if (tnode.predicate.Matches(doc.TextOf(a + 1 + sel_[i]))) {
+            sel_[w++] = sel_[i];
+          }
+        }
+        sel_count_ = w;
+      }
+      sel_pos_ = 0;
+      cand_off_ = 0;
       row_active_ = true;
     } else if (!child_eos_) {
       SJOS_RETURN_IF_ERROR(
@@ -302,8 +345,6 @@ StackTreeJoinBase::StackTreeJoinBase(ExecContext* ctx, int plan_index,
       axis_(axis),
       anc_slot_(anc_slot),
       desc_slot_(desc_slot),
-      left_arity_(left->arity()),
-      right_arity_(right->arity()),
       left_(std::move(left)),
       right_(std::move(right)) {}
 
@@ -312,11 +353,13 @@ Status StackTreeJoinBase::Open() {
   SJOS_RETURN_IF_ERROR(Operator::OpenTimed(right_.get()));
   anc_batch_ = left_->MakeBatch();
   desc_batch_ = right_->MakeBatch();
+  pending_anc_.rows = left_->MakeBatch();
+  desc_group_.rows = right_->MakeBatch();
   ++ctx_->stats->num_joins;
   return Status::OK();
 }
 
-Status StackTreeJoinBase::NextBatch(TupleSet* out, bool* eos) {
+Status StackTreeJoinBase::NextBatch(ColumnBatch* out, bool* eos) {
   DrainStage(out);
   // Re-read the cap every round: a nested child pull may shrink
   // ctx_->batch_rows (governor batch halving), and staging/backpressure
@@ -351,7 +394,8 @@ Status StackTreeJoinBase::Step() {
 Status StackTreeJoinBase::CollectDescGroup() {
   for (;;) {
     if (desc_row_ < desc_batch_.size()) {
-      const NodeId e = desc_batch_.At(desc_row_, desc_slot_);
+      const NodeId* col = desc_batch_.Col(desc_slot_);
+      const NodeId e = col[desc_row_];
       if (desc_have_prev_ && e < desc_prev_) {
         return Status::InvalidArgument(
             "descendant input not sorted by join column");
@@ -366,12 +410,17 @@ Status StackTreeJoinBase::CollectDescGroup() {
       if (!desc_group_valid_) {
         desc_group_valid_ = true;
         desc_group_.elem = e;
-        desc_group_.rows.clear();
+        desc_group_.rows.Clear();
       }
-      const NodeId* row = desc_batch_.Row(desc_row_);
-      desc_group_.rows.insert(desc_group_.rows.end(), row, row + right_arity_);
-      OwnAdd(1);
-      ++desc_row_;
+      // Consume the whole run of equal join elements in one columnar copy;
+      // runs are equal-valued, so the per-row sortedness check reduces to
+      // the run boundaries.
+      const size_t run_end =
+          kernels::RunLengthEnd(col, desc_batch_.size(), desc_row_);
+      const size_t n = run_end - desc_row_;
+      desc_group_.rows.AppendRange(desc_batch_, desc_row_, n);
+      OwnAdd(n);
+      desc_row_ = run_end;
     } else if (!desc_eos_) {
       SJOS_RETURN_IF_ERROR(
           PullChild(right_.get(), &desc_batch_, &desc_row_, &desc_eos_));
@@ -386,7 +435,8 @@ Status StackTreeJoinBase::RefillAncGroups(NodeId d) {
   while (ready_anc_.empty()) {
     if (pending_anc_valid_ && pending_anc_.elem >= d) return Status::OK();
     if (anc_row_ < anc_batch_.size()) {
-      const NodeId e = anc_batch_.At(anc_row_, anc_slot_);
+      const NodeId* col = anc_batch_.Col(anc_slot_);
+      const NodeId e = col[anc_row_];
       if (anc_have_prev_ && e < anc_prev_) {
         return Status::InvalidArgument(
             "ancestor input not sorted by join column");
@@ -396,19 +446,21 @@ Status StackTreeJoinBase::RefillAncGroups(NodeId d) {
       if (pending_anc_valid_ && e != pending_anc_.elem) {
         ready_anc_.push_back(std::move(pending_anc_));
         pending_anc_ = RowGroup{};
+        pending_anc_.rows = left_->MakeBatch();
         pending_anc_valid_ = false;
         continue;  // the differing row starts the next pending group
       }
       if (!pending_anc_valid_) {
         pending_anc_valid_ = true;
         pending_anc_.elem = e;
-        pending_anc_.rows.clear();
+        pending_anc_.rows.Clear();
       }
-      const NodeId* row = anc_batch_.Row(anc_row_);
-      pending_anc_.rows.insert(pending_anc_.rows.end(), row,
-                               row + left_arity_);
-      OwnAdd(1);
-      ++anc_row_;
+      const size_t run_end =
+          kernels::RunLengthEnd(col, anc_batch_.size(), anc_row_);
+      const size_t n = run_end - anc_row_;
+      pending_anc_.rows.AppendRange(anc_batch_, anc_row_, n);
+      OwnAdd(n);
+      anc_row_ = run_end;
     } else if (!anc_eos_) {
       SJOS_RETURN_IF_ERROR(
           PullChild(left_.get(), &anc_batch_, &anc_row_, &anc_eos_));
@@ -416,6 +468,7 @@ Status StackTreeJoinBase::RefillAncGroups(NodeId d) {
       if (pending_anc_valid_) {
         ready_anc_.push_back(std::move(pending_anc_));
         pending_anc_ = RowGroup{};
+        pending_anc_.rows = left_->MakeBatch();
         pending_anc_valid_ = false;
       }
       return Status::OK();
@@ -435,7 +488,13 @@ Status StackTreeJoinBase::AdvanceAncTo(NodeId d) {
     while (!stack_.empty() && doc.EndOf(stack_.back().group.elem) < a) {
       SJOS_RETURN_IF_ERROR(PopEntry());
     }
-    stack_.push_back(StackEntry{std::move(ready_anc_.front()), {}, {}});
+    StackEntry entry;
+    entry.group = std::move(ready_anc_.front());
+    if (by_ancestor_) {
+      entry.self = MakeBatch();
+      entry.inherit = MakeBatch();
+    }
+    stack_.push_back(std::move(entry));
     ready_anc_.pop_front();
   }
   // Retire entries that closed before d.
@@ -457,20 +516,6 @@ bool StackTreeJoinBase::Matches(NodeId a, NodeId d) const {
   return true;  // containment established by the stack discipline
 }
 
-namespace {
-
-/// Appends the concatenation of one ancestor row and one descendant row.
-void AppendExpanded(const std::vector<NodeId>& anc_rows, size_t ar, size_t la,
-                    const std::vector<NodeId>& desc_rows, size_t dr, size_t ld,
-                    std::vector<NodeId>* dst) {
-  const NodeId* arow = &anc_rows[ar * la];
-  const NodeId* drow = &desc_rows[dr * ld];
-  dst->insert(dst->end(), arow, arow + la);
-  dst->insert(dst->end(), drow, drow + ld);
-}
-
-}  // namespace
-
 Status StackTreeJoinBase::MatchDescGroup() {
   // Every remaining entry contains the group's element; walk the stack
   // bottom-up exactly like the kernel's match loop.
@@ -488,14 +533,11 @@ Status StackTreeJoinBase::MatchDescGroup() {
     }
     if (by_ancestor_) {
       // Buffer the full expansion on the entry; released when it pops.
-      const size_t na = entry.group.rows.size() / left_arity_;
-      const size_t nd = desc_group_.rows.size() / right_arity_;
-      entry.self.reserve(entry.self.size() + na * nd * arity());
+      const size_t na = entry.group.rows.size();
+      const size_t nd = desc_group_.rows.size();
+      entry.self.Reserve(entry.self.size() + na * nd);
       for (size_t ar = 0; ar < na; ++ar) {
-        for (size_t dr = 0; dr < nd; ++dr) {
-          AppendExpanded(entry.group.rows, ar, left_arity_, desc_group_.rows,
-                         dr, right_arity_, &entry.self);
-        }
+        entry.self.AppendCross(entry.group.rows, ar, desc_group_.rows, 0, nd);
       }
       OwnAdd(na * nd);
       match_entry_open_ = false;
@@ -509,8 +551,8 @@ Status StackTreeJoinBase::MatchDescGroup() {
     match_entry_open_ = false;
     ++match_k_;
   }
-  OwnSub(desc_group_.rows.size() / right_arity_);
-  desc_group_.rows.clear();
+  OwnSub(desc_group_.rows.size());
+  desc_group_.rows.Clear();
   desc_group_valid_ = false;
   phase_ = Phase::kCollectDesc;
   return Status::OK();
@@ -519,33 +561,56 @@ Status StackTreeJoinBase::MatchDescGroup() {
 Status StackTreeJoinBase::EmitRows(const RowGroup& anc_group,
                                    const RowGroup& desc_group, size_t cap_hint,
                                    bool* paused) {
-  const size_t na = anc_group.rows.size() / left_arity_;
-  const size_t nd = desc_group.rows.size() / right_arity_;
-  const size_t out_arity = arity();
-  for (; match_ar_ < na; ++match_ar_, match_dr_ = 0) {
-    for (; match_dr_ < nd; ++match_dr_) {
+  const size_t na = anc_group.rows.size();
+  const size_t nd = desc_group.rows.size();
+  while (match_ar_ < na) {
+    while (match_dr_ < nd) {
       if (staged_rows_ >= cap_hint) {
         *paused = true;
         return Status::OK();
       }
-      SJOS_RETURN_IF_ERROR(ChargeBudget(1));
-      if (stage_.empty() ||
-          stage_.back().size() / out_arity >= ctx_->batch_rows) {
-        stage_.emplace_back();
-        stage_.back().reserve(
-            std::min(ctx_->batch_rows, cap_hint) * out_arity);
+      // One columnar cross-append per chunk instead of one row at a time;
+      // the budget clamp reproduces the per-row charge exactly — the run
+      // that would fail charges precisely the rows that fit, then fails.
+      size_t take = std::min(nd - match_dr_, cap_hint - staged_rows_);
+      uint64_t allowed = take;
+      if (ctx_->max_join_output_rows != 0) {
+        allowed = emitted_rows_ < ctx_->max_join_output_rows
+                      ? std::min<uint64_t>(
+                            take, ctx_->max_join_output_rows - emitted_rows_)
+                      : 0;
       }
-      AppendExpanded(anc_group.rows, match_ar_, left_arity_, desc_group.rows,
-                     match_dr_, right_arity_, &stage_.back());
-      ++staged_rows_;
-      OwnAdd(1);
+      if (allowed > 0) {
+        SJOS_RETURN_IF_ERROR(ChargeBudget(allowed));
+        size_t dr = match_dr_;
+        size_t left = static_cast<size_t>(allowed);
+        while (left > 0) {
+          if (stage_.empty() || stage_.back().size() >= ctx_->batch_rows) {
+            stage_.push_back(MakeBatch());
+            stage_.back().Reserve(std::min(ctx_->batch_rows, cap_hint));
+          }
+          ColumnBatch& chunk = stage_.back();
+          const size_t room = ctx_->batch_rows - chunk.size();
+          const size_t sub = std::min(left, room);
+          chunk.AppendCross(anc_group.rows, match_ar_, desc_group.rows, dr,
+                            sub);
+          dr += sub;
+          left -= sub;
+        }
+        staged_rows_ += allowed;
+        OwnAdd(allowed);
+        match_dr_ += static_cast<size_t>(allowed);
+      }
+      if (allowed < take) return ChargeBudget(1);  // the failing charge
     }
+    ++match_ar_;
+    match_dr_ = 0;
   }
   return Status::OK();
 }
 
-Status StackTreeJoinBase::StageRows(std::vector<NodeId>&& rows) {
-  const size_t n = rows.size() / arity();
+Status StackTreeJoinBase::StageRows(ColumnBatch&& rows) {
+  const size_t n = rows.size();
   if (n == 0) return Status::OK();
   // Rows were registered live when expanded; they stay counted until
   // DrainStage hands them to the parent.
@@ -558,7 +623,7 @@ Status StackTreeJoinBase::StageRows(std::vector<NodeId>&& rows) {
 Status StackTreeJoinBase::PopEntry() {
   StackEntry popped = std::move(stack_.back());
   stack_.pop_back();
-  OwnSub(popped.group.rows.size() / left_arity_);
+  OwnSub(popped.group.rows.size());
   if (!by_ancestor_) return Status::OK();  // Desc variant emits eagerly
   if (stack_.empty()) {
     // Bottom of the stack: release to the output, self before inherit.
@@ -566,10 +631,8 @@ Status StackTreeJoinBase::PopEntry() {
     SJOS_RETURN_IF_ERROR(StageRows(std::move(popped.inherit)));
   } else {
     StackEntry& top = stack_.back();
-    top.inherit.insert(top.inherit.end(), popped.self.begin(),
-                       popped.self.end());
-    top.inherit.insert(top.inherit.end(), popped.inherit.begin(),
-                       popped.inherit.end());
+    top.inherit.AppendBatch(popped.self);
+    top.inherit.AppendBatch(popped.inherit);
   }
   return Status::OK();
 }
@@ -577,11 +640,12 @@ Status StackTreeJoinBase::PopEntry() {
 Status StackTreeJoinBase::FinalPops() {
   while (!stack_.empty()) SJOS_RETURN_IF_ERROR(PopEntry());
   // Ancestor groups at or after the last descendant are never stacked.
-  for (RowGroup& g : ready_anc_) OwnSub(g.rows.size() / left_arity_);
+  for (RowGroup& g : ready_anc_) OwnSub(g.rows.size());
   ready_anc_.clear();
   if (pending_anc_valid_) {
-    OwnSub(pending_anc_.rows.size() / left_arity_);
+    OwnSub(pending_anc_.rows.size());
     pending_anc_ = RowGroup{};
+    pending_anc_.rows = left_->MakeBatch();
     pending_anc_valid_ = false;
   }
   phase_ = Phase::kDrainLeft;
@@ -590,17 +654,20 @@ Status StackTreeJoinBase::FinalPops() {
 
 Status StackTreeJoinBase::DrainLeft() {
   // Consume the ancestor tail so upstream counters (and the sortedness
-  // check) cover the whole input, matching the materializing engine.
+  // check) cover the whole input, matching the materializing engine. The
+  // per-row check becomes one vector sortedness sweep per batch.
   for (;;) {
-    while (anc_row_ < anc_batch_.size()) {
-      const NodeId e = anc_batch_.At(anc_row_, anc_slot_);
-      if (anc_have_prev_ && e < anc_prev_) {
+    const size_t n = anc_batch_.size();
+    if (anc_row_ < n) {
+      const NodeId* col = anc_batch_.Col(anc_slot_);
+      if ((anc_have_prev_ && col[anc_row_] < anc_prev_) ||
+          !kernels::IsNonDecreasing(col + anc_row_, n - anc_row_)) {
         return Status::InvalidArgument(
             "ancestor input not sorted by join column");
       }
-      anc_prev_ = e;
+      anc_prev_ = col[n - 1];
       anc_have_prev_ = true;
-      ++anc_row_;
+      anc_row_ = n;
     }
     if (anc_eos_) break;
     SJOS_RETURN_IF_ERROR(
@@ -614,15 +681,14 @@ Status StackTreeJoinBase::DrainLeft() {
   return Status::OK();
 }
 
-void StackTreeJoinBase::DrainStage(TupleSet* out) {
+void StackTreeJoinBase::DrainStage(ColumnBatch* out) {
   const size_t cap = ctx_->batch_rows;
-  const size_t out_arity = arity();
   while (staged_rows_ > 0 && out->size() < cap) {
-    std::vector<NodeId>& chunk = stage_.front();
-    const size_t chunk_rows = chunk.size() / out_arity;
+    ColumnBatch& chunk = stage_.front();
+    const size_t chunk_rows = chunk.size();
     const size_t take =
         std::min(cap - out->size(), chunk_rows - stage_front_row_);
-    out->AppendRows(&chunk[stage_front_row_ * out_arity], take);
+    out->AppendRange(chunk, stage_front_row_, take);
     stage_front_row_ += take;
     staged_rows_ -= take;
     OwnSub(take);
@@ -650,22 +716,21 @@ Status StackTreeJoinBase::Close() {
   OwnSub(desc_batch_.size());
   desc_batch_.Clear();
   if (pending_anc_valid_) {
-    OwnSub(pending_anc_.rows.size() / left_arity_);
+    OwnSub(pending_anc_.rows.size());
     pending_anc_ = RowGroup{};
     pending_anc_valid_ = false;
   }
-  for (RowGroup& g : ready_anc_) OwnSub(g.rows.size() / left_arity_);
+  for (RowGroup& g : ready_anc_) OwnSub(g.rows.size());
   ready_anc_.clear();
   if (desc_group_valid_) {
-    OwnSub(desc_group_.rows.size() / right_arity_);
+    OwnSub(desc_group_.rows.size());
     desc_group_ = RowGroup{};
     desc_group_valid_ = false;
   }
-  const size_t out_arity = arity();
   for (StackEntry& e : stack_) {
-    OwnSub(e.group.rows.size() / left_arity_);
-    OwnSub(e.self.size() / out_arity);
-    OwnSub(e.inherit.size() / out_arity);
+    OwnSub(e.group.rows.size());
+    OwnSub(e.self.size());
+    OwnSub(e.inherit.size());
   }
   stack_.clear();
   OwnSub(staged_rows_);

@@ -32,8 +32,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/column_batch.h"
 #include "exec/op_stats.h"
-#include "exec/tuple_set.h"
 #include "plan/plan.h"
 #include "query/pattern.h"
 #include "storage/catalog.h"
@@ -96,7 +96,9 @@ class Operator {
   virtual Status Open() = 0;
   /// Appends up to ctx->batch_rows rows to `out` (cleared by the caller,
   /// carrying this operator's schema) and sets `*eos` when exhausted.
-  virtual Status NextBatch(TupleSet* out, bool* eos) = 0;
+  /// Batches are columnar end to end; the executor converts to row-major
+  /// TupleSets only at the result/wire boundary.
+  virtual Status NextBatch(ColumnBatch* out, bool* eos) = 0;
   virtual Status Close() = 0;
   /// Static operator name used as the trace-span suffix ("IndexScan",
   /// "Sort", "Navigate", "StackTreeAnc", "StackTreeDesc").
@@ -108,13 +110,13 @@ class Operator {
   int plan_index() const { return plan_index_; }
 
   /// Empty batch carrying this operator's schema and ordering property.
-  TupleSet MakeBatch() const;
+  ColumnBatch MakeBatch() const;
 
   /// Times `op->Open()` into its OpStats.
   static Status OpenTimed(Operator* op);
   /// Clears `out`, times `op->NextBatch` into its OpStats, and accumulates
   /// rows/batches. `out` must carry `op`'s schema.
-  static Status PullTimed(Operator* op, TupleSet* out, bool* eos);
+  static Status PullTimed(Operator* op, ColumnBatch* out, bool* eos);
 
  protected:
   OpStats& op_stats() { return (*ctx_->op_stats)[size_t(plan_index_)]; }
@@ -129,7 +131,7 @@ class Operator {
 
   /// Refills `*batch` (owned by this operator and registered via
   /// OwnAdd/OwnSub) from `child` unless `*child_eos`; no-op at eos.
-  Status PullChild(Operator* child, TupleSet* batch, size_t* cursor,
+  Status PullChild(Operator* child, ColumnBatch* batch, size_t* cursor,
                    bool* child_eos);
 
   ExecContext* ctx_;
@@ -143,11 +145,13 @@ class Operator {
 
 /// Streaming index scan: walks the tag's posting list batch by batch,
 /// applying the pattern node's value predicate. Never holds rows.
+/// Predicate-free scans bulk-copy posting-arena slices straight into the
+/// output column.
 class ScanOperator : public Operator {
  public:
   ScanOperator(ExecContext* ctx, int plan_index, PatternNodeId node);
   Status Open() override;
-  Status NextBatch(TupleSet* out, bool* eos) override;
+  Status NextBatch(ColumnBatch* out, bool* eos) override;
   Status Close() override;
   const char* Name() const override { return "IndexScan"; }
 
@@ -169,27 +173,28 @@ class SortOperator : public Operator {
   SortOperator(ExecContext* ctx, int plan_index, PatternNodeId sort_by,
                size_t sort_slot, std::unique_ptr<Operator> child);
   Status Open() override;
-  Status NextBatch(TupleSet* out, bool* eos) override;
+  Status NextBatch(ColumnBatch* out, bool* eos) override;
   Status Close() override;
   const char* Name() const override { return "Sort"; }
 
  private:
   size_t sort_slot_;
   std::unique_ptr<Operator> child_;
-  TupleSet buffer_;
+  ColumnBatch buffer_;
   size_t emit_row_ = 0;
 };
 
-/// Streaming navigation: per input tuple, scans the anchor's subtree for
-/// matches of the target pattern node, resuming mid-subtree across batch
-/// boundaries. Holds one input batch; preserves the input's order.
+/// Streaming navigation: per input tuple, sweeps the anchor's subtree tag
+/// column into a selection vector of matches, emitting them in chunks and
+/// resuming mid-subtree across batch boundaries. Holds one input batch;
+/// preserves the input's order.
 class NavigateOperator : public Operator {
  public:
   NavigateOperator(ExecContext* ctx, int plan_index, PatternNodeId anchor,
                    size_t anchor_slot, PatternNodeId target, Axis axis,
                    std::unique_ptr<Operator> child);
   Status Open() override;
-  Status NextBatch(TupleSet* out, bool* eos) override;
+  Status NextBatch(ColumnBatch* out, bool* eos) override;
   Status Close() override;
   const char* Name() const override { return "Navigate"; }
 
@@ -201,13 +206,16 @@ class NavigateOperator : public Operator {
   TagId tag_ = 0;
   bool tag_valid_ = false;
 
-  TupleSet input_;
+  ColumnBatch input_;
   size_t input_row_ = 0;
   bool child_eos_ = false;
-  bool row_active_ = false;  // true while cand_ walks the current subtree
-  NodeId cand_ = 0;
-  NodeId cand_end_ = 0;
-  std::vector<NodeId> row_scratch_;
+  bool row_active_ = false;  // true while the current subtree is mid-emit
+  NodeId row_base_ = 0;      // anchor + 1: document id of subtree offset 0
+  size_t span_ = 0;          // candidates in the current subtree
+  size_t cand_off_ = 0;      // first unexamined subtree offset
+  std::vector<uint32_t> sel_;  // matching offsets (tag/level/predicate)
+  size_t sel_count_ = 0;
+  size_t sel_pos_ = 0;
 };
 
 /// The streaming Stack-Tree structural join. Both children stream in
@@ -228,23 +236,23 @@ class StackTreeJoinBase : public Operator {
                     std::unique_ptr<Operator> left,
                     std::unique_ptr<Operator> right);
   Status Open() override;
-  Status NextBatch(TupleSet* out, bool* eos) override;
+  Status NextBatch(ColumnBatch* out, bool* eos) override;
   Status Close() override;
   const char* Name() const override {
     return by_ancestor_ ? "StackTreeAnc" : "StackTreeDesc";
   }
 
  private:
-  /// A run of input rows sharing one join element, rows stored flat.
+  /// A run of input rows sharing one join element, stored columnar.
   struct RowGroup {
     NodeId elem = 0;
-    std::vector<NodeId> rows;
+    ColumnBatch rows;
   };
   struct StackEntry {
     RowGroup group;
     // Anc variant: expanded output rows buffered until the entry pops.
-    std::vector<NodeId> self;
-    std::vector<NodeId> inherit;
+    ColumnBatch self;
+    ColumnBatch inherit;
   };
   enum class Phase {
     kCollectDesc,  // accumulate one complete descendant group
@@ -268,21 +276,20 @@ class StackTreeJoinBase : public Operator {
   Status RefillAncGroups(NodeId d);
   Status PopEntry();
   bool Matches(NodeId a, NodeId d) const;
-  /// Appends one expanded output row to `dst`, charging the row budget and
-  /// output counters iff `dst` is the output stage.
+  /// Stages the cross expansion of an ancestor/descendant group pair in
+  /// chunks (AppendCross), charging the row budget and output counters.
   Status EmitRows(const RowGroup& anc_group, const RowGroup& desc_group,
                   size_t cap_hint, bool* paused);
-  Status StageRows(std::vector<NodeId>&& rows);
-  void DrainStage(TupleSet* out);
+  Status StageRows(ColumnBatch&& rows);
+  void DrainStage(ColumnBatch* out);
   Status ChargeBudget(uint64_t rows);
 
   bool by_ancestor_;
   Axis axis_;
   size_t anc_slot_, desc_slot_;
-  size_t left_arity_, right_arity_;
   std::unique_ptr<Operator> left_, right_;
 
-  TupleSet anc_batch_, desc_batch_;
+  ColumnBatch anc_batch_, desc_batch_;
   size_t anc_row_ = 0, desc_row_ = 0;
   bool anc_eos_ = false, desc_eos_ = false;
   bool anc_have_prev_ = false, desc_have_prev_ = false;
@@ -296,8 +303,9 @@ class StackTreeJoinBase : public Operator {
 
   std::vector<StackEntry> stack_;
 
-  // Output stage: chunks of expanded rows awaiting drain into out batches.
-  std::deque<std::vector<NodeId>> stage_;
+  // Output stage: columnar chunks of expanded rows awaiting drain into out
+  // batches.
+  std::deque<ColumnBatch> stage_;
   size_t stage_front_row_ = 0;
   uint64_t staged_rows_ = 0;
   uint64_t emitted_rows_ = 0;  // total rows ever staged (budget + stats)

@@ -1,31 +1,42 @@
 #include "exec/operators.h"
 
 #include "common/str_util.h"
+#include "exec/vector_kernels.h"
 
 namespace sjos {
 
-TupleSet ScanCandidates(const Database& db, const Pattern& pattern,
-                        PatternNodeId node) {
-  TupleSet set({node});
+ColumnBatch ScanCandidateColumns(const Database& db, const Pattern& pattern,
+                                 PatternNodeId node) {
+  ColumnBatch set({node});
   const PatternNode& pnode = pattern.node(node);
   TagId tag = db.doc().dict().Find(pnode.tag);
   if (tag != kInvalidTag) {
-    for (NodeId id : db.index().Postings(tag)) {
-      if (!pnode.predicate.Empty() &&
-          !pnode.predicate.Matches(db.doc().TextOf(id))) {
-        continue;
+    std::span<const NodeId> postings = db.index().Postings(tag);
+    std::vector<NodeId>& col = set.Raw(0);
+    if (pnode.predicate.Empty()) {
+      // No value predicate: the posting arena slice IS the column.
+      col.assign(postings.begin(), postings.end());
+    } else {
+      col.reserve(postings.size());
+      for (NodeId id : postings) {
+        if (pnode.predicate.Matches(db.doc().TextOf(id))) col.push_back(id);
       }
-      set.AppendRow(&id);
     }
+    set.SetRows(col.size());
   }
   set.set_ordered_by_slot(0);
   return set;
 }
 
-Result<TupleSet> NavigateTuples(const Database& db, const Pattern& pattern,
-                                const TupleSet& input, PatternNodeId anchor,
-                                PatternNodeId target, Axis axis,
-                                uint64_t* nodes_visited) {
+TupleSet ScanCandidates(const Database& db, const Pattern& pattern,
+                        PatternNodeId node) {
+  return ScanCandidateColumns(db, pattern, node).ToRows();
+}
+
+Result<ColumnBatch> NavigateColumns(const Database& db, const Pattern& pattern,
+                                    const ColumnBatch& input,
+                                    PatternNodeId anchor, PatternNodeId target,
+                                    Axis axis, uint64_t* nodes_visited) {
   const int anchor_slot = input.SlotOf(anchor);
   if (anchor_slot < 0) {
     return Status::InvalidArgument("navigate anchor missing from input");
@@ -39,40 +50,78 @@ Result<TupleSet> NavigateTuples(const Database& db, const Pattern& pattern,
 
   std::vector<PatternNodeId> slots = input.slots();
   slots.push_back(target);
-  TupleSet out(std::move(slots));
+  ColumnBatch out(std::move(slots));
   out.set_ordered_by_slot(input.ordered_by_slot());
   if (tag == kInvalidTag) return out;
 
   const size_t arity = input.arity();
-  std::vector<NodeId> row(arity + 1);
+  const bool filtered = !tnode.predicate.Empty();
+  std::vector<uint32_t> sel;
   for (size_t r = 0; r < input.size(); ++r) {
     const NodeId a = input.At(r, static_cast<size_t>(anchor_slot));
     const NodeId end = doc.EndOf(a);
     if (nodes_visited != nullptr) *nodes_visited += end - a;
-    for (NodeId cand = a + 1; cand <= end; ++cand) {
-      if (doc.TagOf(cand) != tag) continue;
-      if (axis == Axis::kChild && doc.LevelOf(cand) != doc.LevelOf(a) + 1) {
-        continue;
+    const size_t span = end - a;  // subtree = pre-order range (a, end]
+    if (span == 0) continue;
+    sel.resize(span);
+    size_t m =
+        kernels::SelEqualsU32(doc.TagData() + a + 1, span, tag, sel.data());
+    if (axis == Axis::kChild) {
+      const int want = doc.LevelOf(a) + 1;
+      size_t w = 0;
+      for (size_t i = 0; i < m; ++i) {
+        if (doc.LevelData()[a + 1 + sel[i]] == want) sel[w++] = sel[i];
       }
-      if (!tnode.predicate.Empty() &&
-          !tnode.predicate.Matches(doc.TextOf(cand))) {
-        continue;
-      }
-      for (size_t c = 0; c < arity; ++c) row[c] = input.At(r, c);
-      row[arity] = cand;
-      out.AppendRow(row.data());
+      m = w;
     }
+    if (filtered) {
+      size_t w = 0;
+      for (size_t i = 0; i < m; ++i) {
+        if (tnode.predicate.Matches(doc.TextOf(a + 1 + sel[i]))) {
+          sel[w++] = sel[i];
+        }
+      }
+      m = w;
+    }
+    if (m == 0) continue;
+    // One matched subtree expands columnar: constant fill of the input
+    // cells, the selected candidates into the new target column.
+    for (size_t c = 0; c < arity; ++c) {
+      std::vector<NodeId>& col = out.Raw(c);
+      col.insert(col.end(), m, input.At(r, c));
+    }
+    std::vector<NodeId>& tcol = out.Raw(arity);
+    for (size_t i = 0; i < m; ++i) tcol.push_back(a + 1 + sel[i]);
+    out.SetRows(out.size() + m);
   }
   return out;
 }
 
-Status SortTuples(TupleSet* set, PatternNodeId by_node) {
+Result<TupleSet> NavigateTuples(const Database& db, const Pattern& pattern,
+                                const TupleSet& input, PatternNodeId anchor,
+                                PatternNodeId target, Axis axis,
+                                uint64_t* nodes_visited) {
+  Result<ColumnBatch> out =
+      NavigateColumns(db, pattern, ColumnBatch::FromRows(input), anchor,
+                      target, axis, nodes_visited);
+  if (!out.ok()) return out.status();
+  return std::move(out).value().ToRows();
+}
+
+Status SortColumns(ColumnBatch* set, PatternNodeId by_node) {
   int slot = set->SlotOf(by_node);
   if (slot < 0) {
     return Status::Internal(
         StrFormat("sort by pattern node %d not in input", by_node));
   }
   set->SortBySlot(static_cast<size_t>(slot));
+  return Status::OK();
+}
+
+Status SortTuples(TupleSet* set, PatternNodeId by_node) {
+  ColumnBatch cols = ColumnBatch::FromRows(*set);
+  SJOS_RETURN_IF_ERROR(SortColumns(&cols, by_node));
+  *set = cols.ToRows();
   return Status::OK();
 }
 

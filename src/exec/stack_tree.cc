@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/governor.h"
+#include "exec/vector_kernels.h"
 
 namespace sjos {
 
@@ -21,15 +22,16 @@ struct Group {
   uint32_t row_end;  // exclusive
 };
 
-std::vector<Group> BuildGroups(const TupleSet& set, size_t slot) {
+std::vector<Group> BuildGroups(const ColumnBatch& set, size_t slot) {
   std::vector<Group> groups;
   const size_t n = set.size();
+  if (n == 0) return groups;
+  // Runs over the sorted key column; the run sweep is a vector compare.
+  const NodeId* key = set.Col(slot);
   size_t i = 0;
   while (i < n) {
-    NodeId elem = set.At(i, slot);
-    size_t j = i + 1;
-    while (j < n && set.At(j, slot) == elem) ++j;
-    groups.push_back(Group{elem, static_cast<uint32_t>(i),
+    const size_t j = kernels::RunLengthEnd(key, n, i);
+    groups.push_back(Group{key[i], static_cast<uint32_t>(i),
                            static_cast<uint32_t>(j)});
     i = j;
   }
@@ -45,38 +47,32 @@ struct GroupPair {
 /// Expands a pair's row cross product into `out`, stopping at
 /// `max_output_rows` (0 = unlimited). Returns false when the budget was
 /// hit — a single pair of large groups can exceed it on its own, so the
-/// check must sit inside the expansion loop.
-bool EmitPair(const TupleSet& anc, const TupleSet& desc,
+/// clamp must sit inside the expansion loop. Each ancestor row expands as
+/// one columnar append: constant fill of the ancestor cells, contiguous
+/// copy of the descendant row run.
+bool EmitPair(const ColumnBatch& anc, const ColumnBatch& desc,
               const std::vector<Group>& anc_groups,
               const std::vector<Group>& desc_groups, const GroupPair& pair,
-              uint64_t max_output_rows, TupleSet* out, JoinStats* stats) {
+              uint64_t max_output_rows, ColumnBatch* out, JoinStats* stats) {
   const Group& ga = anc_groups[pair.ag];
   const Group& gd = desc_groups[pair.dg];
-  const size_t la = anc.arity();
-  const size_t ld = desc.arity();
+  const size_t nd = gd.row_end - gd.row_begin;
   for (uint32_t ar = ga.row_begin; ar < ga.row_end; ++ar) {
-    for (uint32_t dr = gd.row_begin; dr < gd.row_end; ++dr) {
-      if (max_output_rows != 0 && out->size() >= max_output_rows) {
-        return false;
-      }
-      out->AppendConcat(anc.Row(ar), la, desc.Row(dr), ld);
-      if (stats != nullptr) ++stats->output_rows;
+    size_t take = nd;
+    if (max_output_rows != 0) {
+      if (out->size() >= max_output_rows) return false;
+      take = static_cast<size_t>(std::min<uint64_t>(
+          nd, max_output_rows - out->size()));
     }
+    out->AppendCross(anc, ar, desc, gd.row_begin, take);
+    if (stats != nullptr) stats->output_rows += take;
+    if (take < nd) return false;
   }
   return true;
 }
 
-/// True if ancestor element `a` matches descendant element `d` under `axis`.
-bool Matches(const Document& doc, NodeId a, NodeId d, Axis axis) {
-  if (a >= d) return false;  // proper containment needs a.start < d.start
-  if (axis == Axis::kChild) {
-    return doc.LevelOf(a) + 1 == doc.LevelOf(d);
-  }
-  return true;  // containment established by the caller's stack discipline
-}
-
-Status ValidateJoinInputs(const TupleSet& anc, size_t anc_slot,
-                          const TupleSet& desc, size_t desc_slot) {
+Status ValidateJoinInputs(const ColumnBatch& anc, size_t anc_slot,
+                          const ColumnBatch& desc, size_t desc_slot) {
   if (anc_slot >= anc.arity() || desc_slot >= desc.arity()) {
     return Status::InvalidArgument("join slot out of range");
   }
@@ -89,18 +85,19 @@ Status ValidateJoinInputs(const TupleSet& anc, size_t anc_slot,
     return Status::InvalidArgument("ancestor input not sorted by join column");
   }
   if (!desc.IsSortedBySlot(desc_slot)) {
-    return Status::InvalidArgument("descendant input not sorted by join column");
+    return Status::InvalidArgument(
+        "descendant input not sorted by join column");
   }
   return Status::OK();
 }
 
-/// Empty output set carrying the join's schema and ordering property.
-TupleSet MakeOutputSet(const TupleSet& anc, size_t anc_slot,
-                       const TupleSet& desc, size_t desc_slot,
-                       bool output_by_ancestor) {
+/// Empty output batch carrying the join's schema and ordering property.
+ColumnBatch MakeOutputSet(const ColumnBatch& anc, size_t anc_slot,
+                          const ColumnBatch& desc, size_t desc_slot,
+                          bool output_by_ancestor) {
   std::vector<PatternNodeId> out_slots = anc.slots();
   out_slots.insert(out_slots.end(), desc.slots().begin(), desc.slots().end());
-  TupleSet out(std::move(out_slots));
+  ColumnBatch out(std::move(out_slots));
   out.set_ordered_by_slot(
       output_by_ancestor ? static_cast<int>(anc_slot)
                          : static_cast<int>(anc.arity() + desc_slot));
@@ -115,19 +112,19 @@ TupleSet MakeOutputSet(const TupleSet& anc, size_t anc_slot,
 /// descendant group so sibling partitions stop early after one of them
 /// overflowed; a cancelled run returns OK with partial output, which the
 /// caller discards.
-Status RunStackTree(const Document& doc, const TupleSet& anc,
-                    const TupleSet& desc,
+Status RunStackTree(const Document& doc, const ColumnBatch& anc,
+                    const ColumnBatch& desc,
                     const std::vector<Group>& anc_groups,
                     const std::vector<Group>& desc_groups, size_t anc_lo,
                     size_t anc_hi, size_t desc_lo, size_t desc_hi, Axis axis,
                     bool output_by_ancestor, uint64_t max_output_rows,
-                    TupleSet* out, JoinStats* stats,
+                    ColumnBatch* out, JoinStats* stats,
                     const std::atomic<bool>* cancel,
                     QueryGovernor* governor) {
   if (anc_lo >= anc_hi || desc_lo >= desc_hi) return Status::OK();
 
-  // Row-budget enforcement; EmitPair checks per row, so even one huge
-  // group cross product cannot outrun the budget.
+  // Row-budget enforcement; EmitPair clamps inside the expansion, so even
+  // one huge group cross product cannot outrun the budget.
   bool overflow = false;
   auto emit = [&](const GroupPair& pair) {
     if (overflow) return;
@@ -137,25 +134,30 @@ Status RunStackTree(const Document& doc, const TupleSet& anc,
     }
   };
 
-  // Per-stack-entry pair buffers, used only by the Anc variant.
-  struct StackEntry {
-    uint32_t ag;
+  // The stack of open ancestor groups, struct-of-arrays: the retirement
+  // scans read the end column, the parent-child filter sweeps the level
+  // column. `buffers` (parallel to the columns) carries the Anc variant's
+  // per-entry self/inherit pair lists.
+  struct PairBuffers {
     std::vector<GroupPair> self;
     std::vector<GroupPair> inherit;
   };
-  std::vector<StackEntry> stack;
-
-  auto entry_end = [&](const StackEntry& e) {
-    return doc.EndOf(anc_groups[e.ag].elem);
-  };
+  std::vector<uint32_t> stack_ag;
+  std::vector<NodeId> stack_end;
+  std::vector<uint16_t> stack_level;
+  std::vector<PairBuffers> buffers;
+  std::vector<uint32_t> sel;  // match selection over stack entries
 
   // Releases a popped entry's pairs: to the output if it was the bottom,
   // otherwise into the new top's inherit list (keeps ancestor order).
   auto pop_entry = [&] {
-    StackEntry popped = std::move(stack.back());
-    stack.pop_back();
+    PairBuffers popped = std::move(buffers.back());
+    buffers.pop_back();
+    stack_ag.pop_back();
+    stack_end.pop_back();
+    stack_level.pop_back();
     if (!output_by_ancestor) return;  // Desc variant emits eagerly
-    if (stack.empty()) {
+    if (buffers.empty()) {
       for (const GroupPair& p : popped.self) {
         if (overflow) return;
         emit(p);
@@ -165,7 +167,7 @@ Status RunStackTree(const Document& doc, const TupleSet& anc,
         emit(p);
       }
     } else {
-      StackEntry& top = stack.back();
+      PairBuffers& top = buffers.back();
       top.inherit.insert(top.inherit.end(), popped.self.begin(),
                          popped.self.end());
       top.inherit.insert(top.inherit.end(), popped.inherit.begin(),
@@ -187,25 +189,47 @@ Status RunStackTree(const Document& doc, const TupleSet& anc,
     // Stack every ancestor candidate that starts before d.
     while (ai < anc_hi && anc_groups[ai].elem < d) {
       const NodeId a = anc_groups[ai].elem;
-      while (!stack.empty() && entry_end(stack.back()) < a) pop_entry();
-      stack.push_back(StackEntry{static_cast<uint32_t>(ai), {}, {}});
+      while (!stack_ag.empty() && stack_end.back() < a) pop_entry();
+      stack_ag.push_back(static_cast<uint32_t>(ai));
+      stack_end.push_back(doc.EndOf(a));
+      stack_level.push_back(doc.LevelOf(a));
+      buffers.emplace_back();
       if (stats != nullptr) {
         ++stats->stack_pushes;
         stats->max_stack_depth =
-            std::max<uint64_t>(stats->max_stack_depth, stack.size());
+            std::max<uint64_t>(stats->max_stack_depth, stack_ag.size());
       }
       ++ai;
     }
     // Retire entries that closed before d.
-    while (!stack.empty() && entry_end(stack.back()) < d) pop_entry();
-    // Every remaining entry contains d (start < d <= end). Match pairs.
-    for (size_t k = 0; k < stack.size(); ++k) {
-      const NodeId a = anc_groups[stack[k].ag].elem;
-      if (!Matches(doc, a, d, axis)) continue;
+    while (!stack_ag.empty() && stack_end.back() < d) pop_entry();
+    // Every remaining entry contains d (start < d <= end, by the stack
+    // discipline). For descendant axes that IS the match set; parent-child
+    // additionally filters on level equality — a sweep over the stack's
+    // level column.
+    const size_t depth = stack_ag.size();
+    const uint32_t* match = nullptr;
+    size_t nmatch = 0;
+    if (axis == Axis::kChild) {
+      sel.resize(depth);
+      const uint16_t dl = doc.LevelOf(d);
+      nmatch = dl == 0 ? 0
+                       : kernels::SelEqualsU16(
+                             stack_level.data(), depth,
+                             static_cast<uint16_t>(dl - 1), sel.data());
+      match = sel.data();
+    } else {
+      sel.resize(depth);
+      for (size_t k = 0; k < depth; ++k) sel[k] = static_cast<uint32_t>(k);
+      nmatch = depth;
+      match = sel.data();
+    }
+    for (size_t s = 0; s < nmatch; ++s) {
+      const size_t k = match[s];
       if (stats != nullptr) ++stats->element_pairs;
-      GroupPair pair{stack[k].ag, static_cast<uint32_t>(dg)};
+      GroupPair pair{stack_ag[k], static_cast<uint32_t>(dg)};
       if (output_by_ancestor) {
-        stack[k].self.push_back(pair);
+        buffers[k].self.push_back(pair);
       } else {
         if (overflow) break;
         emit(pair);
@@ -213,7 +237,7 @@ Status RunStackTree(const Document& doc, const TupleSet& anc,
     }
   }
   // Drain the stack so buffered Anc pairs are released bottom-up.
-  while (!stack.empty() && !overflow) pop_entry();
+  while (!stack_ag.empty() && !overflow) pop_entry();
 
   if (overflow) {
     return Status::OutOfRange(
@@ -278,7 +302,9 @@ std::vector<JoinPartition> PartitionAtTopLevel(
       JoinPartition merged = regions.front();
       merged.anc_hi = regions.back().anc_hi;
       merged.desc_hi = regions.back().desc_hi;
-      for (size_t r = 1; r < regions.size(); ++r) merged.rows += regions[r].rows;
+      for (size_t r = 1; r < regions.size(); ++r) {
+        merged.rows += regions[r].rows;
+      }
       return {merged};
     }
     return regions;
@@ -305,14 +331,14 @@ std::vector<JoinPartition> PartitionAtTopLevel(
 
 }  // namespace
 
-Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
-                               size_t anc_slot, const TupleSet& desc,
-                               size_t desc_slot, Axis axis,
-                               bool output_by_ancestor, JoinStats* stats,
-                               uint64_t max_output_rows,
-                               QueryGovernor* governor) {
+Result<ColumnBatch> StackTreeJoin(const Document& doc, const ColumnBatch& anc,
+                                  size_t anc_slot, const ColumnBatch& desc,
+                                  size_t desc_slot, Axis axis,
+                                  bool output_by_ancestor, JoinStats* stats,
+                                  uint64_t max_output_rows,
+                                  QueryGovernor* governor) {
   SJOS_RETURN_IF_ERROR(ValidateJoinInputs(anc, anc_slot, desc, desc_slot));
-  TupleSet out =
+  ColumnBatch out =
       MakeOutputSet(anc, anc_slot, desc, desc_slot, output_by_ancestor);
   const std::vector<Group> anc_groups = BuildGroups(anc, anc_slot);
   const std::vector<Group> desc_groups = BuildGroups(desc, desc_slot);
@@ -324,18 +350,32 @@ Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
   return out;
 }
 
-Result<TupleSet> StackTreeJoinParallel(
-    const Document& doc, const TupleSet& anc, size_t anc_slot,
-    const TupleSet& desc, size_t desc_slot, Axis axis, bool output_by_ancestor,
-    ThreadPool* pool, JoinStats* stats, uint64_t max_output_rows,
-    size_t min_parallel_input_rows, QueryGovernor* governor) {
+Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
+                               size_t anc_slot, const TupleSet& desc,
+                               size_t desc_slot, Axis axis,
+                               bool output_by_ancestor, JoinStats* stats,
+                               uint64_t max_output_rows,
+                               QueryGovernor* governor) {
+  Result<ColumnBatch> out = StackTreeJoin(
+      doc, ColumnBatch::FromRows(anc), anc_slot, ColumnBatch::FromRows(desc),
+      desc_slot, axis, output_by_ancestor, stats, max_output_rows, governor);
+  if (!out.ok()) return out.status();
+  return std::move(out).value().ToRows();
+}
+
+Result<ColumnBatch> StackTreeJoinParallel(
+    const Document& doc, const ColumnBatch& anc, size_t anc_slot,
+    const ColumnBatch& desc, size_t desc_slot, Axis axis,
+    bool output_by_ancestor, ThreadPool* pool, JoinStats* stats,
+    uint64_t max_output_rows, size_t min_parallel_input_rows,
+    QueryGovernor* governor) {
   if (pool == nullptr || pool->num_workers() <= 1 ||
       anc.size() + desc.size() < min_parallel_input_rows) {
     return StackTreeJoin(doc, anc, anc_slot, desc, desc_slot, axis,
                          output_by_ancestor, stats, max_output_rows, governor);
   }
   SJOS_RETURN_IF_ERROR(ValidateJoinInputs(anc, anc_slot, desc, desc_slot));
-  TupleSet out =
+  ColumnBatch out =
       MakeOutputSet(anc, anc_slot, desc, desc_slot, output_by_ancestor);
   const std::vector<Group> anc_groups = BuildGroups(anc, anc_slot);
   const std::vector<Group> desc_groups = BuildGroups(desc, desc_slot);
@@ -364,7 +404,7 @@ Result<TupleSet> StackTreeJoinParallel(
   // each partition's descendant range is disjoint from every other's, so
   // concatenating the partition outputs in partition (= document) order
   // reproduces the serial output byte for byte.
-  std::vector<TupleSet> part_out(parts.size());
+  std::vector<ColumnBatch> part_out(parts.size());
   std::vector<JoinStats> part_stats(parts.size());
   std::atomic<bool> cancel{false};
   for (size_t p = 0; p < parts.size(); ++p) {
@@ -395,7 +435,7 @@ Result<TupleSet> StackTreeJoinParallel(
   SJOS_RETURN_IF_ERROR(pool->WaitAll());
 
   uint64_t total_rows = 0;
-  for (const TupleSet& t : part_out) total_rows += t.size();
+  for (const ColumnBatch& t : part_out) total_rows += t.size();
   if (max_output_rows != 0 && total_rows > max_output_rows) {
     return Status::OutOfRange(
         "structural join output exceeded the configured row budget");
@@ -404,7 +444,7 @@ Result<TupleSet> StackTreeJoinParallel(
   // of worker scheduling, so merged stats are deterministic.
   out.Reserve(total_rows);
   for (size_t p = 0; p < parts.size(); ++p) {
-    out.AppendSet(part_out[p]);
+    out.AppendBatch(part_out[p]);
     if (stats != nullptr) {
       stats->element_pairs += part_stats[p].element_pairs;
       stats->output_rows += part_stats[p].output_rows;
@@ -414,6 +454,19 @@ Result<TupleSet> StackTreeJoinParallel(
     }
   }
   return out;
+}
+
+Result<TupleSet> StackTreeJoinParallel(
+    const Document& doc, const TupleSet& anc, size_t anc_slot,
+    const TupleSet& desc, size_t desc_slot, Axis axis, bool output_by_ancestor,
+    ThreadPool* pool, JoinStats* stats, uint64_t max_output_rows,
+    size_t min_parallel_input_rows, QueryGovernor* governor) {
+  Result<ColumnBatch> out = StackTreeJoinParallel(
+      doc, ColumnBatch::FromRows(anc), anc_slot, ColumnBatch::FromRows(desc),
+      desc_slot, axis, output_by_ancestor, pool, stats, max_output_rows,
+      min_parallel_input_rows, governor);
+  if (!out.ok()) return out.status();
+  return std::move(out).value().ToRows();
 }
 
 }  // namespace sjos

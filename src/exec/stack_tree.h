@@ -14,6 +14,12 @@
 // tuples sharing the same join element form groups, the stack algorithm
 // runs on distinct elements, and each matched element pair emits the cross
 // product of its two row groups.
+//
+// The kernel trades in columnar batches (exec/column_batch.h): group
+// detection, sortedness validation, parent-child level filtering over the
+// stack, and cross-product expansion all run as column sweeps through
+// exec/vector_kernels.h. The row-major TupleSet overloads are thin
+// conversion shims kept for tests and boundary callers.
 
 #ifndef SJOS_EXEC_STACK_TREE_H_
 #define SJOS_EXEC_STACK_TREE_H_
@@ -21,6 +27,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "exec/column_batch.h"
 #include "exec/tuple_set.h"
 #include "query/pattern.h"
 #include "xml/document.h"
@@ -56,6 +63,15 @@ struct JoinStats {
 ///
 /// `governor`, when non-null, is polled for the query deadline every 64
 /// descendant groups; a breach aborts the join with DeadlineExceeded.
+Result<ColumnBatch> StackTreeJoin(const Document& doc, const ColumnBatch& anc,
+                                  size_t anc_slot, const ColumnBatch& desc,
+                                  size_t desc_slot, Axis axis,
+                                  bool output_by_ancestor,
+                                  JoinStats* stats = nullptr,
+                                  uint64_t max_output_rows = 0,
+                                  QueryGovernor* governor = nullptr);
+
+/// Row-major shim: converts at the boundary and runs the columnar kernel.
 Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
                                size_t anc_slot, const TupleSet& desc,
                                size_t desc_slot, Axis axis,
@@ -89,6 +105,15 @@ inline constexpr size_t kParallelJoinMinInputRows = 8192;
 /// that partition with DeadlineExceeded, trips the shared cancel token so
 /// sibling partitions stop early, and surfaces through WaitAll's
 /// earliest-error-wins semantics — no task is leaked.
+Result<ColumnBatch> StackTreeJoinParallel(
+    const Document& doc, const ColumnBatch& anc, size_t anc_slot,
+    const ColumnBatch& desc, size_t desc_slot, Axis axis,
+    bool output_by_ancestor, ThreadPool* pool, JoinStats* stats = nullptr,
+    uint64_t max_output_rows = 0,
+    size_t min_parallel_input_rows = kParallelJoinMinInputRows,
+    QueryGovernor* governor = nullptr);
+
+/// Row-major shim over the columnar partitioned join.
 Result<TupleSet> StackTreeJoinParallel(
     const Document& doc, const TupleSet& anc, size_t anc_slot,
     const TupleSet& desc, size_t desc_slot, Axis axis, bool output_by_ancestor,

@@ -1,9 +1,13 @@
-// Materialized intermediate results. A TupleSet is a batch of bindings:
-// each row assigns one document node to every pattern node in the set's
-// schema ("slots"). Data is stored row-major in one flat vector. The set
-// records which slot its rows are physically ordered by — the property the
-// Stack-Tree operators require of their inputs and establish on their
-// outputs.
+// Row-major result batches — the engine's boundary type. A TupleSet is a
+// batch of bindings: each row assigns one document node to every pattern
+// node in the set's schema ("slots"). Data is stored row-major in one flat
+// vector. The set records which slot its rows are physically ordered by —
+// the property the Stack-Tree operators require of their inputs and
+// establish on their outputs.
+//
+// The execution core itself trades in columnar ColumnBatch batches
+// (exec/column_batch.h); TupleSet remains the currency of results, the
+// wire codec, and tests, with conversions only at that boundary.
 
 #ifndef SJOS_EXEC_TUPLE_SET_H_
 #define SJOS_EXEC_TUPLE_SET_H_

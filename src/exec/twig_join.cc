@@ -37,7 +37,9 @@ class PathStackRun {
       : db_(db), pattern_(pattern), path_(path), stats_(stats) {
     streams_.reserve(path.size());
     for (PatternNodeId q : path) {
-      streams_.push_back(ScanCandidates(db, pattern, q));
+      // Candidate streams stay columnar: the merge only ever reads the
+      // single candidate column through Cur().
+      streams_.push_back(ScanCandidateColumns(db, pattern, q));
     }
     cursors_.assign(path.size(), 0);
     stacks_.resize(path.size());
@@ -50,7 +52,7 @@ class PathStackRun {
     const size_t k = path_.size();
     if (k == 1) {
       // Single-node pattern: candidates are the solutions.
-      return std::move(streams_[0]);
+      return streams_[0].ToRows();
     }
     for (;;) {
       if (Eof(k - 1) && stacks_[k - 1].empty()) {
@@ -156,7 +158,7 @@ class PathStackRun {
   const Pattern& pattern_;
   const std::vector<PatternNodeId>& path_;
   TwigJoinStats* stats_;
-  std::vector<TupleSet> streams_;
+  std::vector<ColumnBatch> streams_;
   std::vector<size_t> cursors_;
   std::vector<std::vector<Entry>> stacks_;
 };

@@ -4,23 +4,29 @@ namespace sjos {
 
 TagIndex TagIndex::Build(const Document& doc) {
   TagIndex index;
-  index.postings_.resize(doc.dict().size());
-  // Pre-size the lists to avoid repeated growth on large documents.
-  std::vector<size_t> counts(doc.dict().size(), 0);
+  const size_t num_tags = doc.dict().size();
   const NodeId n = static_cast<NodeId>(doc.NumNodes());
-  for (NodeId id = 0; id < n; ++id) ++counts[doc.TagOf(id)];
-  for (TagId t = 0; t < counts.size(); ++t) {
-    index.postings_[t].reserve(counts[t]);
+  // Counting sort into the arena: count per tag, prefix-sum into offsets,
+  // then place every node at its tag's write cursor. Document order is
+  // preserved because nodes are visited in pre-order.
+  index.offsets_.assign(num_tags + 1, 0);
+  for (NodeId id = 0; id < n; ++id) ++index.offsets_[doc.TagOf(id) + 1];
+  for (size_t t = 1; t <= num_tags; ++t) {
+    index.offsets_[t] += index.offsets_[t - 1];
   }
+  index.arena_.resize(n);
+  std::vector<uint32_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
   for (NodeId id = 0; id < n; ++id) {
-    index.postings_[doc.TagOf(id)].push_back(id);
+    index.arena_[cursor[doc.TagOf(id)]++] = id;
   }
   return index;
 }
 
 std::span<const NodeId> TagIndex::Postings(TagId tag) const {
-  if (tag >= postings_.size()) return {};
-  return postings_[tag];
+  if (tag >= NumTags()) return {};
+  return {arena_.data() + offsets_[tag],
+          static_cast<size_t>(offsets_[tag + 1] - offsets_[tag])};
 }
 
 }  // namespace sjos

@@ -2,6 +2,11 @@
 // the index holds the list of elements with that tag in document order
 // (i.e., sorted by pre-order start position) — exactly the input format the
 // Stack-Tree join algorithms require.
+//
+// Storage is one contiguous arena of NodeIds with per-tag offsets rather
+// than a vector-of-vectors: posting lists pack back to back, so a scan
+// operator's bulk column copy reads one dense array and the whole index is
+// two allocations regardless of tag count.
 
 #ifndef SJOS_STORAGE_TAG_INDEX_H_
 #define SJOS_STORAGE_TAG_INDEX_H_
@@ -28,10 +33,14 @@ class TagIndex {
   size_t Cardinality(TagId tag) const { return Postings(tag).size(); }
 
   /// Number of distinct tags indexed.
-  size_t NumTags() const { return postings_.size(); }
+  size_t NumTags() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
 
  private:
-  std::vector<std::vector<NodeId>> postings_;
+  // Postings for tag t live at arena_[offsets_[t] .. offsets_[t + 1]).
+  std::vector<NodeId> arena_;
+  std::vector<uint32_t> offsets_;
 };
 
 }  // namespace sjos

@@ -43,6 +43,14 @@ class Document {
   uint16_t LevelOf(NodeId id) const { return levels_[id]; }
   NodeId ParentOf(NodeId id) const { return parents_[id]; }
 
+  /// Raw column views over the SoA node arrays (NumNodes() entries each),
+  /// the inputs of the vectorized kernels in exec/vector_kernels.h: a
+  /// node's subtree is the contiguous index range (id, EndOf(id)], so tag
+  /// and level filtering over a subtree are dense column sweeps.
+  const TagId* TagData() const { return tags_.data(); }
+  const NodeId* EndData() const { return ends_.data(); }
+  const uint16_t* LevelData() const { return levels_.data(); }
+
   /// The full positional record of node `id`.
   NodePos PosOf(NodeId id) const { return {id, ends_[id], levels_[id]}; }
 

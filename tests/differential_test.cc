@@ -3,9 +3,11 @@
 // executed result sets equal the NaiveMatch oracle — the end-to-end check
 // the per-optimizer unit tests don't provide. Each plan runs on the
 // materializing engine (the reference), on the streaming engine at several
-// batch sizes, and with the parallel execution layer at 2 and 4 threads;
-// all executions must be byte-identical with identical stats counters, so
-// the oracle pins every engine and thread count at once.
+// batch sizes, and with the parallel execution layer at 2 and 4 threads —
+// each of those under both the vectorized and the forced-scalar kernel
+// dispatch; all executions must be byte-identical with identical stats
+// counters, so the oracle pins every engine, thread count and kernel ISA
+// at once.
 
 #include <gtest/gtest.h>
 
@@ -19,6 +21,7 @@
 #include "estimate/positional_histogram.h"
 #include "exec/executor.h"
 #include "exec/naive_matcher.h"
+#include "exec/vector_kernels.h"
 #include "plan/plan_props.h"
 #include "query/workload.h"
 #include "service/engine.h"
@@ -103,7 +106,8 @@ void RunDifferential(const Database& db, const std::string& dataset_name) {
       ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
       const PhysicalPlan& plan = optimized.value().plan;
 
-      // Reference: the pre-refactor one-shot materializing engine.
+      // Reference: the one-shot materializing engine with the session's
+      // default kernel dispatch.
       ExecOptions ref_options;
       ref_options.force_materialize = true;
       Executor ref_exec(db, ref_options);
@@ -113,30 +117,48 @@ void RunDifferential(const Database& db, const std::string& dataset_name) {
       EXPECT_EQ(ref.value().stats.result_rows, expected.size());
       ExpectJoinEstimatesAnnotated(plan, ref.value().op_stats);
 
-      // Streaming engine, including degenerate one-row batches.
-      for (size_t batch_rows : {size_t{1}, size_t{3}, size_t{1024}}) {
-        SCOPED_TRACE("batch_rows=" + std::to_string(batch_rows));
-        ExecOptions options;
-        options.batch_rows = batch_rows;
-        Executor exec(db, options);
-        Result<ExecResult> result = exec.Execute(pattern, plan);
-        ASSERT_TRUE(result.ok()) << result.status().ToString();
-        ExpectIdenticalTuples(ref.value().tuples, result.value().tuples);
-        ExpectIdenticalCounters(ref.value().stats, result.value().stats);
-      }
+      // Every engine configuration, under both vectorized and forced-
+      // scalar kernels, must reproduce the reference byte for byte.
+      const bool simd_default = SimdEnabled();
+      for (bool simd : {true, false}) {
+        SCOPED_TRACE(simd ? "simd=on" : "simd=off");
+        SetSimdEnabled(simd);
 
-      // Parallel leaf pre-pass + partitioned joins.
-      for (int threads : {2, 4}) {
-        SCOPED_TRACE("threads=" + std::to_string(threads));
-        ExecOptions options;
-        options.num_threads = threads;
-        options.parallel_min_join_rows = 0;  // partition even small inputs
-        Executor exec(db, options);
-        Result<ExecResult> result = exec.Execute(pattern, plan);
-        ASSERT_TRUE(result.ok()) << result.status().ToString();
-        ExpectIdenticalTuples(ref.value().tuples, result.value().tuples);
-        ExpectIdenticalCounters(ref.value().stats, result.value().stats);
+        // Materializing engine under the other dispatch too.
+        {
+          Executor exec(db, ref_options);
+          Result<ExecResult> result = exec.Execute(pattern, plan);
+          ASSERT_TRUE(result.ok()) << result.status().ToString();
+          ExpectIdenticalTuples(ref.value().tuples, result.value().tuples);
+          ExpectIdenticalCounters(ref.value().stats, result.value().stats);
+        }
+
+        // Streaming engine, including degenerate one-row batches.
+        for (size_t batch_rows : {size_t{1}, size_t{3}, size_t{1024}}) {
+          SCOPED_TRACE("batch_rows=" + std::to_string(batch_rows));
+          ExecOptions options;
+          options.batch_rows = batch_rows;
+          Executor exec(db, options);
+          Result<ExecResult> result = exec.Execute(pattern, plan);
+          ASSERT_TRUE(result.ok()) << result.status().ToString();
+          ExpectIdenticalTuples(ref.value().tuples, result.value().tuples);
+          ExpectIdenticalCounters(ref.value().stats, result.value().stats);
+        }
+
+        // Parallel leaf pre-pass + partitioned joins.
+        for (int threads : {2, 4}) {
+          SCOPED_TRACE("threads=" + std::to_string(threads));
+          ExecOptions options;
+          options.num_threads = threads;
+          options.parallel_min_join_rows = 0;  // partition small inputs too
+          Executor exec(db, options);
+          Result<ExecResult> result = exec.Execute(pattern, plan);
+          ASSERT_TRUE(result.ok()) << result.status().ToString();
+          ExpectIdenticalTuples(ref.value().tuples, result.value().tuples);
+          ExpectIdenticalCounters(ref.value().stats, result.value().stats);
+        }
       }
+      SetSimdEnabled(simd_default);
     }
   }
 }
