@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "net/client.h"
 #include "net/json.h"
 #include "net/server.h"
@@ -58,6 +59,10 @@ struct Config {
   uint64_t nodes = 20'000;       // self-mode dataset size
   uint64_t quota_in_flight = 32; // self-mode per-tenant in-flight cap
   std::string json_path = "BENCH_service.json";
+  /// Self mode: JSONL audit sink for the in-process Engines ("" keeps the
+  /// log in-memory only). The background writer keeps file I/O off the
+  /// query path, so enabling this should not move the latency numbers.
+  std::string query_log_path;
 };
 
 struct PhaseResult {
@@ -272,6 +277,22 @@ void PrintPhase(const PhaseResult& r) {
       r.Percentile(0.95), r.Percentile(0.99), r.Mean(), r.Max());
 }
 
+/// Self mode only: the server-side per-query wall-time histogram, with
+/// quantiles estimated from its log2 buckets — the same numbers \metrics
+/// digests in the shell. Cumulative across phases (the registry is
+/// process-global).
+void PrintServerQuantiles() {
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  for (const MetricsSnapshot::HistogramData& h : snap.histograms) {
+    if (h.name != "sjos_engine_query_wall_us" || h.count == 0) continue;
+    std::printf(
+        "           server wall (log2 hist, cumulative): p50=%.2fms "
+        "p95=%.2fms p99=%.2fms n=%llu\n",
+        h.Quantile(0.50) / 1000.0, h.Quantile(0.95) / 1000.0,
+        h.Quantile(0.99) / 1000.0, static_cast<unsigned long long>(h.count));
+  }
+}
+
 void AppendPhaseJson(const PhaseResult& r, std::string* out) {
   *out += "{\"name\":";
   net::AppendJsonString(r.name, out);
@@ -333,7 +354,7 @@ struct SelfServer {
   net::QueryServer server;
 
   SelfServer(const std::string& dataset, const Config& config)
-      : engine(MakeEngineOptions()), server(&engine, MakeOptions(config)) {
+      : engine(MakeEngineOptions(config)), server(&engine, MakeOptions(config)) {
     DatasetScale scale;
     scale.base_nodes = config.nodes;
     Result<Database> db = MakePaperDataset(dataset, scale);
@@ -342,9 +363,10 @@ struct SelfServer {
     SJOS_CHECK(server.Start().ok(), "server start");
   }
 
-  static EngineOptions MakeEngineOptions() {
+  static EngineOptions MakeEngineOptions(const Config& config) {
     EngineOptions options;
     options.max_in_flight = 4;
+    options.query_log.path = config.query_log_path;
     return options;
   }
 
@@ -434,13 +456,16 @@ int main(int argc, char** argv) {
           std::strtoull(next("--quota-in-flight").c_str(), nullptr, 10);
     } else if (arg == "--json") {
       config.json_path = next("--json");
+    } else if (arg == "--query-log") {
+      config.query_log_path = next("--query-log");
     } else {
       std::fprintf(
           stderr,
           "usage: bench_loadgen [--self | --connect host:port] [--qps N]\n"
           "  [--duration S] [--connections K] [--miss-fraction F]\n"
           "  [--no-deadline-spread] [--failpoints] [--saturation]\n"
-          "  [--nodes N] [--quota-in-flight N] [--json FILE]\n");
+          "  [--nodes N] [--quota-in-flight N] [--json FILE]\n"
+          "  [--query-log FILE]\n");
       return 2;
     }
   }
@@ -470,6 +495,7 @@ int main(int argc, char** argv) {
       PhaseResult r = RunPhase(dataset, "127.0.0.1", self.server.port(),
                                WorkloadQueries(dataset), config);
       PrintPhase(r);
+      PrintServerQuantiles();
       phases.push_back(std::move(r));
       if (config.saturation && std::strcmp(dataset, "Pers") == 0) {
         FailpointRegistry::Global().DisableAll();

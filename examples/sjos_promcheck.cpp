@@ -1,0 +1,45 @@
+// sjos_promcheck: validates Prometheus text exposition read from a file
+// (or stdin with no argument) using the library's ValidatePrometheusText —
+// the same checker every in-tree export passes through. Exit 0 when the
+// text is well-formed, 1 with the offending line on stderr otherwise.
+//
+//   curl -s localhost:9184/metrics | ./build/examples/sjos_promcheck
+//   ./build/examples/sjos_promcheck scrape.txt
+
+#include <cstdio>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  } else {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+      text.append(buf, n);
+    }
+  }
+  if (text.empty()) {
+    std::fprintf(stderr, "no input\n");
+    return 1;
+  }
+  const sjos::Status st = sjos::ValidatePrometheusText(text);
+  if (!st.ok()) {
+    std::fprintf(stderr, "invalid exposition: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("ok: %zu bytes of valid Prometheus text\n", text.size());
+  return 0;
+}

@@ -7,7 +7,11 @@
 //   ... drive it with sjos_shell --connect 127.0.0.1:7544 or bench_loadgen
 //
 // The chosen port is printed as "LISTENING <port>" on stdout (flushed) so
-// scripts can scrape it when --port 0 picked an ephemeral one.
+// scripts can scrape it when --port 0 picked an ephemeral one. With
+// --http-port an HTTP observability endpoint starts beside the query port
+// (printed as "HTTP LISTENING <port>"): /metrics, /healthz, /statusz —
+// see src/net/http.h. --query-log / --slow-log / --slow-ms wire the JSONL
+// audit and slow-query sinks.
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "net/http.h"
 #include "net/server.h"
 #include "query/workload.h"
 #include "service/engine.h"
@@ -39,7 +44,9 @@ int main(int argc, char** argv) {
   std::string load_path;
   uint64_t nodes = 20'000;
   net::ServerOptions server_options;
+  net::HttpServerOptions http_options;
   EngineOptions engine_options;
+  bool http_enabled = false;
   uint64_t quota_in_flight = 0;
   uint64_t quota_qps = 0;
   // The paper workload's broad Pers twigs return ~100k-row results; the
@@ -69,12 +76,23 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--max-frame-bytes") == 0) {
       server_options.max_frame_bytes =
           static_cast<size_t>(ArgU64(argc, argv, &i, arg));
+    } else if (std::strcmp(arg, "--http-port") == 0) {
+      http_options.port = static_cast<uint16_t>(ArgU64(argc, argv, &i, arg));
+      http_enabled = true;
+    } else if (std::strcmp(arg, "--query-log") == 0 && i + 1 < argc) {
+      engine_options.query_log.path = argv[++i];
+    } else if (std::strcmp(arg, "--slow-log") == 0 && i + 1 < argc) {
+      engine_options.query_log.slow_path = argv[++i];
+    } else if (std::strcmp(arg, "--slow-ms") == 0) {
+      engine_options.query_log.slow_query_ms = ArgU64(argc, argv, &i, arg);
     } else {
       std::fprintf(stderr,
                    "usage: sjos_serve [--port N] [--dataset Pers|DBLP|Mbench] "
                    "[--load file.xml] [--nodes N] [--max-in-flight N] "
                    "[--quota-in-flight N] [--quota-qps N] "
-                   "[--max-connections N] [--max-frame-bytes N]\n");
+                   "[--max-connections N] [--max-frame-bytes N] "
+                   "[--http-port N] [--query-log file.jsonl] "
+                   "[--slow-log file.jsonl] [--slow-ms N]\n");
       return 2;
     }
   }
@@ -117,12 +135,28 @@ int main(int argc, char** argv) {
   std::printf("LISTENING %u\n", server.port());
   std::fflush(stdout);
 
+  net::ObservabilityServer http(&engine, http_options);
+  if (http_enabled) {
+    Status http_st = http.Start();
+    if (!http_st.ok()) {
+      std::fprintf(stderr, "http start failed: %s\n",
+                   http_st.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+    std::printf("HTTP LISTENING %u\n", http.port());
+    std::fflush(stdout);
+  }
+
   // Serve until the harness closes our stdin (or sends "quit").
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line == "quit") break;
   }
+  http.Stop();
   server.Stop();
+  // Everything appended is on disk before the exit message.
+  engine.query_log().Flush();
   std::fprintf(stderr, "server stopped\n");
   return 0;
 }

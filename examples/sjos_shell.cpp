@@ -21,7 +21,11 @@
 //
 // Remote mode:  sjos_shell --connect 127.0.0.1:7544  talks to a running
 // sjos_serve over the wire protocol instead of an in-process Engine
-// (commands: query, xpath, plan, algo, \metrics, ping, quit).
+// (commands: query, xpath, plan, algo, \metrics, \top, \slow, ping, quit).
+//
+// Observability commands (both modes): \metrics appends a p50/p95/p99
+// digest per histogram, \top lists queries in flight, \slow [n] the most
+// recent slow-promoted audit records.
 
 #include <cstdio>
 #include <cstdlib>
@@ -90,9 +94,11 @@ class Shell {
     } else if (command == "xpath") {
       RunXPath(Rest(line, command));
     } else if (command == "\\metrics") {
-      std::printf("%s", MetricsRegistry::Global().Snapshot()
-                            .ToPrometheus()
-                            .c_str());
+      Metrics();
+    } else if (command == "\\top") {
+      Top();
+    } else if (command == "\\slow") {
+      Slow(words);
     } else if (command == "\\trace") {
       Trace(words);
     } else if (command == "\\cache") {
@@ -122,7 +128,10 @@ class Shell {
         "  xpath <xpath>       e.g. xpath //manager[.//employee]/name\n"
         "  twig <pattern>      holistic twig join, no optimizer\n"
         "  plan <pattern>      explain without executing\n"
-        "  \\metrics            dump the metrics registry (Prometheus text)\n"
+        "  \\metrics            dump the metrics registry (Prometheus text\n"
+        "                      plus p50/p95/p99 per histogram)\n"
+        "  \\top                queries in flight + audit-log totals\n"
+        "  \\slow [n]           the n most recent slow queries (default 10)\n"
         "  \\trace on <file>    start recording a Chrome trace\n"
         "  \\trace off          stop recording and flush the trace file\n"
         "  \\cache stats        plan-cache size and hit/miss counters\n"
@@ -149,6 +158,60 @@ class Shell {
     } else {
       std::printf("%s: %llu %s\n", what,
                   static_cast<unsigned long long>(value), unit);
+    }
+  }
+
+  void Metrics() {
+    MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    std::printf("%s", snap.ToPrometheus().c_str());
+    // Quantile digest: one line per non-empty histogram, estimated from
+    // the log2 buckets (see MetricsSnapshot::HistogramData::Quantile).
+    for (const auto& h : snap.histograms) {
+      if (h.count == 0) continue;
+      std::printf("# quantiles %s: count=%llu p50=%.0f p95=%.0f p99=%.0f\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99));
+    }
+  }
+
+  void Top() {
+    const std::vector<InFlightInfo> in_flight = engine_.InFlightQueries();
+    if (in_flight.empty()) {
+      std::printf("no queries in flight\n");
+    }
+    for (const InFlightInfo& q : in_flight) {
+      std::printf("  %-16s tenant=%-8s algo=%-7s elapsed=%.1f ms "
+                  "live=%llu bytes\n",
+                  q.query_id.c_str(),
+                  q.tenant.empty() ? "-" : q.tenant.c_str(),
+                  q.optimizer.c_str(), q.elapsed_ms,
+                  static_cast<unsigned long long>(q.live_bytes));
+    }
+    const QueryLog& log = engine_.query_log();
+    std::printf("audit log: %llu queries recorded, %llu slow, %llu dropped\n",
+                static_cast<unsigned long long>(log.appended()),
+                static_cast<unsigned long long>(log.slow_count()),
+                static_cast<unsigned long long>(log.dropped()));
+  }
+
+  void Slow(std::istringstream* words) {
+    size_t n = 10;
+    *words >> n;
+    if (n == 0) n = 10;
+    const std::vector<QueryLogRecord> slow = engine_.query_log().RecentSlow(n);
+    if (slow.empty()) {
+      std::printf("no slow queries recorded (threshold: %llu ms)\n",
+                  static_cast<unsigned long long>(
+                      engine_.query_log().options().slow_query_ms));
+      return;
+    }
+    for (const QueryLogRecord& rec : slow) {
+      std::printf("  %-16s %8.1f ms  %llu rows  %s%s%s\n",
+                  rec.query_id.c_str(), rec.total_ms,
+                  static_cast<unsigned long long>(rec.actual_rows),
+                  rec.ok ? "ok" : rec.status_code.c_str(),
+                  rec.verdict.empty() ? "" : " verdict=",
+                  rec.verdict.c_str());
     }
   }
 
@@ -406,7 +469,7 @@ class RemoteShell {
 
   int Run() {
     std::printf("sjos shell (remote) — query/xpath/plan/algo/"
-                "\\metrics/ping/quit\n");
+                "\\metrics/\\top/\\slow/ping/quit\n");
     std::string line;
     while (NextLine(&line)) {
       std::istringstream words(line);
@@ -423,12 +486,16 @@ class RemoteShell {
         std::printf("optimizer: %s\n", algo_.c_str());
       } else if (command == "\\metrics") {
         Stats();
+      } else if (command == "\\top") {
+        Top();
+      } else if (command == "\\slow") {
+        Slow(&words);
       } else if (command == "ping") {
         Ping();
       } else {
         std::printf("remote commands: query <pattern> | xpath <x> | "
-                    "plan <pattern> | algo <name> | \\metrics | ping | "
-                    "quit\n");
+                    "plan <pattern> | algo <name> | \\metrics | \\top | "
+                    "\\slow [n] | ping | quit\n");
       }
     }
     return 0;
@@ -562,6 +629,67 @@ class RemoteShell {
     if (!response) return;
     const net::JsonValue* text = response->Find("prometheus");
     if (text != nullptr) std::printf("%s", text->string_value().c_str());
+  }
+
+  /// Shared field reader for the stats verb's in_flight/slow arrays.
+  static double Num(const net::JsonValue& obj, const char* key) {
+    const net::JsonValue* v = obj.Find(key);
+    return v != nullptr && v->is_number() ? v->number_value() : 0.0;
+  }
+  static std::string Str(const net::JsonValue& obj, const char* key) {
+    const net::JsonValue* v = obj.Find(key);
+    return v != nullptr && v->is_string() ? v->string_value() : std::string();
+  }
+
+  void Top() {
+    std::optional<net::JsonValue> response =
+        Call("{\"verb\":\"stats\",\"id\":\"t\"}");
+    if (!response) return;
+    const net::JsonValue* in_flight = response->Find("in_flight");
+    if (in_flight == nullptr || !in_flight->is_array() ||
+        in_flight->array().empty()) {
+      std::printf("no queries in flight\n");
+    } else {
+      for (const net::JsonValue& q : in_flight->array()) {
+        std::printf("  %-16s tenant=%-8s algo=%-7s elapsed=%.1f ms "
+                    "live=%.0f bytes\n",
+                    Str(q, "query_id").c_str(), Str(q, "tenant").c_str(),
+                    Str(q, "optimizer").c_str(), Num(q, "elapsed_ms"),
+                    Num(q, "live_bytes"));
+      }
+    }
+    const net::JsonValue* live = response->Find("live_queries");
+    if (live != nullptr) {
+      std::printf("live (submitted, unconsumed): %.0f\n", live->number_value());
+    }
+  }
+
+  void Slow(std::istringstream* words) {
+    uint64_t n = 10;
+    *words >> n;
+    if (n == 0) n = 10;
+    // The stats verb reuses wait_ms (unused for stats) as the slow-list
+    // length.
+    std::string request = "{\"verb\":\"stats\",\"id\":\"s\",\"wait_ms\":";
+    request += std::to_string(n) + "}";
+    std::optional<net::JsonValue> response = Call(request);
+    if (!response) return;
+    const net::JsonValue* slow = response->Find("slow");
+    if (slow == nullptr || !slow->is_array() || slow->array().empty()) {
+      std::printf("no slow queries recorded\n");
+      return;
+    }
+    for (const net::JsonValue& rec : slow->array()) {
+      const net::JsonValue* ok = rec.Find("ok");
+      const std::string verdict = Str(rec, "verdict");
+      std::printf("  %-16s %8.1f ms  %.0f rows  %s%s%s\n",
+                  Str(rec, "query_id").c_str(), Num(rec, "total_ms"),
+                  Num(rec, "actual_rows"),
+                  ok != nullptr && ok->bool_value()
+                      ? "ok"
+                      : Str(rec, "status").c_str(),
+                  verdict.empty() ? "" : " verdict=", verdict.c_str());
+    }
   }
 
   void Ping() {

@@ -52,7 +52,7 @@ Status Failpoint::Fire() {
     case FailpointMode::kOff:
       return Status::OK();
     case FailpointMode::kError:
-      FiredCounter().Add();
+      CountFired();
       return Status::Internal("failpoint '" + name_ + "' fired");
     case FailpointMode::kDelay: {
       uint64_t ms;
@@ -72,7 +72,7 @@ Status Failpoint::Fire() {
         fail = rng_.NextBool(prob_);
       }
       if (fail) {
-        FiredCounter().Add();
+        CountFired();
         return Status::Internal("failpoint '" + name_ + "' fired");
       }
       return Status::OK();
@@ -82,6 +82,20 @@ Status Failpoint::Fire() {
 }
 
 void Failpoint::FireNoFail() { Fire(); }
+
+void Failpoint::CountFired() {
+  FiredCounter().Add();
+  // Per-point series of the same family, so a flight-recorder counter
+  // delta names exactly which point fired during a failed query.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fired_counter_ == nullptr) {
+      fired_counter_ = &MetricsRegistry::Global().GetCounter(
+          "sjos_failpoints_fired_total", {{"point", name_}});
+    }
+  }
+  fired_counter_->Add();
+}
 
 std::string Failpoint::SpecString() const {
   std::lock_guard<std::mutex> lock(mu_);

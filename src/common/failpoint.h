@@ -87,13 +87,18 @@ class Failpoint {
 
   void Configure(FailpointMode mode, uint64_t delay_ms, double prob);
 
+  /// Bumps both the process-wide and the per-point
+  /// sjos_failpoints_fired_total series for an injected error.
+  void CountFired();
+
   const std::string name_;
   std::atomic<int> mode_{static_cast<int>(FailpointMode::kOff)};
   std::atomic<uint64_t> hits_{0};
-  mutable std::mutex mu_;  // guards delay_ms_, prob_, rng_
+  mutable std::mutex mu_;  // guards delay_ms_, prob_, rng_, fired_counter_
   uint64_t delay_ms_ = 0;
   double prob_ = 0.0;
   Rng rng_;
+  class Counter* fired_counter_ = nullptr;  // lazy; registry-owned
 };
 
 /// Process-wide failpoint registry. Points are created on first reference

@@ -1,7 +1,9 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <set>
@@ -150,6 +152,43 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snap.histograms.push_back(std::move(data));
   }
   return snap;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+double MetricsSnapshot::HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation, 1-based; q = 0 means the first one.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (const auto& [upper, bucket_count] : buckets) {
+    if (seen + bucket_count < rank) {
+      seen += bucket_count;
+      continue;
+    }
+    if (upper == 0) return 0.0;
+    // Log2 bucket [lower, upper]: lower = 2^(i-1) for bucket i >= 1. The
+    // +Inf bucket has no usable width — report its lower bound.
+    if (upper == std::numeric_limits<uint64_t>::max()) {
+      return std::ldexp(1.0, 63);
+    }
+    const double lower = static_cast<double>((upper + 1) / 2);
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(bucket_count);
+    return lower + (static_cast<double>(upper) - lower) * frac;
+  }
+  return 0.0;
 }
 
 void MetricsRegistry::Reset() {

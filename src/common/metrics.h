@@ -118,6 +118,12 @@ struct MetricsSnapshot {
     /// Non-empty buckets only, as (inclusive upper bound, count) pairs in
     /// ascending bound order.
     std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+    /// Estimated q-quantile (q in [0, 1]) of the observed values: locates
+    /// the bucket holding the target rank and interpolates linearly within
+    /// the bucket's value range, so the error is bounded by the log2 bucket
+    /// width. Returns 0 for an empty histogram; q outside [0, 1] clamps.
+    double Quantile(double q) const;
   };
 
   std::vector<std::pair<std::string, uint64_t>> counters;
@@ -173,6 +179,11 @@ class MetricsRegistry {
   void SetHelp(std::string_view family, std::string_view help);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Counters-only snapshot, (series name, value) in name order. Much
+  /// cheaper than Snapshot() — no histogram bucket walk — cheap enough for
+  /// the engine's per-query flight-recorder baseline.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
 
   /// Zeroes every instrument without destroying it.
   void Reset();

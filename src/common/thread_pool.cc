@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <cstdio>
 #include <exception>
 
 #include "common/failpoint.h"
@@ -33,9 +34,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<Status()> task) {
+  PendingTask pending{0, std::move(task), {}};
+  std::snprintf(pending.trace_qid, sizeof(pending.trace_qid), "%s",
+                CurrentTraceQueryId());
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(PendingTask{next_seq_++, std::move(task)});
+    pending.seq = next_seq_++;
+    queue_.push_back(std::move(pending));
     ++in_flight_;
   }
   tasks_submitted_->Add(1);
@@ -79,6 +84,7 @@ void ThreadPool::WorkerLoop() {
       continue;
     }
     try {
+      TraceQueryScope qid_scope(task.trace_qid);
       TraceSpan span("pool.task");
       status = task.fn();
     } catch (const std::exception& e) {

@@ -57,6 +57,9 @@ class ThreadPool {
   struct PendingTask {
     uint64_t seq;
     std::function<Status()> fn;
+    /// Submitter's trace query-id tag, re-opened on the worker for the
+    /// task's duration so a query's spans stay filterable across threads.
+    char trace_qid[32];
   };
 
   void WorkerLoop();

@@ -6,11 +6,17 @@
 #include <cstring>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/str_util.h"
 
 namespace sjos {
 
 namespace {
+
+/// The recording thread's current query-id tag; spans copy it at record
+/// time so cross-thread work (pool workers re-opening the scope) carries
+/// the submitting query's id.
+thread_local char t_trace_qid[kTraceQueryIdBytes] = {0};
 
 int64_t SteadyNowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -109,20 +115,44 @@ Tracer::Ring* Tracer::RingForThisThread() {
 void Tracer::RecordSpan(const char* prefix, const char* suffix, int64_t ts_us,
                         int64_t dur_us) {
   Ring* ring = RingForThisThread();
-  std::lock_guard<std::mutex> lock(ring->mu);
-  Event* ev;
-  if (ring->events.size() < kTraceRingCapacity) {
-    ev = &ring->events.emplace_back();
-  } else {
-    ev = &ring->events[ring->next];
-    ring->next = (ring->next + 1) % kTraceRingCapacity;
-    ++ring->dropped;
+  bool overwrote = false;
+  {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    Event* ev;
+    if (ring->events.size() < kTraceRingCapacity) {
+      ev = &ring->events.emplace_back();
+    } else {
+      ev = &ring->events[ring->next];
+      ring->next = (ring->next + 1) % kTraceRingCapacity;
+      ++ring->dropped;
+      overwrote = true;
+    }
+    std::snprintf(ev->name, sizeof(ev->name), "%s%s", prefix,
+                  suffix != nullptr ? suffix : "");
+    std::memcpy(ev->qid, t_trace_qid, sizeof(ev->qid));
+    ev->ts_us = ts_us;
+    ev->dur_us = dur_us;
   }
-  std::snprintf(ev->name, sizeof(ev->name), "%s%s", prefix,
-                suffix != nullptr ? suffix : "");
-  ev->ts_us = ts_us;
-  ev->dur_us = dur_us;
+  if (overwrote) {
+    // Mirror of the per-ring dropped count as a scrapeable counter, so a
+    // wrapped ring is visible without flushing a trace file.
+    static Counter& dropped_total = MetricsRegistry::Global().GetCounter(
+        "sjos_trace_dropped_events_total");
+    dropped_total.Add();
+  }
 }
+
+TraceQueryScope::TraceQueryScope(const char* qid) {
+  std::memcpy(saved_, t_trace_qid, sizeof(saved_));
+  std::snprintf(t_trace_qid, sizeof(t_trace_qid), "%s",
+                qid != nullptr ? qid : "");
+}
+
+TraceQueryScope::~TraceQueryScope() {
+  std::memcpy(t_trace_qid, saved_, sizeof(saved_));
+}
+
+const char* CurrentTraceQueryId() { return t_trace_qid; }
 
 std::string Tracer::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -139,9 +169,15 @@ std::string Tracer::ToJson() const {
       AppendEscaped(ev.name, &out);
       out += StrFormat(
           "\",\"cat\":\"sjos\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
-          "\"pid\":1,\"tid\":%u}",
+          "\"pid\":1,\"tid\":%u",
           static_cast<long long>(ev.ts_us), static_cast<long long>(ev.dur_us),
           ring->tid);
+      if (ev.qid[0] != '\0') {
+        out += ",\"args\":{\"qid\":\"";
+        AppendEscaped(ev.qid, &out);
+        out += "\"}";
+      }
+      out += '}';
     }
   }
   out += StrFormat("],\"sjosDroppedEvents\":%llu}",

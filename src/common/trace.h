@@ -28,6 +28,10 @@ namespace sjos {
 /// the tail of an execution; earlier events are overwritten when exceeded.
 inline constexpr size_t kTraceRingCapacity = 16384;
 
+/// Fixed storage for the per-span query-id tag (terminator included);
+/// longer ids are truncated in the trace output only.
+inline constexpr size_t kTraceQueryIdBytes = 32;
+
 /// Global span tracer. Use Tracer::Global(); separate instances exist only
 /// for tests.
 class Tracer {
@@ -64,6 +68,10 @@ class Tracer {
  private:
   struct Event {
     char name[48];
+    /// Query-id tag captured from the recording thread's TraceQueryScope
+    /// ("" outside any scope); emitted as args:{"qid":...} so one query's
+    /// spans can be filtered across threads in Perfetto.
+    char qid[kTraceQueryIdBytes];
     int64_t ts_us;
     int64_t dur_us;
   };
@@ -83,6 +91,29 @@ class Tracer {
   std::vector<std::shared_ptr<Ring>> rings_;
   std::atomic<int64_t> epoch_ns_{0};
 };
+
+/// Tags every span the calling thread records (until destruction) with a
+/// query id, so Perfetto can filter one query's spans across ThreadPool
+/// workers. Scopes nest and restore the previous tag on destruction; the
+/// Engine opens one per query, and partitioned-join workers re-open it
+/// inside their tasks. Ids longer than kTraceQueryIdBytes - 1 are
+/// truncated in the trace output.
+class TraceQueryScope {
+ public:
+  explicit TraceQueryScope(const char* qid);
+  explicit TraceQueryScope(const std::string& qid)
+      : TraceQueryScope(qid.c_str()) {}
+  ~TraceQueryScope();
+
+  TraceQueryScope(const TraceQueryScope&) = delete;
+  TraceQueryScope& operator=(const TraceQueryScope&) = delete;
+
+ private:
+  char saved_[kTraceQueryIdBytes];
+};
+
+/// The calling thread's current query-id tag ("" outside any scope).
+const char* CurrentTraceQueryId();
 
 /// RAII span: measures construction-to-destruction and records it on the
 /// global tracer. When tracing is disabled, both ends reduce to one atomic

@@ -121,11 +121,19 @@ void Executor::MatLiveAdd(ExecStats* stats, const ColumnBatch& set) {
   if (mat_cur_live_bytes_ > stats->peak_live_bytes) {
     stats->peak_live_bytes = mat_cur_live_bytes_;
   }
+  if (options_.live_bytes_observer != nullptr) {
+    options_.live_bytes_observer->store(mat_cur_live_bytes_,
+                                        std::memory_order_relaxed);
+  }
 }
 
 void Executor::MatLiveSub(const ColumnBatch& set) {
   mat_cur_live_ -= set.size();
   mat_cur_live_bytes_ -= set.size() * set.arity() * sizeof(NodeId);
+  if (options_.live_bytes_observer != nullptr) {
+    options_.live_bytes_observer->store(mat_cur_live_bytes_,
+                                        std::memory_order_relaxed);
+  }
 }
 
 Status Executor::PrecomputeLeaves(const Pattern& pattern,
@@ -337,11 +345,12 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
                                      const PhysicalPlan& plan) {
   if (plan.Empty()) return Status::InvalidArgument("empty plan");
   const bool streaming = pool_ == nullptr && !options_.force_materialize;
+  TraceQueryScope qid_scope(options_.query_id);
   TraceSpan span(streaming ? "execute.streaming" : "execute.materialize");
   ExecResult result;
   result.op_stats.assign(plan.NumOps(), OpStats{});
   QueryGovernor governor(options_.deadline_ms, options_.max_live_bytes,
-                         options_.cancel_token);
+                         options_.cancel_token, options_.query_id);
   governor_ = governor.has_limits() ? &governor : nullptr;
   last_verdict_.clear();
   Timer timer;
@@ -367,6 +376,7 @@ Result<ExecResult> Executor::Execute(const Pattern& pattern,
     ctx.stats = &result.stats;
     ctx.op_stats = &result.op_stats;
     ctx.governor = governor_;
+    ctx.live_observer = options_.live_bytes_observer;
     ColumnBatch acc;
     Status st = RunPipeline(plan, &ctx, &acc,
                             [&acc, &ctx](const ColumnBatch& batch) {
@@ -411,13 +421,14 @@ Result<ExecStats> Executor::ExecuteStreaming(const Pattern& pattern,
                                              const BatchSink& sink,
                                              std::vector<OpStats>* op_stats) {
   if (plan.Empty()) return Status::InvalidArgument("empty plan");
+  TraceQueryScope qid_scope(options_.query_id);
   TraceSpan span("execute.streaming");
   ExecStats stats;
   std::vector<OpStats> local_ops;
   std::vector<OpStats>* ops = op_stats != nullptr ? op_stats : &local_ops;
   ops->assign(plan.NumOps(), OpStats{});
   QueryGovernor governor(options_.deadline_ms, options_.max_live_bytes,
-                         options_.cancel_token);
+                         options_.cancel_token, options_.query_id);
   last_verdict_.clear();
   Timer timer;
   ExecContext ctx;
@@ -428,6 +439,7 @@ Result<ExecStats> Executor::ExecuteStreaming(const Pattern& pattern,
   ctx.stats = &stats;
   ctx.op_stats = ops;
   ctx.governor = governor.has_limits() ? &governor : nullptr;
+  ctx.live_observer = options_.live_bytes_observer;
   uint64_t delivered = 0;
   Status st = RunPipeline(plan, &ctx, /*result_schema=*/nullptr,
                           [&delivered, &sink](const ColumnBatch& batch) {

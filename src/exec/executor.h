@@ -141,6 +141,19 @@ struct ExecOptions {
   /// pointee must outlive the Execute/ExecuteStreaming call. Null = not
   /// cancellable.
   const std::atomic<bool>* cancel_token = nullptr;
+
+  /// Id attributed to this execution (the Engine assigns one per query).
+  /// Tags every trace span recorded during the call — pool workers
+  /// included — as args:{qid}, and prefixes governor failure messages, so
+  /// one query is followable across threads and logs. Empty =
+  /// unattributed (the expert-path default; results are unaffected).
+  std::string query_id;
+
+  /// When non-null, the executor publishes the query's current live
+  /// intermediate bytes here (relaxed stores at the existing accounting
+  /// points) so the service's /statusz can report per-query residency
+  /// while the query is in flight. The pointee must outlive the call.
+  std::atomic<uint64_t>* live_bytes_observer = nullptr;
 };
 
 /// Executes plans against one database.

@@ -17,11 +17,18 @@ std::chrono::steady_clock::time_point DeadlineFrom(uint64_t deadline_ms) {
 }  // namespace
 
 QueryGovernor::QueryGovernor(uint64_t deadline_ms, uint64_t max_live_bytes,
-                             const std::atomic<bool>* external_cancel)
+                             const std::atomic<bool>* external_cancel,
+                             std::string query_id)
     : deadline_ms_(deadline_ms),
       max_live_bytes_(max_live_bytes),
       external_cancel_(external_cancel),
+      query_id_(std::move(query_id)),
       deadline_at_(DeadlineFrom(deadline_ms)) {}
+
+std::string QueryGovernor::MessageHead() const {
+  if (query_id_.empty()) return "query ";
+  return "query '" + query_id_ + "' ";
+}
 
 Status QueryGovernor::FailDeadline() {
   int expected = 0;
@@ -30,7 +37,7 @@ Status QueryGovernor::FailDeadline() {
   MetricsRegistry::Global()
       .GetCounter("sjos_governor_deadline_exceeded_total")
       .Add();
-  return Status::DeadlineExceeded("query exceeded deadline of " +
+  return Status::DeadlineExceeded(MessageHead() + "exceeded deadline of " +
                                   std::to_string(deadline_ms_) + " ms");
 }
 
@@ -42,7 +49,7 @@ Status QueryGovernor::FailMemory(uint64_t cur_live_bytes) {
       .GetCounter("sjos_governor_memory_exceeded_total")
       .Add();
   return Status::ResourceExhausted(
-      "query live set " + std::to_string(cur_live_bytes) +
+      MessageHead() + "live set " + std::to_string(cur_live_bytes) +
       " bytes exceeds budget of " + std::to_string(max_live_bytes_) +
       " bytes");
 }
@@ -52,7 +59,7 @@ Status QueryGovernor::FailCancelled() {
   verdict_.compare_exchange_strong(expected, 3, std::memory_order_relaxed);
   Cancel();
   MetricsRegistry::Global().GetCounter("sjos_governor_cancelled_total").Add();
-  return Status::Cancelled("query cancelled by caller");
+  return Status::Cancelled(MessageHead() + "cancelled by caller");
 }
 
 Status QueryGovernor::Check(uint64_t cur_live_bytes, size_t* batch_rows) {

@@ -28,6 +28,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 
@@ -46,9 +47,11 @@ class QueryGovernor {
   /// `external_cancel`, when non-null, is an externally owned flag (e.g. a
   /// QueryHandle's cancel token) polled at every governance point; once it
   /// reads true the query unwinds with Status::Cancelled. The pointee must
-  /// outlive the governor.
+  /// outlive the governor. A non-empty `query_id` prefixes every failure
+  /// message so governed verdicts attribute to one query in logs.
   QueryGovernor(uint64_t deadline_ms, uint64_t max_live_bytes,
-                const std::atomic<bool>* external_cancel = nullptr);
+                const std::atomic<bool>* external_cancel = nullptr,
+                std::string query_id = {});
 
   bool has_limits() const {
     return deadline_ms_ != 0 || max_live_bytes_ != 0 ||
@@ -86,9 +89,14 @@ class QueryGovernor {
   Status FailMemory(uint64_t cur_live_bytes);
   Status FailCancelled();
 
+  /// "query '<id>': " when a query id is attached, "query " otherwise —
+  /// the leading fragment of every failure message.
+  std::string MessageHead() const;
+
   const uint64_t deadline_ms_;
   const uint64_t max_live_bytes_;
   const std::atomic<bool>* const external_cancel_;
+  const std::string query_id_;
   const std::chrono::steady_clock::time_point deadline_at_;
 
   // Byte-budget relief state; driver thread only.

@@ -26,6 +26,7 @@
 #ifndef SJOS_EXEC_OPERATOR_H_
 #define SJOS_EXEC_OPERATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -70,16 +71,25 @@ struct ExecContext {
   /// overhead — so they are deterministic for a fixed engine config.
   uint64_t cur_live_bytes = 0;
   uint64_t peak_live_bytes = 0;
+  /// Published copy of cur_live_bytes for the service's in-flight view
+  /// (see ExecOptions::live_bytes_observer); null = not observed.
+  std::atomic<uint64_t>* live_observer = nullptr;
 
   void AddLive(uint64_t rows, uint64_t bytes) {
     cur_live_rows += rows;
     cur_live_bytes += bytes;
     if (cur_live_rows > peak_live_rows) peak_live_rows = cur_live_rows;
     if (cur_live_bytes > peak_live_bytes) peak_live_bytes = cur_live_bytes;
+    if (live_observer != nullptr) {
+      live_observer->store(cur_live_bytes, std::memory_order_relaxed);
+    }
   }
   void SubLive(uint64_t rows, uint64_t bytes) {
     cur_live_rows -= rows;
     cur_live_bytes -= bytes;
+    if (live_observer != nullptr) {
+      live_observer->store(cur_live_bytes, std::memory_order_relaxed);
+    }
   }
 };
 

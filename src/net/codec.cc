@@ -46,6 +46,9 @@ QueryOptions WireRequest::ToQueryOptions() const {
   options.max_join_output_rows = max_join_output_rows;
   options.use_plan_cache = use_plan_cache;
   options.tenant = tenant.empty() ? "default" : tenant;
+  // The client-chosen wire id IS the query's identity end to end: trace
+  // spans, audit log, /statusz, and QueryErrorInfo all carry it.
+  options.query_id = id;
   return options;
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/metrics.h"
 #include "common/str_util.h"
+#include "common/timer.h"
 #include "net/frame.h"
 #include "net/json.h"
 #include "plan/plan_printer.h"
@@ -267,6 +268,7 @@ std::string QueryServer::HandleSubmit(Connection* conn,
     }
   }
 
+  Timer parse_timer;
   Pattern pattern;
   if (req.xpath) {
     Result<XPathQuery> q = ParseXPath(req.query);
@@ -279,6 +281,9 @@ std::string QueryServer::HandleSubmit(Connection* conn,
   }
 
   QueryOptions options = req.ToQueryOptions();
+  // Text→Pattern time happened here, outside the Engine; hand it over so
+  // the audit record's parse phase is honest.
+  options.parse_ms = parse_timer.ElapsedMs();
   // By value: `options` is moved into Submit below, and the quota release
   // in the done-callback must use the same key Admit charged.
   const std::string tenant = options.tenant;
@@ -371,6 +376,8 @@ std::string EncodeDoneResult(std::string_view id, const QueryResult& qr,
   out += qr.planned.cache_hit ? "true" : "false";
   out += ",\"fallback_from\":";
   AppendJsonString(qr.planned.fallback_from, &out);
+  out += ",\"query_id\":";
+  AppendJsonString(qr.query_id, &out);
   out += "}}";
   return out;
 }
@@ -385,6 +392,11 @@ std::string EncodeDoneError(std::string_view id, const Status& status,
   AppendJsonString(status.message(), &out);
   out += ",\"verdict\":";
   AppendJsonString(info.verdict, &out);
+  out += ",\"query_id\":";
+  AppendJsonString(info.query_id, &out);
+  // The flight recorder rides along so a failed remote query can be
+  // diagnosed without shell access to the server's audit log.
+  if (!info.flight.empty()) out += ",\"flight\":" + info.flight.ToJson();
   out += "}";
   return out;
 }
@@ -471,7 +483,31 @@ std::string QueryServer::HandleStats(const WireRequest& req) {
   AppendOkHead(req.id, &out);
   out += ",\"live_queries\":";
   AppendJsonUint(live_queries_.load(std::memory_order_relaxed), &out);
-  out += ",\"prometheus\":";
+  // In-flight and recent-slow views for the shell's remote \top and \slow
+  // (same data /statusz serves over HTTP).
+  out += ",\"in_flight\":[";
+  const std::vector<InFlightInfo> in_flight = engine_->InFlightQueries();
+  for (size_t i = 0; i < in_flight.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"query_id\":";
+    AppendJsonString(in_flight[i].query_id, &out);
+    out += ",\"tenant\":";
+    AppendJsonString(in_flight[i].tenant, &out);
+    out += ",\"optimizer\":";
+    AppendJsonString(in_flight[i].optimizer, &out);
+    out += ",\"elapsed_ms\":" + FormatDouble(in_flight[i].elapsed_ms, 3);
+    out += ",\"live_bytes\":";
+    AppendJsonUint(in_flight[i].live_bytes, &out);
+    out += '}';
+  }
+  out += "],\"slow\":[";
+  const std::vector<QueryLogRecord> slow =
+      engine_->query_log().RecentSlow(req.wait_ms > 0 ? req.wait_ms : 16);
+  for (size_t i = 0; i < slow.size(); ++i) {
+    if (i > 0) out += ',';
+    out += slow[i].ToJsonl();
+  }
+  out += "],\"prometheus\":";
   AppendJsonString(MetricsRegistry::Global().Snapshot().ToPrometheus(), &out);
   out += "}";
   return out;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -18,17 +20,38 @@ struct EngineMetrics {
   Counter& queries;
   Counter& submits;
   Gauge& in_flight;
+  Histogram& wall_us;
 
   static EngineMetrics& Get() {
     static EngineMetrics* m = [] {
       MetricsRegistry& reg = MetricsRegistry::Global();
+      reg.SetHelp("sjos_engine_query_wall_us",
+                  "End-to-end query wall time (plan + execute), microseconds");
       return new EngineMetrics{reg.GetCounter("sjos_engine_queries_total"),
                                reg.GetCounter("sjos_engine_submits_total"),
-                               reg.GetGauge("sjos_engine_in_flight")};
+                               reg.GetGauge("sjos_engine_in_flight"),
+                               reg.GetHistogram("sjos_engine_query_wall_us")};
     }();
     return *m;
   }
 };
+
+/// Counter deltas since `baseline` (non-zero only, name order): the
+/// flight recorder's "what moved while this query ran" view.
+std::vector<std::pair<std::string, uint64_t>> CounterDeltas(
+    const std::vector<std::pair<std::string, uint64_t>>& baseline) {
+  std::unordered_map<std::string, uint64_t> base;
+  base.reserve(baseline.size());
+  for (const auto& [name, value] : baseline) base.emplace(name, value);
+  std::vector<std::pair<std::string, uint64_t>> deltas;
+  for (auto& [name, value] : MetricsRegistry::Global().CounterValues()) {
+    auto it = base.find(name);
+    const uint64_t before = it == base.end() ? 0 : it->second;
+    if (value > before) deltas.emplace_back(std::move(name), value - before);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  return deltas;
+}
 
 /// Starts a trace session for one query when `path` is non-empty and no
 /// session is already active (an active session — e.g. SJOS_TRACE — keeps
@@ -92,12 +115,19 @@ const QueryErrorInfo& QueryHandle::error_info() const {
   return state_->error_info;
 }
 
+const std::string& QueryHandle::query_id() const {
+  static const std::string kEmpty;
+  // Written once before Submit returns the handle; safe without mu.
+  return state_ == nullptr ? kEmpty : state_->query_id;
+}
+
 Engine::Engine(EngineOptions options)
     : options_(options),
       cache_(PlanCacheConfig{options.plan_cache_capacity,
                              options.plan_cache_shards}),
       pool_(std::make_unique<ThreadPool>(
-          std::max<size_t>(1, options.max_in_flight))) {}
+          std::max<size_t>(1, options.max_in_flight))),
+      query_log_(std::make_unique<QueryLog>(options.query_log)) {}
 
 Engine::~Engine() {
   // Drain submitted queries before any member they reference goes away.
@@ -233,6 +263,9 @@ Result<QueryResult> Engine::RunQuery(const Pattern& pattern,
                                      const std::atomic<bool>* cancel_token,
                                      QueryErrorInfo* error_info) {
   ScopedTraceSession trace_session(options.trace_path);
+  // Tags every span this query emits (workers included, via the pool's
+  // qid propagation) with args:{qid} for per-query Perfetto filtering.
+  TraceQueryScope qid_scope(options.query_id);
   EngineMetrics::Get().queries.Add();
   if (!options.tenant.empty()) {
     // Per-tenant series of the same family; the unlabeled series remains
@@ -241,25 +274,80 @@ Result<QueryResult> Engine::RunQuery(const Pattern& pattern,
         .GetCounter("sjos_engine_queries_total", {{"tenant", options.tenant}})
         .Add();
   }
-  std::shared_lock<std::shared_mutex> lock(db_mu_);
+
+  // Flight-recorder baseline: a counters-only snapshot taken before any
+  // work, diffed on failure to show what moved while the query ran.
+  const std::vector<std::pair<std::string, uint64_t>> baseline =
+      MetricsRegistry::Global().CounterValues();
+
+  // /statusz registration; the executor publishes live bytes straight
+  // into the entry. Unregistered on every exit path below.
+  std::shared_ptr<InFlightEntry> entry = RegisterInFlight(options);
+  struct InFlightGuard {
+    Engine* engine;
+    const InFlightEntry* entry;
+    ~InFlightGuard() { engine->UnregisterInFlight(entry); }
+  } in_flight_guard{this, entry.get()};
+
+  QueryLogRecord rec;
+  rec.query_id = options.query_id;
+  rec.tenant = options.tenant;
+  rec.optimizer = OptimizerKindName(options.optimizer);
+  rec.parse_ms = options.parse_ms;
 
   Timer timer;
+  double plan_ms = 0.0;
+
+  // Every failure exit funnels through here: finishes the audit record,
+  // attaches the flight recorder to it and to error_info, and appends.
+  auto fail = [&](const Status& status, const std::string& verdict) {
+    rec.ok = false;
+    rec.status_code = StatusCodeName(status.code());
+    rec.verdict = verdict;
+    rec.optimize_ms = plan_ms;
+    rec.total_ms = timer.ElapsedMs();
+    rec.execute_ms = std::max(0.0, rec.total_ms - plan_ms);
+    FlightRecord flight;
+    flight.spans.push_back({"plan", 0.0, plan_ms});
+    if (rec.execute_ms > 0.0) {
+      flight.spans.push_back({"execute", plan_ms, rec.execute_ms});
+    }
+    flight.counter_deltas = CounterDeltas(baseline);
+    if (error_info != nullptr) {
+      error_info->verdict = verdict;
+      error_info->query_id = options.query_id;
+      error_info->flight = flight;
+    }
+    rec.flight = std::move(flight);
+    query_log_->Append(std::move(rec));
+    return status;
+  };
+
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+
   Result<PlannedQuery> planned = PlanLocked(pattern, options);
-  if (!planned.ok()) return planned.status();
-  const double plan_ms = timer.ElapsedMs();
+  plan_ms = timer.ElapsedMs();
+  if (!planned.ok()) return fail(planned.status(), "");
+  rec.cache_hit = planned.value().cache_hit;
+  rec.fingerprint = planned.value().cache_key;
+  const double root_est =
+      planned.value().plan.At(planned.value().plan.root()).est_rows;
+  rec.est_rows = root_est < 0 ? 0 : static_cast<uint64_t>(root_est);
 
   ExecOptions exec = options.ExecView();
   exec.cancel_token = cancel_token;
+  exec.live_bytes_observer = &entry->live_bytes;
   if (options.deadline_ms > 0) {
     // The deadline covers the whole query: charge planning time and hand
     // execution the remainder (a cache hit leaves nearly all of it).
     const double remaining_ms =
         static_cast<double>(options.deadline_ms) - plan_ms;
     if (remaining_ms < 1.0) {
-      if (error_info != nullptr) error_info->verdict = "deadline";
-      return Status::DeadlineExceeded(
-          "query planning consumed the whole deadline of " +
-          std::to_string(options.deadline_ms) + " ms");
+      return fail(
+          Status::DeadlineExceeded(
+              "query planning consumed the whole deadline of " +
+              std::to_string(options.deadline_ms) + " ms"),
+          "deadline");
     }
     exec.deadline_ms = static_cast<uint64_t>(remaining_ms);
   }
@@ -270,9 +358,12 @@ Result<QueryResult> Engine::RunQuery(const Pattern& pattern,
     if (error_info != nullptr) {
       error_info->partial_stats = executor.last_stats();
       error_info->op_stats = executor.last_op_stats();
-      error_info->verdict = executor.last_verdict();
     }
-    return executed.status();
+    rec.actual_rows = executor.last_stats().result_rows;
+    rec.max_q_error = executor.last_stats().max_q_error;
+    rec.peak_live_bytes = executor.last_stats().peak_live_bytes;
+    for (const OpStats& op : executor.last_op_stats()) rec.batches += op.batches;
+    return fail(executed.status(), executor.last_verdict());
   }
 
   // Self-eviction: a plan that mis-estimated this badly should not keep
@@ -288,17 +379,43 @@ Result<QueryResult> Engine::RunQuery(const Pattern& pattern,
   out.stats = executed.value().stats;
   out.op_stats = std::move(executed.value().op_stats);
   out.planned = std::move(planned).value();
+  out.query_id = options.query_id;
+
+  rec.status_code = StatusCodeName(StatusCode::kOk);
+  rec.actual_rows = out.stats.result_rows;
+  rec.max_q_error = out.stats.max_q_error;
+  rec.peak_live_bytes = out.stats.peak_live_bytes;
+  for (const OpStats& op : out.op_stats) rec.batches += op.batches;
+  rec.optimize_ms = plan_ms;
+  rec.total_ms = timer.ElapsedMs();
+  rec.execute_ms = std::max(0.0, rec.total_ms - plan_ms);
+  EngineMetrics::Get().wall_us.Observe(
+      static_cast<uint64_t>(rec.total_ms * 1000.0));
+  query_log_->Append(std::move(rec));
   return out;
 }
 
 Result<QueryResult> Engine::Query(const Pattern& pattern,
                                   const QueryOptions& options,
                                   QueryErrorInfo* error_info) {
+  if (options.query_id.empty()) {
+    QueryOptions with_id = options;
+    with_id.query_id =
+        "q-" + std::to_string(
+                   next_query_id_.fetch_add(1, std::memory_order_relaxed));
+    return RunQuery(pattern, with_id, /*cancel_token=*/nullptr, error_info);
+  }
   return RunQuery(pattern, options, /*cancel_token=*/nullptr, error_info);
 }
 
 QueryHandle Engine::Submit(Pattern pattern, QueryOptions options) {
   auto state = std::make_shared<QueryHandle::State>();
+  if (options.query_id.empty()) {
+    options.query_id =
+        "q-" + std::to_string(
+                   next_query_id_.fetch_add(1, std::memory_order_relaxed));
+  }
+  state->query_id = options.query_id;
   EngineMetrics::Get().submits.Add();
   if (!options.tenant.empty()) {
     MetricsRegistry::Global()
@@ -311,12 +428,29 @@ QueryHandle Engine::Submit(Pattern pattern, QueryOptions options) {
     SJOS_FAILPOINT_CHECK("service.submit", injected);
     std::optional<Result<QueryResult>> outcome;
     QueryErrorInfo error_info;
+    // Queries that die before RunQuery still get an audit record (RunQuery
+    // writes its own for everything that reaches it).
+    auto log_predispatch = [this, &options](const Status& status,
+                                            const std::string& verdict) {
+      QueryLogRecord rec;
+      rec.query_id = options.query_id;
+      rec.tenant = options.tenant;
+      rec.optimizer = OptimizerKindName(options.optimizer);
+      rec.ok = false;
+      rec.status_code = StatusCodeName(status.code());
+      rec.verdict = verdict;
+      query_log_->Append(std::move(rec));
+    };
     if (!injected.ok()) {
+      error_info.query_id = options.query_id;
+      log_predispatch(injected, "");
       outcome.emplace(std::move(injected));
     } else if (state->cancel.load(std::memory_order_relaxed)) {
       // Distinct from the governor's mid-execute "cancelled": this query
       // never optimized or executed at all.
       error_info.verdict = "cancelled-before-dispatch";
+      error_info.query_id = options.query_id;
+      log_predispatch(Status::Cancelled(""), "cancelled-before-dispatch");
       outcome.emplace(Status::Cancelled("query cancelled before start"));
     } else {
       const size_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -353,6 +487,47 @@ QueryHandle Engine::Submit(Pattern pattern, QueryOptions options) {
     pool_->Submit(std::move(task));
   }
   return QueryHandle(state);
+}
+
+std::shared_ptr<Engine::InFlightEntry> Engine::RegisterInFlight(
+    const QueryOptions& options) {
+  auto entry = std::make_shared<InFlightEntry>();
+  entry->query_id = options.query_id;
+  entry->tenant = options.tenant;
+  entry->optimizer = OptimizerKindName(options.optimizer);
+  entry->start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(in_flight_mu_);
+  in_flight_entries_.push_back(entry);
+  return entry;
+}
+
+void Engine::UnregisterInFlight(const InFlightEntry* entry) {
+  std::lock_guard<std::mutex> lock(in_flight_mu_);
+  for (auto it = in_flight_entries_.begin(); it != in_flight_entries_.end();
+       ++it) {
+    if (it->get() == entry) {
+      in_flight_entries_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<InFlightInfo> Engine::InFlightQueries() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<InFlightInfo> out;
+  std::lock_guard<std::mutex> lock(in_flight_mu_);
+  out.reserve(in_flight_entries_.size());
+  for (const auto& entry : in_flight_entries_) {
+    InFlightInfo info;
+    info.query_id = entry->query_id;
+    info.tenant = entry->tenant;
+    info.optimizer = entry->optimizer;
+    info.elapsed_ms =
+        std::chrono::duration<double, std::milli>(now - entry->start).count();
+    info.live_bytes = entry->live_bytes.load(std::memory_order_relaxed);
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 }  // namespace sjos

@@ -28,6 +28,7 @@
 #define SJOS_SERVICE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -45,6 +46,7 @@
 #include "exec/executor.h"
 #include "plan/cost_model.h"
 #include "service/plan_cache.h"
+#include "service/query_log.h"
 #include "service/query_options.h"
 #include "storage/catalog.h"
 #include "xml/document.h"
@@ -66,6 +68,11 @@ struct EngineOptions {
   /// executed ExecStats::max_q_error exceeds this is dropped from the
   /// cache. 0 disables self-eviction.
   double cache_max_q_error = 64.0;
+
+  /// Audit/slow-query log settings. The defaults keep the log in-memory
+  /// only (no file sinks) with a 100 ms slow-query threshold; sjos_serve
+  /// wires file paths from its flags. See service/query_log.h.
+  QueryLogOptions query_log;
 };
 
 /// Outcome of the planning phase of one query.
@@ -93,6 +100,8 @@ struct QueryResult {
   ExecStats stats;
   std::vector<OpStats> op_stats;
   PlannedQuery planned;
+  /// The id the query ran under (client-supplied or Engine-assigned).
+  std::string query_id;
 };
 
 /// Partial progress of a query that failed mid-execution: the counters
@@ -106,6 +115,23 @@ struct QueryErrorInfo {
   ExecStats partial_stats;
   std::vector<OpStats> op_stats;
   std::string verdict;
+  /// The id the query ran under, stable from Submit to this error report.
+  std::string query_id;
+  /// Failure flight recorder: engine phase spans and the counter deltas
+  /// observed across the query's lifetime (see service/query_log.h).
+  /// Filled for every failure that reached the Engine's run path.
+  FlightRecord flight;
+};
+
+/// One entry of Engine::InFlightQueries(): a query currently planning or
+/// executing, with its elapsed wall time and current live intermediate
+/// bytes (published by the executor at its accounting points).
+struct InFlightInfo {
+  std::string query_id;
+  std::string tenant;
+  std::string optimizer;
+  double elapsed_ms = 0.0;
+  uint64_t live_bytes = 0;
 };
 
 /// Future-style handle to a query submitted with Engine::Submit. Copyable
@@ -149,6 +175,10 @@ class QueryHandle {
   /// after Wait() returned a non-OK result.
   const QueryErrorInfo& error_info() const;
 
+  /// The id the query runs under, fixed at Submit (client-supplied via
+  /// QueryOptions::query_id or Engine-assigned). Empty on invalid handles.
+  const std::string& query_id() const;
+
  private:
   friend class Engine;
 
@@ -162,6 +192,8 @@ class QueryHandle {
     /// Invoked (outside mu) right after done flips true; see
     /// SetDoneCallback.
     std::function<void()> on_done;
+    /// Immutable after Submit returns the handle.
+    std::string query_id;
   };
 
   explicit QueryHandle(std::shared_ptr<State> state)
@@ -230,6 +262,15 @@ class Engine {
     return peak_in_flight_.load(std::memory_order_relaxed);
   }
 
+  /// The audit/slow-query log (always present; file sinks only when
+  /// EngineOptions::query_log configures paths).
+  QueryLog& query_log() { return *query_log_; }
+  const QueryLog& query_log() const { return *query_log_; }
+
+  /// Snapshot of queries currently inside RunQuery (planning or
+  /// executing), oldest first. Powers /statusz and the shell's \top.
+  std::vector<InFlightInfo> InFlightQueries() const;
+
  private:
   Status InstallDatabase(Database db);
 
@@ -262,6 +303,28 @@ class Engine {
 
   std::atomic<size_t> in_flight_{0};
   std::atomic<size_t> peak_in_flight_{0};
+
+  /// One registry slot per query inside RunQuery. The executor publishes
+  /// live bytes straight into the entry's atomic (no locking on the query
+  /// path); InFlightQueries() snapshots under in_flight_mu_.
+  struct InFlightEntry {
+    std::string query_id;
+    std::string tenant;
+    std::string optimizer;
+    std::chrono::steady_clock::time_point start;
+    std::atomic<uint64_t> live_bytes{0};
+  };
+
+  std::shared_ptr<InFlightEntry> RegisterInFlight(const QueryOptions& options);
+  void UnregisterInFlight(const InFlightEntry* entry);
+
+  mutable std::mutex in_flight_mu_;
+  std::vector<std::shared_ptr<InFlightEntry>> in_flight_entries_;
+
+  /// Sequence for Engine-assigned "q-<n>" ids.
+  std::atomic<uint64_t> next_query_id_{1};
+
+  std::unique_ptr<QueryLog> query_log_;
 };
 
 }  // namespace sjos

@@ -57,6 +57,7 @@ ExecOptions QueryOptions::ExecView() const {
   exec.force_materialize = force_materialize;
   exec.deadline_ms = deadline_ms;
   exec.max_live_bytes = max_live_bytes;
+  exec.query_id = query_id;
   return exec;
 }
 

@@ -97,6 +97,18 @@ struct QueryOptions {
   /// TenantQuotaTable.
   std::string tenant;
 
+  /// The query's identity across trace spans (args:{qid}), governor
+  /// verdicts, the audit log, /statusz, and QueryErrorInfo. The network
+  /// service sets it to the client-supplied wire id; when left empty the
+  /// Engine assigns "q-<n>" at Query/Submit. Purely observational —
+  /// execution is byte-identical whatever the id.
+  std::string query_id;
+
+  /// Wall time the caller spent turning query text into the Pattern,
+  /// recorded verbatim as the audit record's parse_ms phase (the Engine
+  /// itself receives an already-parsed Pattern). 0 when unknown.
+  double parse_ms = 0.0;
+
   /// Execution-side view (everything ExecOptions carries). The Engine
   /// overwrites deadline_ms with the post-optimization remainder and wires
   /// cancel_token itself.

@@ -144,6 +144,53 @@ TEST(EngineTest, CancelBeforeDispatchReturnsCancelled) {
   FailpointRegistry::Global().Disable("service.submit");
 }
 
+TEST(EngineTest, QueryIdIsStableFromSubmitThroughErrorInfo) {
+  // Same setup as CancelBeforeDispatch: the second submission's cancel
+  // lands before dispatch, so it fails — and the id it was submitted
+  // under must survive into the handle, the error report, and the audit
+  // log unchanged.
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("service.submit", "delay:20").ok());
+  EngineOptions opts;
+  opts.max_in_flight = 1;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.OpenDatabase(SmallPers()).ok());
+  Pattern pattern = Parse("employee[/name]");
+
+  QueryOptions winner_options;
+  winner_options.query_id = "stable-ok";
+  QueryOptions loser_options;
+  loser_options.query_id = "stable-cancelled";
+  QueryHandle first = engine.Submit(pattern, winner_options);
+  QueryHandle second = engine.Submit(pattern, loser_options);
+  EXPECT_EQ(first.query_id(), "stable-ok");
+  EXPECT_EQ(second.query_id(), "stable-cancelled");
+  second.Cancel();
+
+  const Result<QueryResult>& won = first.Wait();
+  ASSERT_TRUE(won.ok());
+  EXPECT_EQ(won.value().query_id, "stable-ok");
+
+  ASSERT_FALSE(second.Wait().ok());
+  EXPECT_EQ(second.query_id(), "stable-cancelled");
+  EXPECT_EQ(second.error_info().query_id, "stable-cancelled");
+  FailpointRegistry::Global().Disable("service.submit");
+
+  // Both outcomes — including the never-dispatched cancel — are audited
+  // under their submitted ids.
+  bool logged_ok = false;
+  bool logged_cancelled = false;
+  for (const QueryLogRecord& rec : engine.query_log().Recent(16)) {
+    if (rec.query_id == "stable-ok") logged_ok = rec.ok;
+    if (rec.query_id == "stable-cancelled") {
+      logged_cancelled = !rec.ok;
+      EXPECT_EQ(rec.verdict, "cancelled-before-dispatch");
+    }
+  }
+  EXPECT_TRUE(logged_ok);
+  EXPECT_TRUE(logged_cancelled);
+}
+
 TEST(EngineTest, CancelMidExecuteReportsGovernorVerdict) {
   // Slow every batch, then cancel only once the query is observably past
   // the dispatch gate (peak_in_flight flips to 1 after the pre-dispatch

@@ -144,6 +144,64 @@ TEST(MetricsTest, PrometheusExport) {
   EXPECT_NE(text.find("sjos_demo_rows_count 2"), std::string::npos) << text;
 }
 
+TEST(MetricsTest, HistogramQuantileEstimation) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("sjos_demo_latency");
+
+  // Empty histogram: every quantile is 0.
+  EXPECT_EQ(registry.Snapshot().histograms[0].Quantile(0.5), 0.0);
+
+  // 100 observations of 0..99: the log2 buckets bound the estimate, and
+  // quantiles must be monotone in q.
+  for (uint64_t v = 0; v < 100; ++v) h.Observe(v);
+  const MetricsSnapshot::HistogramData data =
+      registry.Snapshot().histograms[0];
+  const double p50 = data.Quantile(0.50);
+  const double p95 = data.Quantile(0.95);
+  const double p99 = data.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // True p50 is ~50; the rank-50 bucket is [32, 64), so the interpolated
+  // estimate must land inside it.
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  // True p95 is ~95, inside [64, 128) — clipped to the observed range's
+  // bucket.
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p95, 128.0);
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_EQ(data.Quantile(-1.0), data.Quantile(0.0));
+  EXPECT_EQ(data.Quantile(2.0), data.Quantile(1.0));
+
+  // A single-valued histogram estimates that value's bucket regardless
+  // of q.
+  Histogram& point = registry.GetHistogram("sjos_demo_point");
+  for (int i = 0; i < 10; ++i) point.Observe(7);
+  const MetricsSnapshot snap = registry.Snapshot();
+  for (const MetricsSnapshot::HistogramData& hd : snap.histograms) {
+    if (hd.name != "sjos_demo_point") continue;
+    // 7 lives in bucket [4, 8).
+    EXPECT_GE(hd.Quantile(0.01), 4.0);
+    EXPECT_LE(hd.Quantile(0.99), 8.0);
+  }
+}
+
+TEST(MetricsTest, CounterValuesIsNameOrderedAndCountersOnly) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta_total").Add(2);
+  registry.GetCounter("alpha_total").Add(1);
+  registry.GetGauge("some_gauge").Set(5);
+  registry.GetHistogram("some_hist").Observe(1);
+
+  const std::vector<std::pair<std::string, uint64_t>> values =
+      registry.CounterValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "alpha_total");
+  EXPECT_EQ(values[0].second, 1u);
+  EXPECT_EQ(values[1].first, "zeta_total");
+  EXPECT_EQ(values[1].second, 2u);
+}
+
 TEST(MetricsTest, GlobalRegistryCollectsExecutionMetrics) {
   // The process-wide registry exists and its instruments survive Reset;
   // subsystem wiring is exercised end to end by the executor tests.

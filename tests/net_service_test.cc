@@ -318,6 +318,120 @@ TEST_F(ServiceTest, StatsVerbExportPassesConformance) {
             std::string::npos);
 }
 
+TEST_F(ServiceTest, ClientSuppliedIdRoundTripsThroughResultAndAuditLog) {
+  StartServer();
+  Client client = Connect();
+
+  // The wire id IS the query's identity: the done frame echoes it as
+  // query_id and the server-side audit log records it verbatim.
+  ASSERT_TRUE(OkOf(
+      client.Call(SubmitJson("wire-id-9", "manager[//employee[/name]]"))
+          .value()));
+  Result<JsonValue> polled = client.Call(PollJson("wire-id-9", 20'000));
+  ASSERT_TRUE(polled.ok());
+  ASSERT_TRUE(OkOf(polled.value())) << StringField(polled.value(), "error");
+  const JsonValue* result = polled.value().Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(StringField(*result, "query_id"), "wire-id-9");
+
+  bool logged = false;
+  for (const QueryLogRecord& rec : engine_->query_log().Recent(16)) {
+    if (rec.query_id == "wire-id-9") {
+      logged = true;
+      EXPECT_TRUE(rec.ok);
+      // Wire submissions parse text server-side; the phase is recorded.
+      EXPECT_GT(rec.parse_ms, 0.0);
+    }
+  }
+  EXPECT_TRUE(logged);
+}
+
+TEST_F(ServiceTest, DuplicateIdOnConnectionIsRejected) {
+  StartServer();
+  Client client = Connect();
+
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:5").ok());
+  ASSERT_TRUE(OkOf(
+      client.Call(SubmitJson("dup", "manager[//employee[/name]]")).value()));
+  Result<JsonValue> second =
+      client.Call(SubmitJson("dup", "employee[/name]"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(OkOf(second.value()));
+  EXPECT_EQ(StringField(second.value(), "code"), "InvalidArgument");
+  FailpointRegistry::Global().Disable("exec.batch");
+
+  // The original query under the id is unharmed.
+  Result<JsonValue> polled = client.Call(PollJson("dup", 20'000));
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(OkOf(polled.value())) << StringField(polled.value(), "error");
+}
+
+TEST_F(ServiceTest, FailedQueryCarriesIdAndFlightOverTheWire) {
+  StartServer();
+  Client client = Connect();
+
+  // 20 ms per batch against a 5 ms whole-query budget: the governor kills
+  // the query and the error frame must carry the id and flight recorder.
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:20").ok());
+  ASSERT_TRUE(OkOf(client
+                       .Call(SubmitJson("doomed-wire",
+                                        "manager[//employee[/name]]"
+                                        "[//department]",
+                                        ",\"deadline_ms\":5"))
+                       .value()));
+  Result<JsonValue> polled = client.Call(PollJson("doomed-wire", 20'000));
+  FailpointRegistry::Global().Disable("exec.batch");
+  ASSERT_TRUE(polled.ok());
+  const JsonValue& v = polled.value();
+  EXPECT_FALSE(OkOf(v));
+  EXPECT_EQ(StringField(v, "code"), "DeadlineExceeded");
+  EXPECT_EQ(StringField(v, "verdict"), "deadline");
+  EXPECT_EQ(StringField(v, "query_id"), "doomed-wire");
+  const JsonValue* flight = v.Find("flight");
+  ASSERT_NE(flight, nullptr);
+  ASSERT_TRUE(flight->is_object());
+  ASSERT_NE(flight->Find("spans"), nullptr);
+  EXPECT_FALSE(flight->Find("spans")->array().empty());
+}
+
+TEST_F(ServiceTest, StatsVerbReportsInFlightAndSlowQueries) {
+  StartServer();
+  Client client = Connect();
+
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:10").ok());
+  ASSERT_TRUE(OkOf(
+      client.Call(SubmitJson("watched", "manager[//employee[/name]]"))
+          .value()));
+
+  // Poll stats until the query shows up in the in_flight array (it may
+  // not have been dispatched yet on the first ask).
+  bool seen = false;
+  for (int i = 0; i < 200 && !seen; ++i) {
+    Result<JsonValue> stats =
+        client.Call("{\"verb\":\"stats\",\"id\":\"s\"}");
+    ASSERT_TRUE(stats.ok());
+    const JsonValue* in_flight = stats.value().Find("in_flight");
+    ASSERT_NE(in_flight, nullptr);
+    ASSERT_TRUE(in_flight->is_array());
+    for (const JsonValue& q : in_flight->array()) {
+      if (StringField(q, "query_id") == "watched") seen = true;
+    }
+    if (!seen) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  FailpointRegistry::Global().Disable("exec.batch");
+  ASSERT_TRUE(client.Call(PollJson("watched", 20'000)).ok());
+  EXPECT_TRUE(seen) << "query never appeared in stats in_flight";
+
+  // The slow array is served from the engine's slow ring.
+  const JsonValue* slow =
+      client.Call("{\"verb\":\"stats\",\"id\":\"s2\"}").value().Find("slow");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_TRUE(slow->is_array());
+}
+
 TEST_F(ServiceTest, ExplainReturnsPlanWithoutExecuting) {
   StartServer();
   Client client = Connect();

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/trace.h"
 
 namespace sjos {
@@ -116,6 +117,66 @@ TEST(TraceTest, RestartClearsPreviousSessionEvents) {
   EXPECT_NE(json.find("fresh"), std::string::npos) << json;
   std::remove(path1.c_str());
   std::remove(path2.c_str());
+}
+
+TEST(TraceTest, SpansCarryTheEnclosingQueryId) {
+  Tracer& tracer = Tracer::Global();
+  const std::string path = TempPath("trace_qid.json");
+  ASSERT_TRUE(tracer.Start(path).ok());
+  EXPECT_STREQ(CurrentTraceQueryId(), "");
+  {
+    TraceQueryScope scope("qid-outer");
+    EXPECT_STREQ(CurrentTraceQueryId(), "qid-outer");
+    tracer.RecordSpan("tagged", nullptr, 0, 5);
+    {
+      // Nested scopes override and restore, as the pool's per-task scopes
+      // do around a worker's own ambient id.
+      TraceQueryScope inner("qid-inner");
+      tracer.RecordSpan("inner_tagged", nullptr, 1, 2);
+    }
+    EXPECT_STREQ(CurrentTraceQueryId(), "qid-outer");
+  }
+  EXPECT_STREQ(CurrentTraceQueryId(), "");
+  tracer.RecordSpan("untagged", nullptr, 6, 1);
+  ASSERT_TRUE(tracer.Stop().ok());
+
+  const std::string json = ReadFile(path);
+  // Each event closes with either ...,"tid":N} (no scope) or
+  // ...,"args":{"qid":"..."}} — compare the text from the event's name to
+  // its first '}' so the tag (or its absence) is checked per event.
+  auto event_text = [&json](const std::string& name) {
+    const size_t at = json.find("\"name\":\"" + name + "\"");
+    EXPECT_NE(at, std::string::npos) << json;
+    return json.substr(at, json.find('}', at) - at);
+  };
+  EXPECT_NE(event_text("tagged").find("\"args\":{\"qid\":\"qid-outer\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(event_text("inner_tagged").find("\"args\":{\"qid\":\"qid-inner\""),
+            std::string::npos)
+      << json;
+  // A span recorded outside any scope has no args object at all.
+  EXPECT_EQ(event_text("untagged").find("args"), std::string::npos) << json;
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, RingOverwriteBumpsDroppedCounter) {
+  Tracer& tracer = Tracer::Global();
+  Counter& dropped =
+      MetricsRegistry::Global().GetCounter("sjos_trace_dropped_events_total");
+  const uint64_t before = dropped.Value();
+
+  const std::string path = TempPath("trace_overflow.json");
+  ASSERT_TRUE(tracer.Start(path).ok());
+  // One more span than the ring holds: exactly one overwrite.
+  for (size_t i = 0; i <= kTraceRingCapacity; ++i) {
+    tracer.RecordSpan("flood", nullptr, i, 1);
+  }
+  EXPECT_EQ(tracer.NumEventsForTest(), kTraceRingCapacity);
+  ASSERT_TRUE(tracer.Stop().ok());
+
+  EXPECT_EQ(dropped.Value(), before + 1);
+  std::remove(path.c_str());
 }
 
 TEST(TraceTest, JsonEscapesNameCharacters) {
