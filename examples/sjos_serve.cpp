@@ -12,12 +12,25 @@
 // (printed as "HTTP LISTENING <port>"): /metrics, /healthz, /statusz —
 // see src/net/http.h. --query-log / --slow-log / --slow-ms wire the JSONL
 // audit and slow-query sinks.
+//
+// Graceful drain: SIGTERM, the stdin command "drain", or the wire 'drain'
+// verb all begin a drain (stop accepting, shed new submits with retry
+// hints, finish or deadline-cancel in-flight work), after which the
+// process exits — "DRAINING" is printed when it starts. SIGKILL, by
+// contrast, is the chaos harness's restart hammer: no drain, clients must
+// recover via the resilient client. --idle-timeout-ms arms the
+// slow-loris/idle reaper and --admission-threshold-ms the queue-delay
+// adaptive admission gate.
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
 #include <string>
+
+#include <poll.h>
+#include <unistd.h>
 
 #include "net/http.h"
 #include "net/server.h"
@@ -35,6 +48,16 @@ uint64_t ArgU64(int argc, char** argv, int* i, const char* flag) {
     std::exit(2);
   }
   return std::strtoull(argv[++*i], nullptr, 10);
+}
+
+// SIGTERM → one byte down the self-pipe; the poll() loop turns it into a
+// graceful drain. Async-signal-safe (write only).
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSigTerm(int) {
+  const char byte = 't';
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
 }
 
 }  // namespace
@@ -85,6 +108,13 @@ int main(int argc, char** argv) {
       engine_options.query_log.slow_path = argv[++i];
     } else if (std::strcmp(arg, "--slow-ms") == 0) {
       engine_options.query_log.slow_query_ms = ArgU64(argc, argv, &i, arg);
+    } else if (std::strcmp(arg, "--drain-deadline-ms") == 0) {
+      server_options.drain_deadline_ms = ArgU64(argc, argv, &i, arg);
+    } else if (std::strcmp(arg, "--idle-timeout-ms") == 0) {
+      server_options.idle_timeout_ms = ArgU64(argc, argv, &i, arg);
+    } else if (std::strcmp(arg, "--admission-threshold-ms") == 0) {
+      engine_options.admission.queue_delay_threshold_ms =
+          ArgU64(argc, argv, &i, arg);
     } else {
       std::fprintf(stderr,
                    "usage: sjos_serve [--port N] [--dataset Pers|DBLP|Mbench] "
@@ -92,7 +122,9 @@ int main(int argc, char** argv) {
                    "[--quota-in-flight N] [--quota-qps N] "
                    "[--max-connections N] [--max-frame-bytes N] "
                    "[--http-port N] [--query-log file.jsonl] "
-                   "[--slow-log file.jsonl] [--slow-ms N]\n");
+                   "[--slow-log file.jsonl] [--slow-ms N] "
+                   "[--drain-deadline-ms N] [--idle-timeout-ms N] "
+                   "[--admission-threshold-ms N]\n");
       return 2;
     }
   }
@@ -148,11 +180,63 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
-  // Serve until the harness closes our stdin (or sends "quit").
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line == "quit") break;
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "signal pipe failed: %s\n", std::strerror(errno));
+    return 1;
   }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSigTerm;
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  // Serve until a drain finishes, the harness closes stdin, or "quit"
+  // arrives. stdin is read line-by-line but multiplexed with the signal
+  // pipe so SIGTERM interrupts an idle read.
+  bool drain_announced = false;
+  std::string stdin_buffer;
+  bool stdin_open = true;
+  bool quit = false;
+  while (!quit) {
+    if (server.drained()) break;
+    pollfd fds[2];
+    fds[0] = {g_signal_pipe[0], POLLIN, 0};
+    fds[1] = {STDIN_FILENO, POLLIN, 0};
+    const int nfds = stdin_open ? 2 : 1;
+    const int rc = ::poll(fds, nfds, /*timeout_ms=*/200);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    if (fds[0].revents != 0) {
+      char drainbuf[16];
+      (void)!::read(g_signal_pipe[0], drainbuf, sizeof(drainbuf));
+      server.BeginDrain();
+    }
+    if (stdin_open && fds[1].revents != 0) {
+      char buf[256];
+      const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+      if (n <= 0) {
+        stdin_open = false;
+        if (!server.draining()) quit = true;  // pipe closed: plain stop
+      } else {
+        stdin_buffer.append(buf, static_cast<size_t>(n));
+        size_t nl;
+        while ((nl = stdin_buffer.find('\n')) != std::string::npos) {
+          const std::string line = stdin_buffer.substr(0, nl);
+          stdin_buffer.erase(0, nl + 1);
+          if (line == "quit") {
+            quit = true;
+          } else if (line == "drain") {
+            server.BeginDrain();
+          }
+        }
+      }
+    }
+    if (server.draining() && !drain_announced) {
+      drain_announced = true;
+      std::printf("DRAINING\n");
+      std::fflush(stdout);
+    }
+  }
+  if (server.draining()) server.Drain();
   http.Stop();
   server.Stop();
   // Everything appended is on disk before the exit message.

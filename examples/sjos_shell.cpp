@@ -21,7 +21,11 @@
 //
 // Remote mode:  sjos_shell --connect 127.0.0.1:7544  talks to a running
 // sjos_serve over the wire protocol instead of an in-process Engine
-// (commands: query, xpath, plan, algo, \metrics, \top, \slow, ping, quit).
+// (commands: query, xpath, plan, algo, \metrics, \top, \slow, \drain,
+// ping, quit). The connection rides on net::ResilientClient: a dropped
+// or restarted server is re-dialed transparently and in-flight queries
+// are replayed by id — a one-line "[reconnected]" notice marks each
+// recovery.
 //
 // Observability commands (both modes): \metrics appends a p50/p95/p99
 // digest per histogram, \top lists queries in flight, \slow [n] the most
@@ -34,12 +38,14 @@
 #include <sstream>
 #include <string>
 
+#include <unistd.h>
+
 #include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/trace.h"
 #include "exec/twig_join.h"
-#include "net/client.h"
 #include "net/json.h"
+#include "net/resilient_client.h"
 #include "plan/plan_printer.h"
 #include "query/pattern_parser.h"
 #include "query/workload.h"
@@ -462,14 +468,17 @@ class Shell {
 
 /// The shell's remote face: the same query/xpath/plan commands, executed
 /// on a sjos_serve instance over the wire protocol. Each query is a
-/// submit + blocking poll round trip on one connection.
+/// submit + blocking poll round trip, carried by net::ResilientClient so
+/// a server restart mid-query reconnects and replays instead of aborting
+/// the shell.
 class RemoteShell {
  public:
-  explicit RemoteShell(net::Client client) : client_(std::move(client)) {}
+  RemoteShell(std::string host, uint16_t port)
+      : client_(std::move(host), port) {}
 
   int Run() {
     std::printf("sjos shell (remote) — query/xpath/plan/algo/"
-                "\\metrics/\\top/\\slow/ping/quit\n");
+                "\\metrics/\\top/\\slow/\\drain/ping/quit\n");
     std::string line;
     while (NextLine(&line)) {
       std::istringstream words(line);
@@ -490,12 +499,14 @@ class RemoteShell {
         Top();
       } else if (command == "\\slow") {
         Slow(&words);
+      } else if (command == "\\drain") {
+        DrainServer();
       } else if (command == "ping") {
         Ping();
       } else {
         std::printf("remote commands: query <pattern> | xpath <x> | "
                     "plan <pattern> | algo <name> | \\metrics | \\top | "
-                    "\\slow [n] | ping | quit\n");
+                    "\\slow [n] | \\drain | ping | quit\n");
       }
     }
     return 0;
@@ -513,12 +524,29 @@ class RemoteShell {
     return std::string(Trim(rest));
   }
 
-  std::string NextId() { return "sh-" + std::to_string(next_id_++); }
+  /// Query ids must be unique per server lifetime (the server's
+  /// idempotency table replays completed ids), so the shell prefixes its
+  /// counter with the process id — two shell sessions against one server
+  /// never collide.
+  std::string NextId() {
+    return "sh-" + std::to_string(::getpid()) + "-" +
+           std::to_string(next_id_++);
+  }
+
+  /// Prints "[reconnected]" once per transparent re-dial the resilient
+  /// client performed since the last check.
+  void NoteReconnects() {
+    const uint64_t now = client_.stats().reconnects;
+    for (; seen_reconnects_ < now; ++seen_reconnects_) {
+      std::printf("[reconnected]\n");
+    }
+  }
 
   /// One round trip; prints transport errors and returns the parsed
   /// response otherwise.
   std::optional<net::JsonValue> Call(const std::string& request) {
     Result<net::JsonValue> response = client_.Call(request);
+    NoteReconnects();
     if (!response.ok()) {
       std::printf("transport error: %s\n",
                   response.status().ToString().c_str());
@@ -562,50 +590,52 @@ class RemoteShell {
 
   void RunQuery(bool xpath, const std::string& text) {
     const std::string id = NextId();
-    std::optional<net::JsonValue> submitted =
-        Call(SubmitRequest("submit", id, text, xpath));
-    if (!submitted) return;
-    if (!IsOk(*submitted)) {
-      PrintError(*submitted);
+    // Execute drives submit + poll to a terminal state, reconnecting and
+    // re-submitting the same id across server restarts.
+    Result<net::JsonValue> terminal =
+        client_.Execute(id, SubmitRequest("submit", id, text, xpath));
+    NoteReconnects();
+    if (!terminal.ok()) {
+      std::printf("transport error: %s\n",
+                  terminal.status().ToString().c_str());
       return;
     }
-    // Block on the result: repeated long polls until done.
-    for (;;) {
-      std::string poll = "{\"verb\":\"poll\",\"id\":";
-      net::AppendJsonString(id, &poll);
-      poll += ",\"wait_ms\":5000}";
-      std::optional<net::JsonValue> response = Call(poll);
-      if (!response) return;
-      if (!IsOk(*response)) {
-        PrintError(*response);
-        const net::JsonValue* verdict = response->Find("verdict");
-        if (verdict != nullptr && !verdict->string_value().empty()) {
-          std::printf("governor verdict: %s\n",
-                      verdict->string_value().c_str());
-        }
-        return;
+    const net::JsonValue& response = terminal.value();
+    if (!IsOk(response)) {
+      PrintError(response);
+      const net::JsonValue* verdict = response.Find("verdict");
+      if (verdict != nullptr && !verdict->string_value().empty()) {
+        std::printf("governor verdict: %s\n", verdict->string_value().c_str());
       }
-      const net::JsonValue* done = response->Find("done");
-      if (done == nullptr || !done->bool_value()) continue;
-      const net::JsonValue* result = response->Find("result");
-      if (result == nullptr) return;
-      const net::JsonValue* rows = result->Find("row_count");
-      const net::JsonValue* stats = result->Find("stats");
-      const net::JsonValue* algorithm = result->Find("algorithm");
-      const net::JsonValue* cache_hit = result->Find("cache_hit");
-      double wall_ms = 0.0;
-      if (stats != nullptr) {
-        const net::JsonValue* wall = stats->Find("wall_ms");
-        if (wall != nullptr) wall_ms = wall->number_value();
-      }
-      std::printf("%.0f matches in %.3f ms (%s%s)\n",
-                  rows != nullptr ? rows->number_value() : 0.0, wall_ms,
-                  algorithm != nullptr ? algorithm->string_value().c_str() : "?",
-                  cache_hit != nullptr && cache_hit->bool_value()
-                      ? ", cache hit"
-                      : "");
       return;
     }
+    const net::JsonValue* result = response.Find("result");
+    if (result == nullptr) return;
+    const net::JsonValue* rows = result->Find("row_count");
+    const net::JsonValue* stats = result->Find("stats");
+    const net::JsonValue* algorithm = result->Find("algorithm");
+    const net::JsonValue* cache_hit = result->Find("cache_hit");
+    double wall_ms = 0.0;
+    if (stats != nullptr) {
+      const net::JsonValue* wall = stats->Find("wall_ms");
+      if (wall != nullptr) wall_ms = wall->number_value();
+    }
+    std::printf("%.0f matches in %.3f ms (%s%s)\n",
+                rows != nullptr ? rows->number_value() : 0.0, wall_ms,
+                algorithm != nullptr ? algorithm->string_value().c_str() : "?",
+                cache_hit != nullptr && cache_hit->bool_value() ? ", cache hit"
+                                                                : "");
+  }
+
+  void DrainServer() {
+    std::optional<net::JsonValue> response =
+        Call("{\"verb\":\"drain\",\"id\":\"d\"}");
+    if (!response) return;
+    if (!IsOk(*response)) {
+      PrintError(*response);
+      return;
+    }
+    std::printf("server draining — new submits will be shed\n");
   }
 
   void Explain(const std::string& text) {
@@ -703,9 +733,10 @@ class RemoteShell {
                 nodes != nullptr ? nodes->number_value() : 0.0);
   }
 
-  net::Client client_;
+  net::ResilientClient client_;
   std::string algo_ = "dpp";
   uint64_t next_id_ = 1;
+  uint64_t seen_reconnects_ = 0;
 };
 
 }  // namespace
@@ -722,12 +753,9 @@ int main(int argc, char** argv) {
       const std::string host = target.substr(0, colon);
       const uint16_t port = static_cast<uint16_t>(
           std::strtoul(target.c_str() + colon + 1, nullptr, 10));
-      Result<net::Client> client = net::Client::Connect(host, port);
-      if (!client.ok()) {
-        std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
-        return 1;
-      }
-      RemoteShell remote(std::move(client).value());
+      // The resilient client dials lazily (and re-dials on loss); the
+      // shell still starts even if the server is momentarily down.
+      RemoteShell remote(host, port);
       return remote.Run();
     }
   }

@@ -24,6 +24,10 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kCancelled,
+  /// A peer or transport went away (connection reset, closed mid-frame,
+  /// dial failure). Distinct from kInternal so the network client layer
+  /// can classify an error as retryable without string matching.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "ParseError"...).
@@ -62,6 +66,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

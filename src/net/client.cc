@@ -34,7 +34,7 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
     rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
-    Status st = Status::Internal("connect to " + host + ":" +
+    Status st = Status::Unavailable("connect to " + host + ":" +
                                     std::to_string(port) +
                                     " failed: " + std::strerror(errno));
     ::close(fd);
@@ -79,7 +79,10 @@ Result<std::string> Client::Receive() {
   Status st = RecvFrame(fd_, kFrameAbsoluteMaxPayload, &payload, &clean_eof);
   if (!st.ok()) return st;
   if (clean_eof) {
-    return Status::Internal("server closed the connection");
+    // Orderly shutdown while we awaited a reply. Retryable for idempotent
+    // requests, so it carries the transport-loss code like a torn frame —
+    // but with a distinct message (see net/frame.cc for the torn variants).
+    return Status::Unavailable("server closed the connection");
   }
   return payload;
 }

@@ -16,9 +16,10 @@ Result<Verb> ParseVerb(std::string_view name) {
   if (name == "cancel") return Verb::kCancel;
   if (name == "explain") return Verb::kExplain;
   if (name == "stats") return Verb::kStats;
+  if (name == "drain") return Verb::kDrain;
   return Status::InvalidArgument(
       "unknown verb '" + std::string(name) +
-      "' (expected ping|submit|poll|cancel|explain|stats)");
+      "' (expected ping|submit|poll|cancel|explain|stats|drain)");
 }
 
 }  // namespace
@@ -31,6 +32,7 @@ const char* VerbName(Verb verb) {
     case Verb::kCancel: return "cancel";
     case Verb::kExplain: return "explain";
     case Verb::kStats: return "stats";
+    case Verb::kDrain: return "drain";
   }
   return "?";
 }
@@ -127,6 +129,7 @@ Result<WireRequest> DecodeRequest(std::string_view payload) {
       break;
     case Verb::kPing:
     case Verb::kStats:
+    case Verb::kDrain:
       break;
   }
   return req;

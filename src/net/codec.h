@@ -39,6 +39,7 @@ enum class Verb : uint8_t {
   kCancel,
   kExplain,
   kStats,
+  kDrain,
 };
 
 const char* VerbName(Verb verb);

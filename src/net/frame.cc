@@ -45,12 +45,24 @@ FrameDecode DecodeFrame(std::string_view buffer, size_t max_payload,
 
 namespace {
 
+/// True for errno values meaning "the peer or path went away" — the
+/// retryable transport-loss class, as opposed to local programming or
+/// resource errors.
+bool IsConnectionLostErrno(int err) {
+  return err == ECONNRESET || err == EPIPE || err == ETIMEDOUT ||
+         err == ECONNABORTED || err == ENETRESET || err == ESHUTDOWN;
+}
+
 Status SendAll(int fd, const char* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {
     const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (IsConnectionLostErrno(errno)) {
+        return Status::Unavailable(std::string("send failed: ") +
+                                   std::strerror(errno));
+      }
       return Status::Internal(std::string("send failed: ") +
                               std::strerror(errno));
     }
@@ -61,14 +73,29 @@ Status SendAll(int fd, const char* data, size_t len) {
 }
 
 /// Reads exactly `len` bytes. *eof_at_start is set (with OK returned,
-/// zero bytes read) when the peer closed before the first byte.
-Status RecvAll(int fd, char* data, size_t len, bool* eof_at_start) {
+/// zero bytes read) when the peer closed before the first byte. A close
+/// after the first byte is Unavailable carrying `torn_what` ("mid-frame"
+/// for a torn header, "mid-payload" for a torn body) so the client layer
+/// can tell "peer went away mid-message" (retryable) from a clean EOF.
+Status RecvAll(int fd, char* data, size_t len, bool* eof_at_start,
+               const char* torn_what) {
   if (eof_at_start != nullptr) *eof_at_start = false;
   size_t got = 0;
   while (got < len) {
     const ssize_t n = ::recv(fd, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO fired: the read stalled. The server's idle/slow-loris
+        // reaper keys on this code.
+        return Status::DeadlineExceeded(
+            std::string("recv timed out (") +
+            (got == 0 ? "idle between frames" : torn_what) + ")");
+      }
+      if (IsConnectionLostErrno(errno)) {
+        return Status::Unavailable(std::string("recv failed: ") +
+                                   std::strerror(errno));
+      }
       return Status::Internal(std::string("recv failed: ") +
                               std::strerror(errno));
     }
@@ -77,7 +104,10 @@ Status RecvAll(int fd, char* data, size_t len, bool* eof_at_start) {
         *eof_at_start = true;
         return Status::OK();
       }
-      return Status::Internal("connection closed mid-frame");
+      return Status::Unavailable("connection closed " +
+                                 std::string(torn_what) + " (" +
+                                 std::to_string(got) + " of " +
+                                 std::to_string(len) + " bytes)");
     }
     got += static_cast<size_t>(n);
   }
@@ -97,7 +127,8 @@ Status RecvFrame(int fd, size_t max_payload, std::string* payload,
   payload->clear();
   char header[kFrameHeaderBytes];
   bool eof = false;
-  SJOS_RETURN_IF_ERROR(RecvAll(fd, header, kFrameHeaderBytes, &eof));
+  SJOS_RETURN_IF_ERROR(
+      RecvAll(fd, header, kFrameHeaderBytes, &eof, "mid-frame"));
   if (eof) {
     if (clean_eof != nullptr) *clean_eof = true;
     return Status::OK();
@@ -115,7 +146,8 @@ Status RecvFrame(int fd, size_t max_payload, std::string* payload,
   payload->resize(static_cast<size_t>(len));
   if (len > 0) {
     SJOS_RETURN_IF_ERROR(RecvAll(fd, payload->data(),
-                                 static_cast<size_t>(len), nullptr));
+                                 static_cast<size_t>(len), nullptr,
+                                 "mid-payload"));
   }
   return Status::OK();
 }

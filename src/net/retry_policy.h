@@ -1,0 +1,127 @@
+// Retry-timing building blocks for the resilient client: capped exponential
+// backoff with decorrelated jitter, a token-bucket retry budget that caps
+// the retry amplification a client can impose on a struggling server, and a
+// per-endpoint circuit breaker (closed → open → half-open probe → closed).
+// Everything takes time through an injectable RetryClock so unit tests can
+// pin backoff sequences and breaker transitions without real sleeps.
+
+#ifndef SJOS_NET_RETRY_POLICY_H_
+#define SJOS_NET_RETRY_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace sjos {
+namespace net {
+
+/// Time source + sleeper used by the retry machinery. Tests substitute a
+/// fake that advances a counter; production uses Real() (monotonic clock,
+/// real sleeps).
+struct RetryClock {
+  std::function<uint64_t()> now_us;
+  std::function<void(uint64_t)> sleep_us;
+
+  static RetryClock Real();
+};
+
+/// Tunables for ResilientClient. The defaults favor interactive use: five
+/// attempts spread over roughly a second, budget refill slow enough that a
+/// hard-down server costs at most ~1 retry/s per client at steady state.
+struct RetryPolicy {
+  /// Total attempts per operation (first try included). 0 behaves as 1.
+  uint32_t max_attempts = 5;
+  /// First backoff and the cap for the decorrelated-jitter walk.
+  uint64_t base_backoff_ms = 10;
+  uint64_t max_backoff_ms = 2000;
+  /// Token bucket shared by all retries of one client: a retry spends one
+  /// token; tokens refill continuously. Exhaustion fails the operation
+  /// rather than queueing — a storm of retries is worse than an error.
+  double budget_tokens = 10.0;
+  double budget_refill_per_s = 1.0;
+  /// Breaker: this many consecutive transport failures open the circuit;
+  /// after open_ms one probe is let through (half-open).
+  uint32_t breaker_failure_threshold = 5;
+  uint64_t breaker_open_ms = 1000;
+  /// Seed for the jitter PRNG (deterministic across runs for a fixed seed).
+  uint64_t rng_seed = 0x5EEDBACC0FFEEULL;
+};
+
+/// Decorrelated-jitter backoff (Brooker/AWS style): each delay is drawn
+/// uniformly from [base, prev * 3], capped. Grows exponentially in
+/// expectation while desynchronizing clients that failed together.
+class Backoff {
+ public:
+  Backoff(uint64_t base_ms, uint64_t cap_ms, uint64_t rng_seed);
+
+  /// Returns the next delay in milliseconds and advances the walk.
+  uint64_t NextDelayMs();
+
+  /// Restarts the walk from the base delay (call after a success).
+  void Reset();
+
+ private:
+  uint64_t base_ms_;
+  uint64_t cap_ms_;
+  uint64_t prev_ms_;
+  Rng rng_;
+};
+
+/// Continuous-refill token bucket. Not thread-safe; the owning client
+/// serializes access.
+class RetryBudget {
+ public:
+  RetryBudget(double capacity, double refill_per_s, uint64_t now_us);
+
+  /// Spends one token if available. Refill accrues lazily from the elapsed
+  /// time since the last call.
+  bool TryAcquire(uint64_t now_us);
+
+  /// Current balance (after lazy refill); exposed for tests and stats.
+  double Tokens(uint64_t now_us);
+
+ private:
+  void Refill(uint64_t now_us);
+
+  double capacity_;
+  double refill_per_s_;
+  double tokens_;
+  uint64_t last_refill_us_;
+};
+
+/// Per-endpoint circuit breaker. Consecutive transport failures open the
+/// circuit; while open every Allow() is refused until open_ms has elapsed,
+/// then exactly one probe is admitted (half-open). The probe's outcome
+/// closes the breaker or re-opens it for another full open_ms.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(uint32_t failure_threshold, uint64_t open_ms);
+
+  /// Whether a request may proceed now. May transition kOpen → kHalfOpen
+  /// (admitting the caller as the probe).
+  bool Allow(uint64_t now_us);
+
+  void RecordSuccess();
+
+  /// Returns true when this failure transitioned the breaker to open
+  /// (callers count those transitions, not every refused request).
+  bool RecordFailure(uint64_t now_us);
+
+  State state() const { return state_; }
+
+ private:
+  uint32_t failure_threshold_;
+  uint64_t open_us_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  uint64_t opened_at_us_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace net
+}  // namespace sjos
+
+#endif  // SJOS_NET_RETRY_POLICY_H_

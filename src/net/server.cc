@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -34,6 +35,10 @@ uint64_t NowUs() {
 struct ServerMetrics {
   Counter& connections;
   Counter& disconnect_cancels;
+  Counter& drain_shed;
+  Counter& idle_closed;
+  Counter& attaches;
+  Counter& replays;
   Gauge& connections_active;
   Gauge& live_queries;
 
@@ -46,9 +51,17 @@ struct ServerMetrics {
                   "Wire requests decoded, by verb and by tenant");
       reg.SetHelp("sjos_server_shed_total",
                   "Submissions shed by per-tenant quota, by reason");
+      reg.SetHelp("sjos_server_drain_shed_total",
+                  "Submissions shed because the server is draining");
+      reg.SetHelp("sjos_server_idle_closed_total",
+                  "Connections reaped by the read/idle timeout");
       return new ServerMetrics{
           reg.GetCounter("sjos_server_connections_total"),
           reg.GetCounter("sjos_server_disconnect_cancels_total"),
+          reg.GetCounter("sjos_server_drain_shed_total"),
+          reg.GetCounter("sjos_server_idle_closed_total"),
+          reg.GetCounter("sjos_server_submit_attaches_total"),
+          reg.GetCounter("sjos_server_replayed_responses_total"),
           reg.GetGauge("sjos_server_connections_active"),
           reg.GetGauge("sjos_server_live_queries")};
     }();
@@ -70,257 +83,6 @@ void AppendOkHead(std::string_view id, std::string* out) {
   AppendJsonString(id, out);
   *out += ",\"ok\":true";
 }
-
-}  // namespace
-
-QueryServer::QueryServer(Engine* engine, ServerOptions options)
-    : engine_(engine), options_(std::move(options)),
-      quotas_(options_.default_quota) {}
-
-QueryServer::~QueryServer() { Stop(); }
-
-Status QueryServer::Start() {
-  SJOS_CHECK(!started_.load(), "QueryServer::Start called twice");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket failed: ") +
-                            std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad listen address '" + options_.host +
-                                   "'");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    Status st = Status::Internal("bind to " + options_.host + ":" +
-                                 std::to_string(options_.port) +
-                                 " failed: " + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return st;
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    Status st = Status::Internal(std::string("listen failed: ") +
-                                 std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return st;
-  }
-  sockaddr_in bound;
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
-    port_ = ntohs(bound.sin_port);
-  }
-  started_.store(true);
-  stopping_.store(false);
-  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
-  return Status::OK();
-}
-
-void QueryServer::Stop() {
-  if (!started_.exchange(false)) return;
-  stopping_.store(true);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (auto& conn : connections_) {
-    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-  }
-  for (auto& conn : connections_) {
-    if (conn->thread.joinable()) conn->thread.join();
-    if (conn->fd >= 0) {
-      ::close(conn->fd);
-      conn->fd = -1;
-    }
-  }
-  connections_.clear();
-}
-
-void QueryServer::ReapFinishedLocked() {
-  auto it = connections_.begin();
-  while (it != connections_.end()) {
-    Connection* conn = it->get();
-    if (conn->finished.load(std::memory_order_acquire)) {
-      if (conn->thread.joinable()) conn->thread.join();
-      if (conn->fd >= 0) ::close(conn->fd);
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void QueryServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    sockaddr_in peer;
-    socklen_t len = sizeof(peer);
-    const int fd =
-        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed by Stop (or a fatal accept error)
-    }
-    if (stopping_.load(std::memory_order_relaxed)) {
-      ::close(fd);
-      break;
-    }
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    ReapFinishedLocked();
-    if (connections_.size() >= options_.max_connections) {
-      // Shed the connection itself, with the same explicit contract as
-      // tenant shedding: one clean response, then close.
-      (void)SendFrame(fd, EncodeErrorResponse(
-                              "", Status::ResourceExhausted(
-                                      "server at its connection limit"),
-                              /*retry_after_ms=*/100));
-      ::close(fd);
-      continue;
-    }
-    ServerMetrics::Get().connections.Add();
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    conn->thread = std::thread(&QueryServer::ServeConnection, this, raw);
-    connections_.push_back(std::move(conn));
-  }
-}
-
-void QueryServer::ServeConnection(Connection* conn) {
-  ServerMetrics::Get().connections_active.Add(1);
-  std::string payload;
-  bool clean_eof = false;
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    Status st = RecvFrame(conn->fd, options_.max_frame_bytes, &payload,
-                          &clean_eof);
-    if (!st.ok()) {
-      if (st.code() == StatusCode::kResourceExhausted) {
-        // Oversize length prefix: the stream cannot be resynchronized, so
-        // answer once, then close.
-        (void)SendFrame(conn->fd, EncodeErrorResponse("", st));
-      }
-      break;
-    }
-    if (clean_eof) break;
-    const std::string response = HandleRequest(conn, payload);
-    if (!SendFrame(conn->fd, response).ok()) break;
-  }
-
-  // Cancel-on-disconnect: every query submitted over this connection that
-  // has not finished is cancelled, and all are drained so their admission
-  // slots and tenant quota are released before the connection is gone.
-  uint64_t cancelled = 0;
-  for (auto& [id, lq] : conn->queries) {
-    if (!lq.handle.Done()) {
-      lq.handle.Cancel();
-      ++cancelled;
-    }
-  }
-  for (auto& [id, lq] : conn->queries) lq.handle.Wait();
-  conn->queries.clear();
-  if (cancelled > 0) ServerMetrics::Get().disconnect_cancels.Add(cancelled);
-  // Signal EOF to a peer still reading (e.g. after an oversize-frame
-  // error response); the fd itself is closed by the reaper or Stop().
-  ::shutdown(conn->fd, SHUT_RDWR);
-  ServerMetrics::Get().connections_active.Sub(1);
-  conn->finished.store(true, std::memory_order_release);
-}
-
-std::string QueryServer::HandleRequest(Connection* conn,
-                                       std::string_view payload) {
-  Result<WireRequest> decoded = DecodeRequest(payload);
-  if (!decoded.ok()) {
-    return EncodeErrorResponse("", decoded.status());
-  }
-  const WireRequest& req = decoded.value();
-  CountRequest(req.verb, req.tenant);
-  switch (req.verb) {
-    case Verb::kPing: return HandlePing(req);
-    case Verb::kSubmit: return HandleSubmit(conn, req);
-    case Verb::kPoll: return HandlePoll(conn, req);
-    case Verb::kCancel: return HandleCancel(conn, req);
-    case Verb::kExplain: return HandleExplain(req);
-    case Verb::kStats: return HandleStats(req);
-  }
-  return EncodeErrorResponse(req.id, Status::Internal("unreachable verb"));
-}
-
-std::string QueryServer::HandleSubmit(Connection* conn,
-                                      const WireRequest& req) {
-  for (const auto& [id, lq] : conn->queries) {
-    if (id == req.id) {
-      return EncodeErrorResponse(
-          req.id, Status::InvalidArgument("duplicate request id '" + req.id +
-                                          "' on this connection"));
-    }
-  }
-
-  Timer parse_timer;
-  Pattern pattern;
-  if (req.xpath) {
-    Result<XPathQuery> q = ParseXPath(req.query);
-    if (!q.ok()) return EncodeErrorResponse(req.id, q.status());
-    pattern = std::move(q).value().pattern;
-  } else {
-    Result<Pattern> p = ParsePattern(req.query);
-    if (!p.ok()) return EncodeErrorResponse(req.id, p.status());
-    pattern = std::move(p).value();
-  }
-
-  QueryOptions options = req.ToQueryOptions();
-  // Text→Pattern time happened here, outside the Engine; hand it over so
-  // the audit record's parse phase is honest.
-  options.parse_ms = parse_timer.ElapsedMs();
-  // By value: `options` is moved into Submit below, and the quota release
-  // in the done-callback must use the same key Admit charged.
-  const std::string tenant = options.tenant;
-
-  const TenantQuotaTable::Decision decision = quotas_.Admit(tenant, NowUs());
-  if (!decision.admitted) {
-    return EncodeErrorResponse(
-        req.id,
-        Status::ResourceExhausted("tenant '" + tenant + "' over its " +
-                                  decision.reason + " quota — retry later"),
-        decision.retry_after_ms);
-  }
-
-  const uint64_t cap = quotas_.LiveBytesCap(tenant);
-  if (cap > 0) {
-    options.max_live_bytes = options.max_live_bytes == 0
-                                 ? cap
-                                 : std::min(options.max_live_bytes, cap);
-  }
-
-  QueryHandle handle = engine_->Submit(std::move(pattern), std::move(options));
-  live_queries_.fetch_add(1, std::memory_order_relaxed);
-  ServerMetrics::Get().live_queries.Add(1);
-  handle.SetDoneCallback([this, tenant] {
-    quotas_.Release(tenant);
-    live_queries_.fetch_sub(1, std::memory_order_relaxed);
-    ServerMetrics::Get().live_queries.Sub(1);
-  });
-  conn->queries.emplace_back(req.id, LiveQuery{handle, tenant});
-
-  std::string out;
-  AppendOkHead(req.id, &out);
-  out += ",\"queued\":true}";
-  return out;
-}
-
-namespace {
 
 /// Serializes a finished query. Rows are emitted in canonical form
 /// (columns by ascending pattern-node id, rows sorted) so two executions
@@ -394,6 +156,10 @@ std::string EncodeDoneError(std::string_view id, const Status& status,
   AppendJsonString(info.verdict, &out);
   out += ",\"query_id\":";
   AppendJsonString(info.query_id, &out);
+  if (info.retry_after_ms > 0) {
+    out += ",\"retry_after_ms\":";
+    AppendJsonUint(info.retry_after_ms, &out);
+  }
   // The flight recorder rides along so a failed remote query can be
   // diagnosed without shell access to the server's audit log.
   if (!info.flight.empty()) out += ",\"flight\":" + info.flight.ToJson();
@@ -403,20 +169,521 @@ std::string EncodeDoneError(std::string_view id, const Status& status,
 
 }  // namespace
 
-std::string QueryServer::HandlePoll(Connection* conn, const WireRequest& req) {
-  auto it = conn->queries.begin();
-  for (; it != conn->queries.end(); ++it) {
-    if (it->first == req.id) break;
+QueryServer::QueryServer(Engine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)),
+      quotas_(options_.default_quota) {
+  // Eager metric registration: drain/idle/attach counters must exist (at
+  // 0) in any export sjos_promcheck sees, not only after the first event.
+  ServerMetrics::Get();
+}
+
+QueryServer::~QueryServer() {
+  std::thread drainer;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (drain_thread_.joinable()) drainer = std::move(drain_thread_);
   }
-  if (it == conn->queries.end()) {
+  if (drainer.joinable()) drainer.join();
+  Stop();
+}
+
+Status QueryServer::Start() {
+  SJOS_CHECK(!started_.load(), "QueryServer::Start called twice");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal("bind to " + options_.host + ":" +
+                                 std::to_string(options_.port) +
+                                 " failed: " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status st = Status::Internal(std::string("listen failed: ") +
+                                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  started_.store(true);
+  stopping_.store(false);
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!started_.exchange(false)) return;
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  connections_.clear();
+}
+
+void QueryServer::BeginDrain(uint64_t deadline_ms) {
+  if (draining_.exchange(true)) return;
+  if (!started_.load()) {
+    drained_.store(true, std::memory_order_release);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  drain_thread_ = std::thread(&QueryServer::DrainImpl, this, deadline_ms);
+}
+
+void QueryServer::Drain(uint64_t deadline_ms) {
+  BeginDrain(deadline_ms);
+  std::thread drainer;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (drain_thread_.joinable()) drainer = std::move(drain_thread_);
+  }
+  if (drainer.joinable()) {
+    drainer.join();
+  } else {
+    // Another caller owns the drain thread; wait for its completion flag.
+    while (!drained_.load(std::memory_order_acquire) &&
+           started_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void QueryServer::DrainImpl(uint64_t deadline_ms) {
+  if (deadline_ms == 0) deadline_ms = options_.drain_deadline_ms;
+  // Stop accepting: shutting the listener down unblocks accept(), and the
+  // accept loop exits on its error. The submit gate is already closed
+  // (draining_ was set before this thread started).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+
+  const uint64_t start_us = NowUs();
+  while (live_queries_.load(std::memory_order_relaxed) > 0 &&
+         NowUs() - start_us < deadline_ms * 1000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (live_queries_.load(std::memory_order_relaxed) > 0) {
+    // Deadline: cancel the stragglers and wait them out so their quota
+    // slots release before shutdown.
+    std::vector<QueryHandle> handles;
+    {
+      std::lock_guard<std::mutex> lock(queries_mu_);
+      handles.reserve(queries_.size());
+      for (auto& [id, lq] : queries_) {
+        if (!lq.handle.Done()) lq.handle.Cancel();
+        handles.push_back(lq.handle);
+      }
+    }
+    for (QueryHandle& handle : handles) handle.Wait();
+  }
+  // Grace window: every query is terminal; let clients collect results
+  // before their connections die.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(options_.drain_grace_ms));
+  Stop();
+  drained_.store(true, std::memory_order_release);
+}
+
+void QueryServer::ReapFinishedLocked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    Connection* conn = it->get();
+    if (conn->finished.load(std::memory_order_acquire)) {
+      if (conn->thread.joinable()) conn->thread.join();
+      if (conn->fd >= 0) ::close(conn->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    sockaddr_in peer;
+    socklen_t len = sizeof(peer);
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop/drain (or a fatal accept error)
+    }
+    if (stopping_.load(std::memory_order_relaxed) ||
+        draining_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+    if (options_.idle_timeout_ms > 0) {
+      // The read/idle reaper: recv() returns EAGAIN after this long,
+      // which RecvFrame maps to DeadlineExceeded and the serve loop
+      // treats as "close the connection". Catches both idle clients and
+      // slow-loris peers trickling a frame byte by byte.
+      timeval tv;
+      tv.tv_sec = static_cast<time_t>(options_.idle_timeout_ms / 1000);
+      tv.tv_usec =
+          static_cast<suseconds_t>((options_.idle_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedLocked();
+    if (connections_.size() >= options_.max_connections) {
+      // Shed the connection itself, with the same explicit contract as
+      // tenant shedding: one clean response, then close.
+      (void)SendFrame(fd, EncodeErrorResponse(
+                              "", Status::ResourceExhausted(
+                                      "server at its connection limit"),
+                              /*retry_after_ms=*/100));
+      ::close(fd);
+      continue;
+    }
+    ServerMetrics::Get().connections.Add();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    Connection* raw = conn.get();
+    conn->thread = std::thread(&QueryServer::ServeConnection, this, raw);
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void QueryServer::PushCompletedLocked(std::string id, std::string response,
+                                      bool disconnect_cancelled) {
+  if (options_.completed_ring_capacity == 0) return;
+  completed_.push_back(
+      {std::move(id), std::move(response), disconnect_cancelled});
+  while (completed_.size() > options_.completed_ring_capacity) {
+    completed_.pop_front();
+  }
+}
+
+const QueryServer::CompletedEntry* QueryServer::FindCompletedLocked(
+    const std::string& id) const {
+  // Newest first: a re-run under a replayed id must resolve to its latest
+  // terminal response.
+  for (auto it = completed_.rbegin(); it != completed_.rend(); ++it) {
+    if (it->id == id) return &*it;
+  }
+  return nullptr;
+}
+
+void QueryServer::ServeConnection(Connection* conn) {
+  ServerMetrics::Get().connections_active.Add(1);
+  std::string payload;
+  bool clean_eof = false;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Status st = RecvFrame(conn->fd, options_.max_frame_bytes, &payload,
+                          &clean_eof);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kResourceExhausted) {
+        // Oversize length prefix: the stream cannot be resynchronized, so
+        // answer once, then close.
+        (void)SendFrame(conn->fd, EncodeErrorResponse("", st));
+      } else if (st.code() == StatusCode::kDeadlineExceeded) {
+        // The idle/slow-loris reaper fired (SO_RCVTIMEO): tell the peer
+        // why before hanging up — it may be half-open and never see it.
+        ServerMetrics::Get().idle_closed.Add();
+        (void)SendFrame(
+            conn->fd,
+            EncodeErrorResponse(
+                "", Status::DeadlineExceeded("connection idle too long")));
+      }
+      break;
+    }
+    if (clean_eof) break;
+    const std::string response = HandleRequest(conn, payload);
+    if (!SendFrame(conn->fd, response).ok()) break;
+  }
+
+  // Cancel-on-disconnect: every query this connection still owns (a query
+  // re-attached or polled by a newer connection has a different owner and
+  // is spared) is cancelled if unfinished, drained so admission slots and
+  // tenant quota release deterministically, and its terminal response is
+  // parked in the completed ring. Responses never delivered because we
+  // cancelled them here are flagged so a re-submit re-runs them.
+  struct Doomed {
+    std::string id;
+    QueryHandle handle;
+    bool we_cancelled = false;
+    uint64_t generation = 0;
+  };
+  std::vector<Doomed> owned;
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    for (const std::string& id : conn->owned_ids) {
+      auto it = queries_.find(id);
+      if (it == queries_.end() || it->second.owner_conn != conn->id) continue;
+      const bool was_done = it->second.handle.Done();
+      if (!was_done) it->second.handle.Cancel();
+      owned.push_back(
+          {id, it->second.handle, !was_done, it->second.generation});
+    }
+  }
+  uint64_t cancelled = 0;
+  for (Doomed& d : owned) {
+    d.handle.Wait();
+    if (d.we_cancelled) ++cancelled;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    for (Doomed& d : owned) {
+      auto it = queries_.find(d.id);
+      // A replaced entry (the id was re-submitted fresh in the meantime)
+      // has a newer generation: leave it alone.
+      if (it == queries_.end() || it->second.generation != d.generation) {
+        continue;
+      }
+      const Result<QueryResult>& result = d.handle.Wait();
+      const bool disconnect_cancelled =
+          d.we_cancelled && !result.ok() &&
+          result.status().code() == StatusCode::kCancelled;
+      std::string response =
+          result.ok()
+              ? EncodeDoneResult(d.id, result.value(),
+                                 options_.max_frame_bytes)
+              : EncodeDoneError(d.id, result.status(),
+                                d.handle.error_info());
+      PushCompletedLocked(d.id, std::move(response), disconnect_cancelled);
+      queries_.erase(it);
+    }
+  }
+  conn->owned_ids.clear();
+  if (cancelled > 0) ServerMetrics::Get().disconnect_cancels.Add(cancelled);
+  // Signal EOF to a peer still reading (e.g. after an oversize-frame
+  // error response); the fd itself is closed by the reaper or Stop().
+  ::shutdown(conn->fd, SHUT_RDWR);
+  ServerMetrics::Get().connections_active.Sub(1);
+  conn->finished.store(true, std::memory_order_release);
+}
+
+std::string QueryServer::HandleRequest(Connection* conn,
+                                       std::string_view payload) {
+  Result<WireRequest> decoded = DecodeRequest(payload);
+  if (!decoded.ok()) {
+    return EncodeErrorResponse("", decoded.status());
+  }
+  const WireRequest& req = decoded.value();
+  CountRequest(req.verb, req.tenant);
+  switch (req.verb) {
+    case Verb::kPing: return HandlePing(req);
+    case Verb::kSubmit: return HandleSubmit(conn, req);
+    case Verb::kPoll: return HandlePoll(conn, req);
+    case Verb::kCancel: return HandleCancel(conn, req);
+    case Verb::kExplain: return HandleExplain(req);
+    case Verb::kStats: return HandleStats(req);
+    case Verb::kDrain: return HandleDrain(req);
+  }
+  return EncodeErrorResponse(req.id, Status::Internal("unreachable verb"));
+}
+
+std::string QueryServer::HandleSubmit(Connection* conn,
+                                      const WireRequest& req) {
+  // Gate 1 — drain: a draining server takes no new work, only lets the
+  // in-flight finish. The hint paces clients toward a live replica (or a
+  // restarted self).
+  if (draining_.load(std::memory_order_relaxed)) {
+    ServerMetrics::Get().drain_shed.Add();
     return EncodeErrorResponse(
-        req.id, Status::NotFound("no live query with id '" + req.id +
-                                 "' on this connection"));
+        req.id,
+        Status::Unavailable("server is draining — no new submits"),
+        options_.drain_retry_after_ms);
   }
-  LiveQuery& lq = it->second;
-  bool done = lq.handle.Done();
+
+  // Idempotency: one id, one execution. A re-submit of a live id attaches
+  // (reconnected client resuming after a torn reply); a completed id
+  // replays its stored terminal response. Both must run before any
+  // admission gate — neither creates new work.
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    auto it = queries_.find(req.id);
+    if (it != queries_.end()) {
+      if (it->second.handle.CancelRequested()) {
+        // Doomed by a disconnect (or an explicit cancel): the client
+        // clearly still wants the result, so replace the entry with a
+        // fresh run below. The old handle unwinds on its own — its done
+        // callback releases its own quota charge — and the generation
+        // bump keeps its teardown from touching the new entry.
+        queries_.erase(it);
+      } else {
+        it->second.owner_conn = conn->id;
+        if (std::find(conn->owned_ids.begin(), conn->owned_ids.end(),
+                      req.id) == conn->owned_ids.end()) {
+          conn->owned_ids.push_back(req.id);
+        }
+        ServerMetrics::Get().attaches.Add();
+        std::string out;
+        AppendOkHead(req.id, &out);
+        out += ",\"queued\":true,\"attached\":true}";
+        return out;
+      }
+    } else if (const CompletedEntry* done = FindCompletedLocked(req.id)) {
+      if (!done->disconnect_cancelled) {
+        ServerMetrics::Get().replays.Add();
+        return done->response;
+      }
+      // Cancelled-on-disconnect and never delivered: fall through and
+      // re-run it fresh (drop the poison entry so polls stop seeing it).
+      for (auto ce = completed_.begin(); ce != completed_.end(); ++ce) {
+        if (ce->id == req.id) {
+          completed_.erase(ce);
+          break;
+        }
+      }
+    }
+  }
+
+  // Gate 2 — adaptive admission: when the engine's dispatch queue has
+  // fallen behind, shed before charging quota so the hint reaches the
+  // client with no side effects to undo.
+  uint64_t adaptive_hint = 0;
+  if (engine_->CheckAdmission(&adaptive_hint)) {
+    return EncodeErrorResponse(
+        req.id,
+        Status::Unavailable(
+            "engine overloaded (queue delay p95 over threshold)"),
+        adaptive_hint);
+  }
+
+  Timer parse_timer;
+  Pattern pattern;
+  if (req.xpath) {
+    Result<XPathQuery> q = ParseXPath(req.query);
+    if (!q.ok()) return EncodeErrorResponse(req.id, q.status());
+    pattern = std::move(q).value().pattern;
+  } else {
+    Result<Pattern> p = ParsePattern(req.query);
+    if (!p.ok()) return EncodeErrorResponse(req.id, p.status());
+    pattern = std::move(p).value();
+  }
+
+  QueryOptions options = req.ToQueryOptions();
+  // Text→Pattern time happened here, outside the Engine; hand it over so
+  // the audit record's parse phase is honest.
+  options.parse_ms = parse_timer.ElapsedMs();
+  // By value: `options` is moved into Submit below, and the quota release
+  // in the done-callback must use the same key Admit charged.
+  const std::string tenant = options.tenant;
+
+  // Gate 3 — per-tenant quota.
+  const TenantQuotaTable::Decision decision = quotas_.Admit(tenant, NowUs());
+  if (!decision.admitted) {
+    return EncodeErrorResponse(
+        req.id,
+        Status::ResourceExhausted("tenant '" + tenant + "' over its " +
+                                  decision.reason + " quota — retry later"),
+        decision.retry_after_ms);
+  }
+
+  const uint64_t cap = quotas_.LiveBytesCap(tenant);
+  if (cap > 0) {
+    options.max_live_bytes = options.max_live_bytes == 0
+                                 ? cap
+                                 : std::min(options.max_live_bytes, cap);
+  }
+
+  QueryHandle handle = engine_->Submit(std::move(pattern), std::move(options));
+  live_queries_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::Get().live_queries.Add(1);
+  handle.SetDoneCallback([this, tenant] {
+    quotas_.Release(tenant);
+    live_queries_.fetch_sub(1, std::memory_order_relaxed);
+    ServerMetrics::Get().live_queries.Sub(1);
+  });
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    LiveQuery& lq = queries_[req.id];
+    lq.handle = handle;
+    lq.tenant = tenant;
+    lq.owner_conn = conn->id;
+    lq.generation = next_generation_++;
+  }
+  if (std::find(conn->owned_ids.begin(), conn->owned_ids.end(), req.id) ==
+      conn->owned_ids.end()) {
+    conn->owned_ids.push_back(req.id);
+  }
+
+  std::string out;
+  AppendOkHead(req.id, &out);
+  out += ",\"queued\":true}";
+  return out;
+}
+
+std::string QueryServer::HandlePoll(Connection* conn, const WireRequest& req) {
+  QueryHandle handle;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    auto it = queries_.find(req.id);
+    if (it == queries_.end()) {
+      if (const CompletedEntry* done = FindCompletedLocked(req.id)) {
+        if (done->disconnect_cancelled) {
+          // The result was lost to a disconnect-cancel; NotFound tells a
+          // resilient client to re-submit under the same id.
+          return EncodeErrorResponse(
+              req.id, Status::NotFound(
+                          "query '" + req.id +
+                          "' was cancelled when its connection dropped — "
+                          "re-submit it"));
+        }
+        ServerMetrics::Get().replays.Add();
+        return done->response;
+      }
+      return EncodeErrorResponse(
+          req.id, Status::NotFound("no query with id '" + req.id + "'"));
+    }
+    // Polling adopts the query: once a (possibly reconnected) client is
+    // following an id, the previous connection's disconnect must not
+    // cancel it out from under them.
+    it->second.owner_conn = conn->id;
+    handle = it->second.handle;
+    generation = it->second.generation;
+  }
+  if (std::find(conn->owned_ids.begin(), conn->owned_ids.end(), req.id) ==
+      conn->owned_ids.end()) {
+    conn->owned_ids.push_back(req.id);
+  }
+
+  bool done = handle.Done();
   if (!done && req.wait_ms > 0) {
-    done = lq.handle.WaitFor(std::min(req.wait_ms, options_.max_poll_wait_ms));
+    done = handle.WaitFor(std::min(req.wait_ms, options_.max_poll_wait_ms));
   }
   if (!done) {
     std::string out;
@@ -424,30 +691,44 @@ std::string QueryServer::HandlePoll(Connection* conn, const WireRequest& req) {
     out += ",\"done\":false}";
     return out;
   }
-  const Result<QueryResult>& result = lq.handle.Wait();
+  const Result<QueryResult>& result = handle.Wait();
   std::string response =
       result.ok()
           ? EncodeDoneResult(req.id, result.value(), options_.max_frame_bytes)
-          : EncodeDoneError(req.id, result.status(), lq.handle.error_info());
-  conn->queries.erase(it);  // the id becomes reusable once consumed
+          : EncodeDoneError(req.id, result.status(), handle.error_info());
+  {
+    // Consume: move the terminal response into the replay ring — unless a
+    // newer generation took the id over in the meantime.
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    auto it = queries_.find(req.id);
+    if (it != queries_.end() && it->second.generation == generation) {
+      PushCompletedLocked(req.id, response, /*disconnect_cancelled=*/false);
+      queries_.erase(it);
+    }
+  }
   return response;
 }
 
 std::string QueryServer::HandleCancel(Connection* conn,
                                       const WireRequest& req) {
-  for (auto& [id, lq] : conn->queries) {
-    if (id != req.id) continue;
-    lq.handle.Cancel();
-    std::string out;
-    AppendOkHead(req.id, &out);
-    out += ",\"cancelled\":true,\"done\":";
-    out += lq.handle.Done() ? "true" : "false";
-    out += "}";
-    return out;
+  (void)conn;
+  QueryHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    auto it = queries_.find(req.id);
+    if (it == queries_.end()) {
+      return EncodeErrorResponse(
+          req.id, Status::NotFound("no live query with id '" + req.id + "'"));
+    }
+    handle = it->second.handle;
   }
-  return EncodeErrorResponse(
-      req.id, Status::NotFound("no live query with id '" + req.id +
-                               "' on this connection"));
+  handle.Cancel();
+  std::string out;
+  AppendOkHead(req.id, &out);
+  out += ",\"cancelled\":true,\"done\":";
+  out += handle.Done() ? "true" : "false";
+  out += "}";
+  return out;
 }
 
 std::string QueryServer::HandleExplain(const WireRequest& req) {
@@ -483,6 +764,8 @@ std::string QueryServer::HandleStats(const WireRequest& req) {
   AppendOkHead(req.id, &out);
   out += ",\"live_queries\":";
   AppendJsonUint(live_queries_.load(std::memory_order_relaxed), &out);
+  out += ",\"draining\":";
+  out += draining_.load(std::memory_order_relaxed) ? "true" : "false";
   // In-flight and recent-slow views for the shell's remote \top and \slow
   // (same data /statusz serves over HTTP).
   out += ",\"in_flight\":[";
@@ -524,6 +807,15 @@ std::string QueryServer::HandlePing(const WireRequest& req) {
     AppendJsonUint(engine_->db().doc().NumNodes(), &out);
   }
   out += "}";
+  return out;
+}
+
+std::string QueryServer::HandleDrain(const WireRequest& req) {
+  // wait_ms doubles as the drain deadline (0 → ServerOptions default).
+  BeginDrain(req.wait_ms);
+  std::string out;
+  AppendOkHead(req.id, &out);
+  out += ",\"draining\":true}";
   return out;
 }
 

@@ -8,19 +8,33 @@
 //   explain → Engine::Plan (plan text, no execution)
 //   stats   → MetricsRegistry Prometheus text export
 //   ping    → liveness + database identity
+//   drain   → BeginDrain (graceful shutdown; see below)
 //
-// Admission: every submit passes the per-tenant TenantQuotaTable first;
-// a tenant over its in-flight cap or QPS bucket gets an explicit
-// kResourceExhausted response with a retry_after_ms hint — shed, never
-// queued. Admitted queries release their quota slot through the
-// QueryHandle done-callback, so completion (success, failure, or cancel)
-// frees it without requiring a poll.
+// Admission: every submit passes (in order) the drain gate, the Engine's
+// queue-delay adaptive admission, and the per-tenant TenantQuotaTable; a
+// shed at any gate is an explicit error response with a retry_after_ms
+// hint — shed, never queued. Admitted queries release their quota slot
+// through the QueryHandle done-callback, so completion (success, failure,
+// or cancel) frees it without requiring a poll.
+//
+// Idempotency: queries live in one server-wide table keyed by the
+// client-supplied wire id, which must be unique per server lifetime. A
+// re-submit of a live id attaches to the running query (no re-execution,
+// no extra quota charge) and transfers ownership to the submitting
+// connection; polls work from any connection and also transfer ownership.
+// Terminal responses are retained in a bounded recently-completed ring:
+// re-submitting a completed id replays the stored response byte for byte,
+// except entries that were cancelled by a disconnect — those were never
+// delivered, so a re-submit re-runs them and a poll answers NotFound
+// (telling a resilient client to re-submit).
 //
 // Connections: one thread per connection, one in-flight request per
 // connection (submitted queries complete in the background; concurrency
 // comes from multiple connections). A client disconnect cancels every
-// live query submitted on that connection and waits for them to unwind,
-// so admission slots and quota are freed deterministically.
+// live query the connection still owns and drains them so admission slots
+// and tenant quota are freed deterministically. An optional per-connection
+// receive timeout reaps idle and half-open connections (slow-loris
+// defense).
 //
 // Lifetime: the server must be destroyed (or Stop()ed) before the Engine
 // it wraps.
@@ -30,10 +44,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -65,6 +81,29 @@ struct ServerOptions {
   /// Upper bound on a poll's wait_ms block (keeps one connection thread
   /// from sleeping unboundedly).
   uint64_t max_poll_wait_ms = 10'000;
+
+  /// Per-connection receive timeout (SO_RCVTIMEO): a connection that
+  /// stays silent — or stalls mid-frame, the slow-loris shape — longer
+  /// than this is closed and counted in sjos_server_idle_closed_total.
+  /// 0 disables (the default; long-polling clients may sit idle).
+  uint64_t idle_timeout_ms = 0;
+
+  /// Capacity of the recently-completed ring (terminal responses kept for
+  /// idempotent replay). Oldest entries are evicted first; a client
+  /// re-submitting an evicted id re-runs the query.
+  size_t completed_ring_capacity = 256;
+
+  /// Default drain deadline when the wire 'drain' verb carries no
+  /// wait_ms: in-flight queries still running after this are cancelled.
+  uint64_t drain_deadline_ms = 5'000;
+
+  /// After the last query finishes during drain, connections stay up this
+  /// long so clients can collect final results before the listener's
+  /// sockets close.
+  uint64_t drain_grace_ms = 250;
+
+  /// Hint attached to submits shed by the drain gate.
+  uint64_t drain_retry_after_ms = 500;
 };
 
 class QueryServer {
@@ -85,6 +124,21 @@ class QueryServer {
   /// destructor.
   void Stop();
 
+  /// Graceful drain: stops accepting, sheds new submits with retry
+  /// hints, lets in-flight queries finish (cancelling any still running
+  /// at `deadline_ms`; 0 uses ServerOptions::drain_deadline_ms), then
+  /// stops the server. Non-blocking and idempotent; observe completion
+  /// with drained() or block with Drain().
+  void BeginDrain(uint64_t deadline_ms = 0);
+
+  /// BeginDrain + block until the server has fully stopped.
+  void Drain(uint64_t deadline_ms = 0);
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  bool drained() const { return drained_.load(std::memory_order_acquire); }
+
   /// The bound port (after Start); useful with ServerOptions::port == 0.
   uint16_t port() const { return port_; }
 
@@ -97,24 +151,50 @@ class QueryServer {
   }
 
  private:
+  /// One server-wide live query, keyed by wire id in queries_ below.
   struct LiveQuery {
     QueryHandle handle;
     std::string tenant;
+    /// Connection currently responsible for it (disconnect-cancel checks
+    /// this before dooming a query another connection took over).
+    uint64_t owner_conn = 0;
+    /// Bumped on every insert under an id; consumers re-check it before
+    /// erasing so a replaced entry is never clobbered.
+    uint64_t generation = 0;
   };
 
-  /// One accepted connection: the fd, its serving thread, and the queries
-  /// submitted over it (touched only by that thread).
+  /// One terminal response retained for idempotent replay.
+  struct CompletedEntry {
+    std::string id;
+    std::string response;
+    /// True when a disconnect cancelled the query before its result was
+    /// ever delivered: re-submits re-run instead of replaying, and polls
+    /// answer NotFound.
+    bool disconnect_cancelled = false;
+  };
+
+  /// One accepted connection: the fd, its serving thread, and the wire
+  /// ids of queries it owns (touched only by that thread).
   struct Connection {
     int fd = -1;
+    uint64_t id = 0;
     std::thread thread;
     std::atomic<bool> finished{false};
-    std::vector<std::pair<std::string, LiveQuery>> queries;
+    std::vector<std::string> owned_ids;
   };
 
   void AcceptLoop();
   void ServeConnection(Connection* conn);
   /// Joins and frees finished connections (accept-loop housekeeping).
   void ReapFinishedLocked();
+  /// Drain worker: waits queries out (deadline-cancelling stragglers),
+  /// grants the poll grace, then Stop()s.
+  void DrainImpl(uint64_t deadline_ms);
+
+  /// Ring insert; caller holds queries_mu_.
+  void PushCompletedLocked(std::string id, std::string response,
+                           bool disconnect_cancelled);
+  const CompletedEntry* FindCompletedLocked(const std::string& id) const;
 
   std::string HandleRequest(Connection* conn, std::string_view payload);
   std::string HandleSubmit(Connection* conn, const WireRequest& req);
@@ -123,6 +203,7 @@ class QueryServer {
   std::string HandleExplain(const WireRequest& req);
   std::string HandleStats(const WireRequest& req);
   std::string HandlePing(const WireRequest& req);
+  std::string HandleDrain(const WireRequest& req);
 
   Engine* engine_;
   const ServerOptions options_;
@@ -136,6 +217,18 @@ class QueryServer {
 
   std::mutex conn_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  /// The server-wide query table and completed ring (see file comment).
+  std::mutex queries_mu_;
+  std::unordered_map<std::string, LiveQuery> queries_;
+  std::deque<CompletedEntry> completed_;
+  uint64_t next_generation_ = 1;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::mutex drain_mu_;
+  std::thread drain_thread_;
 
   std::atomic<size_t> live_queries_{0};
 };

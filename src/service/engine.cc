@@ -66,6 +66,13 @@ struct ScopedTraceSession {
   bool owned = false;
 };
 
+uint64_t EngineNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 void QueryHandle::Cancel() {
@@ -78,6 +85,11 @@ bool QueryHandle::Done() const {
   if (state_ == nullptr) return false;
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->done;
+}
+
+bool QueryHandle::CancelRequested() const {
+  return state_ != nullptr &&
+         state_->cancel.load(std::memory_order_relaxed);
 }
 
 const Result<QueryResult>& QueryHandle::Wait() {
@@ -127,6 +139,7 @@ Engine::Engine(EngineOptions options)
                              options.plan_cache_shards}),
       pool_(std::make_unique<ThreadPool>(
           std::max<size_t>(1, options.max_in_flight))),
+      admission_(options.admission),
       query_log_(std::make_unique<QueryLog>(options.query_log)) {}
 
 Engine::~Engine() {
@@ -408,6 +421,10 @@ Result<QueryResult> Engine::Query(const Pattern& pattern,
   return RunQuery(pattern, options, /*cancel_token=*/nullptr, error_info);
 }
 
+bool Engine::CheckAdmission(uint64_t* retry_after_ms) {
+  return admission_.ShouldShed(EngineNowUs(), retry_after_ms);
+}
+
 QueryHandle Engine::Submit(Pattern pattern, QueryOptions options) {
   auto state = std::make_shared<QueryHandle::State>();
   if (options.query_id.empty()) {
@@ -416,14 +433,38 @@ QueryHandle Engine::Submit(Pattern pattern, QueryOptions options) {
                    next_query_id_.fetch_add(1, std::memory_order_relaxed));
   }
   state->query_id = options.query_id;
+
+  // Adaptive admission: when the dispatch queue has fallen too far
+  // behind, shed now — an immediately-completed handle with a pacing
+  // hint — instead of deepening the backlog. (The network server sheds
+  // one step earlier via CheckAdmission so its response carries the hint;
+  // this path covers direct API users.)
+  uint64_t retry_after_ms = 0;
+  if (admission_.ShouldShed(EngineNowUs(), &retry_after_ms)) {
+    state->error_info.verdict = "adaptive-shed";
+    state->error_info.query_id = options.query_id;
+    state->error_info.retry_after_ms = retry_after_ms;
+    state->result.emplace(Status::Unavailable(
+        "engine overloaded (queue delay p95 over threshold) — retry in " +
+        std::to_string(retry_after_ms) + " ms"));
+    state->done = true;
+    return QueryHandle(state);
+  }
+
   EngineMetrics::Get().submits.Add();
   if (!options.tenant.empty()) {
     MetricsRegistry::Global()
         .GetCounter("sjos_engine_submits_total", {{"tenant", options.tenant}})
         .Add();
   }
-  auto task = [this, state, pattern = std::move(pattern),
+  const uint64_t enqueued_us = EngineNowUs();
+  auto task = [this, state, enqueued_us, pattern = std::move(pattern),
                options = std::move(options)]() -> Status {
+    // Submit→dispatch delay: the adaptive-admission controller's signal.
+    const uint64_t dispatched_us = EngineNowUs();
+    admission_.RecordQueueDelay(
+        dispatched_us > enqueued_us ? dispatched_us - enqueued_us : 0,
+        dispatched_us);
     Status injected = Status::OK();
     SJOS_FAILPOINT_CHECK("service.submit", injected);
     std::optional<Result<QueryResult>> outcome;

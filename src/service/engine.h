@@ -45,6 +45,7 @@
 #include "estimate/positional_histogram.h"
 #include "exec/executor.h"
 #include "plan/cost_model.h"
+#include "service/admission.h"
 #include "service/plan_cache.h"
 #include "service/query_log.h"
 #include "service/query_options.h"
@@ -73,6 +74,11 @@ struct EngineOptions {
   /// only (no file sinks) with a 100 ms slow-query threshold; sjos_serve
   /// wires file paths from its flags. See service/query_log.h.
   QueryLogOptions query_log;
+
+  /// Queue-delay adaptive admission (disabled by default). When the p95
+  /// Submit→dispatch delay exceeds the threshold, new submits are shed
+  /// with a retry_after_ms hint. See service/admission.h.
+  AdmissionOptions admission;
 };
 
 /// Outcome of the planning phase of one query.
@@ -117,6 +123,10 @@ struct QueryErrorInfo {
   std::string verdict;
   /// The id the query ran under, stable from Submit to this error report.
   std::string query_id;
+  /// Pacing hint attached by adaptive admission ("adaptive-shed" verdict):
+  /// how long the caller should stay away before re-submitting. 0 when
+  /// the failure was not a shed.
+  uint64_t retry_after_ms = 0;
   /// Failure flight recorder: engine phase spans and the counter deltas
   /// observed across the query's lifetime (see service/query_log.h).
   /// Filled for every failure that reached the Engine's run path.
@@ -151,6 +161,11 @@ class QueryHandle {
   void Cancel();
 
   bool Done() const;
+
+  /// Whether Cancel() has been requested on any copy of this handle (the
+  /// query may still be unwinding). The network service uses this to tell
+  /// a doomed live query from a re-attachable one.
+  bool CancelRequested() const;
 
   /// Blocks until the query finishes, then returns its outcome. The
   /// reference stays valid while any copy of the handle lives.
@@ -248,6 +263,15 @@ class Engine {
   /// submitted queries execute concurrently.
   QueryHandle Submit(Pattern pattern, QueryOptions options = {});
 
+  /// Adaptive-admission pre-check: true when a submit arriving now would
+  /// be shed, with the pacing hint in *retry_after_ms (may be null). The
+  /// network server calls this before charging tenant quota so the shed
+  /// response carries the hint; Submit() itself re-checks for direct API
+  /// users. Always false when EngineOptions::admission is disabled.
+  bool CheckAdmission(uint64_t* retry_after_ms);
+
+  QueueDelayController& admission() { return admission_; }
+
   PlanCache& plan_cache() { return cache_; }
   const PlanCache& plan_cache() const { return cache_; }
 
@@ -323,6 +347,8 @@ class Engine {
 
   /// Sequence for Engine-assigned "q-<n>" ids.
   std::atomic<uint64_t> next_query_id_{1};
+
+  QueueDelayController admission_;
 
   std::unique_ptr<QueryLog> query_log_;
 };

@@ -40,6 +40,12 @@ TEST(StatusTest, GovernanceCodesRoundTrip) {
   EXPECT_FALSE(c.ok());
   EXPECT_EQ(c.code(), StatusCode::kCancelled);
   EXPECT_EQ(c.ToString(), "Cancelled: caller gave up");
+
+  // The transport-loss class the resilient client keys its retries on.
+  Status u = Status::Unavailable("connection closed mid-payload");
+  EXPECT_FALSE(u.ok());
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "Unavailable: connection closed mid-payload");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

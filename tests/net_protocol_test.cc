@@ -98,6 +98,54 @@ TEST(FrameTest, BackToBackFrames) {
 }
 
 // ---------------------------------------------------------------------------
+// fd-level framing: clean EOF vs torn frames (socketpair, no server)
+
+TEST(FrameTest, CleanEofBetweenFramesIsOkWithFlag) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);  // peer hangs up before any byte of the next frame
+  std::string payload;
+  bool clean_eof = false;
+  Status st = RecvFrame(sv[0], 1 << 20, &payload, &clean_eof);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(clean_eof);
+  ::close(sv[0]);
+}
+
+TEST(FrameTest, CloseMidHeaderIsUnavailableNotEof) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_EQ(::send(sv[1], "\x00\x00", 2, 0), 2);  // half a length prefix
+  ::close(sv[1]);
+  std::string payload;
+  bool clean_eof = false;
+  Status st = RecvFrame(sv[0], 1 << 20, &payload, &clean_eof);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  EXPECT_NE(st.message().find("mid-frame"), std::string::npos)
+      << st.ToString();
+  EXPECT_FALSE(clean_eof);
+  ::close(sv[0]);
+}
+
+TEST(FrameTest, CloseMidPayloadIsUnavailableWithByteCounts) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const char header[4] = {'\x00', '\x00', '\x00', '\x0a'};  // promises 10
+  ASSERT_EQ(::send(sv[1], header, sizeof(header), 0), 4);
+  ASSERT_EQ(::send(sv[1], "abc", 3, 0), 3);  // delivers 3
+  ::close(sv[1]);
+  std::string payload;
+  bool clean_eof = false;
+  Status st = RecvFrame(sv[0], 1 << 20, &payload, &clean_eof);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  EXPECT_NE(st.message().find("mid-payload"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("3 of 10"), std::string::npos) << st.ToString();
+  EXPECT_FALSE(clean_eof);
+  ::close(sv[0]);
+}
+
+// ---------------------------------------------------------------------------
 // JSON parser
 
 TEST(JsonTest, ParsesNestedDocument) {
@@ -359,7 +407,10 @@ TEST_F(ProtocolServerTest, TruncatedPayloadThenCloseLeavesServerAlive) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolServerTest, DuplicateRequestIdIsRejected) {
+TEST_F(ProtocolServerTest, ResubmitIsIdempotentAttachThenReplay) {
+  // The duplicate-id contract: a re-submit of a live id attaches to the
+  // running query (one execution, no error); after the result has been
+  // consumed, a re-submit replays the stored terminal response.
   Client client = Connect();
   const std::string submit =
       "{\"verb\":\"submit\",\"id\":\"dup\",\"query\":\"manager[//name]\"}";
@@ -369,13 +420,32 @@ TEST_F(ProtocolServerTest, DuplicateRequestIdIsRejected) {
 
   Result<JsonValue> second = client.Call(submit);
   ASSERT_TRUE(second.ok());
-  EXPECT_FALSE(second.value().Find("ok")->bool_value());
-  EXPECT_EQ(second.value().Find("code")->string_value(), "InvalidArgument");
+  const JsonValue* attached = second.value().Find("attached");
+  EXPECT_TRUE(second.value().Find("ok")->bool_value());
+  ASSERT_NE(attached, nullptr);
+  EXPECT_TRUE(attached->bool_value());
 
-  // Drain the first so the suite tears down with no live queries.
+  // Consume the result; the terminal response moves to the replay ring.
   Result<JsonValue> done = client.Call(
       "{\"verb\":\"poll\",\"id\":\"dup\",\"wait_ms\":5000}");
   ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done.value().Find("ok")->bool_value());
+  ASSERT_TRUE(done.value().Find("done")->bool_value());
+  const JsonValue* result = done.value().Find("result");
+  ASSERT_NE(result, nullptr);
+  const double rows = result->Find("row_count")->number_value();
+
+  // Third submit: replayed terminal, not a fresh run — done:true with the
+  // same row count, straight from the ring.
+  Result<JsonValue> third = client.Call(submit);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third.value().Find("ok")->bool_value());
+  const JsonValue* replay_done = third.value().Find("done");
+  ASSERT_NE(replay_done, nullptr);
+  EXPECT_TRUE(replay_done->bool_value());
+  const JsonValue* replay_result = third.value().Find("result");
+  ASSERT_NE(replay_result, nullptr);
+  EXPECT_DOUBLE_EQ(replay_result->Find("row_count")->number_value(), rows);
 }
 
 }  // namespace

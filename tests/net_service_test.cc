@@ -16,6 +16,7 @@
 #include "common/metrics.h"
 #include "net/client.h"
 #include "net/json.h"
+#include "net/resilient_client.h"
 #include "net/server.h"
 #include "query/pattern_parser.h"
 #include "query/workload.h"
@@ -109,11 +110,16 @@ TEST_F(ServiceTest, SubmitPollLifecycle) {
   EXPECT_GT(result->Find("row_count")->number_value(), 0.0);
   EXPECT_FALSE(StringField(*result, "algorithm").empty());
 
-  // The id was consumed by the terminal poll.
+  // The terminal poll moved the response to the replay ring: polling
+  // again replays the same terminal instead of answering NotFound.
   Result<JsonValue> again = client.Call(PollJson("q1", 0));
   ASSERT_TRUE(again.ok());
-  EXPECT_FALSE(OkOf(again.value()));
-  EXPECT_EQ(StringField(again.value(), "code"), "NotFound");
+  EXPECT_TRUE(OkOf(again.value()));
+  ASSERT_TRUE(again.value().Find("done")->bool_value());
+  const JsonValue* replayed = again.value().Find("result");
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_DOUBLE_EQ(replayed->Find("row_count")->number_value(),
+                   result->Find("row_count")->number_value());
 
   EXPECT_EQ(server_->live_queries(), 0u);
 }
@@ -346,7 +352,7 @@ TEST_F(ServiceTest, ClientSuppliedIdRoundTripsThroughResultAndAuditLog) {
   EXPECT_TRUE(logged);
 }
 
-TEST_F(ServiceTest, DuplicateIdOnConnectionIsRejected) {
+TEST_F(ServiceTest, DuplicateIdAttachesInsteadOfDoubleExecuting) {
   StartServer();
   Client client = Connect();
 
@@ -354,11 +360,17 @@ TEST_F(ServiceTest, DuplicateIdOnConnectionIsRejected) {
       FailpointRegistry::Global().Enable("exec.batch", "delay:5").ok());
   ASSERT_TRUE(OkOf(
       client.Call(SubmitJson("dup", "manager[//employee[/name]]")).value()));
+  // Idempotent re-submit: attaches to the live query — no second
+  // execution, no extra quota charge, and an explicit attached marker so
+  // a resilient client knows its retry landed.
   Result<JsonValue> second =
-      client.Call(SubmitJson("dup", "employee[/name]"));
+      client.Call(SubmitJson("dup", "manager[//employee[/name]]"));
   ASSERT_TRUE(second.ok());
-  EXPECT_FALSE(OkOf(second.value()));
-  EXPECT_EQ(StringField(second.value(), "code"), "InvalidArgument");
+  EXPECT_TRUE(OkOf(second.value()));
+  const JsonValue* attached = second.value().Find("attached");
+  ASSERT_NE(attached, nullptr);
+  EXPECT_TRUE(attached->bool_value());
+  EXPECT_EQ(server_->live_queries(), 1u);  // still one execution
   FailpointRegistry::Global().Disable("exec.batch");
 
   // The original query under the id is unharmed.
@@ -443,6 +455,192 @@ TEST_F(ServiceTest, ExplainReturnsPlanWithoutExecuting) {
       << StringField(explained.value(), "error");
   EXPECT_FALSE(StringField(explained.value(), "plan").empty());
   EXPECT_EQ(server_->live_queries(), 0u);
+}
+
+TEST_F(ServiceTest, DrainShedsNewSubmitsAndFinishesInFlight) {
+  StartServer();
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:20").ok());
+  Client client = Connect();
+  ASSERT_TRUE(OkOf(client
+                       .Call(SubmitJson("riding", "manager[//employee[/name]]",
+                                        ",\"use_plan_cache\":false"))
+                       .value()));
+
+  server_->BeginDrain();
+  EXPECT_TRUE(server_->draining());
+
+  // New work is shed with an explicit hint, not queued and not dropped.
+  Result<JsonValue> late =
+      client.Call(SubmitJson("late", "manager[//employee[/name]]"));
+  ASSERT_TRUE(late.ok());
+  EXPECT_FALSE(OkOf(late.value()));
+  EXPECT_EQ(StringField(late.value(), "code"), "Unavailable");
+  ASSERT_NE(late.value().Find("retry_after_ms"), nullptr);
+  EXPECT_GT(late.value().Find("retry_after_ms")->number_value(), 0.0);
+
+  // The in-flight query still completes and its result is collectible
+  // over the surviving connection.
+  Result<JsonValue> polled = client.Call(PollJson("riding", 20'000));
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(OkOf(polled.value())) << StringField(polled.value(), "error");
+  FailpointRegistry::Global().Disable("exec.batch");
+
+  // The drain runs to completion on its own.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (!server_->drained() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(server_->drained());
+  EXPECT_EQ(server_->live_queries(), 0u);
+
+  // A new connection is refused (listener is down).
+  Result<Client> refused = Client::Connect("127.0.0.1", server_->port());
+  EXPECT_FALSE(refused.ok());
+}
+
+TEST_F(ServiceTest, DrainDeadlineCancelsStragglers) {
+  StartServer();
+  // Every batch stalls 200 ms — far past the 100 ms drain deadline, so
+  // the drain must cancel the query rather than wait it out.
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:200").ok());
+  Client client = Connect();
+  ASSERT_TRUE(OkOf(client
+                       .Call(SubmitJson("straggler",
+                                        "manager[//employee[/name]]"
+                                        "[//department]",
+                                        ",\"use_plan_cache\":false"))
+                       .value()));
+
+  server_->Drain(/*deadline_ms=*/100);
+  EXPECT_TRUE(server_->drained());
+  EXPECT_EQ(server_->live_queries(), 0u);  // cancelled AND drained
+  FailpointRegistry::Global().Disable("exec.batch");
+}
+
+TEST_F(ServiceTest, PollFromSecondConnectionTransfersOwnership) {
+  StartServer();
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:20").ok());
+
+  Client taker = Connect();
+  {
+    Client submitter = Connect();
+    ASSERT_TRUE(OkOf(submitter
+                         .Call(SubmitJson("handoff",
+                                          "manager[//employee[/name]]",
+                                          ",\"use_plan_cache\":false"))
+                         .value()));
+    // One poll from the second connection adopts the query, so the
+    // submitter's disconnect below must NOT cancel it — the reconnected-
+    // client ride-through the resilient client depends on.
+    Result<JsonValue> adopt = taker.Call(PollJson("handoff", 0));
+    ASSERT_TRUE(adopt.ok());
+    ASSERT_TRUE(OkOf(adopt.value()))
+        << StringField(adopt.value(), "error");
+  }  // submitter disconnects abruptly
+
+  Result<JsonValue> final_poll = taker.Call(PollJson("handoff", 20'000));
+  FailpointRegistry::Global().Disable("exec.batch");
+  ASSERT_TRUE(final_poll.ok());
+  ASSERT_TRUE(OkOf(final_poll.value()))
+      << StringField(final_poll.value(), "error");
+  ASSERT_TRUE(final_poll.value().Find("done")->bool_value());
+  const JsonValue* result = final_poll.value().Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->Find("row_count")->number_value(), 0.0);
+}
+
+TEST_F(ServiceTest, DisconnectCancelledQueryRerunsOnResubmit) {
+  StartServer();
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Enable("exec.batch", "delay:20").ok());
+  {
+    Client doomed = Connect();
+    ASSERT_TRUE(OkOf(doomed
+                         .Call(SubmitJson("orphan",
+                                          "manager[//employee[/name]]",
+                                          ",\"use_plan_cache\":false"))
+                         .value()));
+  }  // disconnect cancels the still-owned query
+
+  // Wait for the teardown to record the disconnect-cancelled terminal.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->live_queries() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FailpointRegistry::Global().Disable("exec.batch");
+
+  Client retry = Connect();
+  // A poll must NOT replay the never-delivered Cancelled terminal: it
+  // answers NotFound, telling a resilient client to re-submit.
+  Result<JsonValue> ghost = retry.Call(PollJson("orphan", 0));
+  ASSERT_TRUE(ghost.ok());
+  EXPECT_FALSE(OkOf(ghost.value()));
+  EXPECT_EQ(StringField(ghost.value(), "code"), "NotFound");
+
+  // And the re-submit runs the query fresh instead of replaying.
+  ASSERT_TRUE(OkOf(
+      retry.Call(SubmitJson("orphan", "manager[//employee[/name]]"))
+          .value()));
+  Result<JsonValue> polled = retry.Call(PollJson("orphan", 20'000));
+  ASSERT_TRUE(polled.ok());
+  ASSERT_TRUE(OkOf(polled.value())) << StringField(polled.value(), "error");
+  const JsonValue* result = polled.value().Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->Find("row_count")->number_value(), 0.0);
+}
+
+TEST_F(ServiceTest, IdleConnectionIsReapedBySlowLorisDefense) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  StartServer(options);
+
+  Client idle = Connect();
+  // Say nothing. The reaper must answer with a DeadlineExceeded notice
+  // and close — and the server must keep serving everyone else.
+  Result<std::string> notice = idle.Receive();
+  ASSERT_TRUE(notice.ok()) << notice.status().ToString();
+  Result<JsonValue> parsed = ParseJson(notice.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(OkOf(parsed.value()));
+  EXPECT_EQ(StringField(parsed.value(), "code"), "DeadlineExceeded");
+  Result<std::string> eof = idle.Receive();
+  EXPECT_FALSE(eof.ok());  // closed after the notice
+
+  Client fresh = Connect();
+  Result<JsonValue> pong = fresh.Call("{\"verb\":\"ping\",\"id\":\"p\"}");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(OkOf(pong.value()));
+}
+
+TEST_F(ServiceTest, ResilientClientRidesReconnectAndReplay) {
+  StartServer();
+  // In-process end-to-end over the real socket: run a query through
+  // ResilientClient::Execute, then force a reconnect by closing the
+  // client side and execute again — the second id is fresh, the first
+  // replays from the ring through the new connection.
+  ResilientClient client("127.0.0.1", server_->port());
+  const std::string submit1 =
+      SubmitJson("res-1", "manager[//employee[/name]]");
+  Result<JsonValue> first = client.Execute("res-1", submit1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(OkOf(first.value()));
+  const double rows =
+      first.value().Find("result")->Find("row_count")->number_value();
+
+  client.Close();  // simulate a dropped connection
+  Result<JsonValue> replay = client.Execute("res-1", submit1);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_TRUE(OkOf(replay.value()));
+  EXPECT_DOUBLE_EQ(
+      replay.value().Find("result")->Find("row_count")->number_value(), rows);
+  EXPECT_GE(client.stats().reconnects, 1u);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "common/metrics.h"
 #include "net/client.h"
 #include "net/json.h"
+#include "net/resilient_client.h"
 #include "net/server.h"
 #include "query/workload.h"
 #include "service/engine.h"
@@ -209,6 +210,112 @@ TEST(NetSoakTest, SustainedMixedLoadLeaksNothing) {
 
   server.Stop();
   FailpointRegistry::Global().DisableAll();
+}
+
+// One engine, two server incarnations on the same port: resilient
+// clients must ride straight through a full Stop()/Start() of the
+// serving process, every query reaching a definite terminal state, with
+// nothing leaked on either incarnation.
+TEST(NetSoakTest, ServerRestartUnderLoadRidesThroughOnResilientClients) {
+  Engine engine;
+  DatasetScale scale;
+  scale.base_nodes = 2'000;
+  ASSERT_TRUE(
+      engine.OpenDatabase(MakePaperDataset("Pers", scale).value()).ok());
+
+  auto first = std::make_unique<QueryServer>(&engine, ServerOptions{});
+  ASSERT_TRUE(first->Start().ok());
+  const uint16_t port = first->port();
+
+  std::vector<std::string> queries;
+  for (const BenchQuery& q : PaperWorkload()) {
+    if (q.dataset == "Pers") queries.push_back(q.pattern_text);
+  }
+  ASSERT_FALSE(queries.empty());
+
+  // Generous retry posture: the Stop→Start gap is local and brief, and
+  // this test demands zero unresolved outcomes, so clients must outlast
+  // it. The breaker threshold is set past anything one restart causes.
+  ResilientClientOptions rc_options;
+  rc_options.retry.max_attempts = 20;
+  rc_options.retry.base_backoff_ms = 5;
+  rc_options.retry.max_backoff_ms = 100;
+  rc_options.retry.budget_tokens = 1e9;
+  rc_options.retry.budget_refill_per_s = 1e6;
+  rc_options.retry.breaker_failure_threshold = 1'000'000;
+  rc_options.poll_wait_ms = 100;
+
+  const auto load_end = Clock::now() + std::chrono::milliseconds(3'000);
+  std::atomic<uint64_t> completed_before{0};
+  std::atomic<uint64_t> completed_after{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> unresolved{0};
+  std::atomic<uint64_t> reconnects{0};
+  std::atomic<bool> restarted{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      ResilientClient client("127.0.0.1", port, rc_options);
+      uint64_t seq = 0;
+      const std::string tenant = "restart-" + std::to_string(t);
+      while (Clock::now() < load_end) {
+        const std::string id = tenant + "-" + std::to_string(seq);
+        Result<JsonValue> outcome = client.Execute(
+            id, SubmitJson(id, queries[seq % queries.size()], true, tenant));
+        if (!outcome.ok()) {
+          unresolved.fetch_add(1, std::memory_order_relaxed);
+        } else if (OkOf(outcome.value())) {
+          (restarted.load(std::memory_order_relaxed) ? completed_after
+                                                     : completed_before)
+              .fetch_add(1, std::memory_order_relaxed);
+        } else {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++seq;
+      }
+      reconnects.fetch_add(client.stats().reconnects,
+                           std::memory_order_relaxed);
+    });
+  }
+
+  // Mid-load: tear the first incarnation down completely (Stop cancels
+  // and drains its in-flight queries), then bind a second one to the
+  // SAME port against the same engine.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1'200));
+  first->Stop();
+  EXPECT_EQ(first->live_queries(), 0u) << "first incarnation leaked slots";
+  first.reset();
+  ServerOptions second_options;
+  second_options.port = port;
+  QueryServer second(&engine, second_options);
+  ASSERT_TRUE(second.Start().ok());
+  restarted.store(true, std::memory_order_relaxed);
+
+  for (std::thread& t : workers) t.join();
+
+  const auto drain_deadline = Clock::now() + std::chrono::seconds(15);
+  while ((second.live_queries() > 0 || second.quotas().TotalInFlight() > 0) &&
+         Clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(second.live_queries(), 0u) << "leaked in-flight slots";
+  EXPECT_EQ(second.quotas().TotalInFlight(), 0u) << "leaked tenant quota";
+  EXPECT_EQ(unresolved.load(), 0u)
+      << "a query failed to reach a terminal state across the restart";
+  EXPECT_GT(completed_before.load(), 0u) << "no work before the restart";
+  EXPECT_GT(completed_after.load(), 0u) << "no work after the restart";
+  EXPECT_GT(reconnects.load(), 0u)
+      << "restart happened but no client ever re-dialed";
+
+  std::printf(
+      "restart-soak: before=%llu after=%llu shed=%llu reconnects=%llu\n",
+      static_cast<unsigned long long>(completed_before.load()),
+      static_cast<unsigned long long>(completed_after.load()),
+      static_cast<unsigned long long>(shed.load()),
+      static_cast<unsigned long long>(reconnects.load()));
+
+  second.Stop();
 }
 
 }  // namespace
