@@ -16,6 +16,9 @@
 //                         throughput drops below 90% of offered.
 //   --connect host:port   drive an already-running sjos_serve (the CI
 //                         smoke path); one phase, Pers workload.
+//                         --write-fraction F turns that fraction of
+//                         arrivals into update-verb inserts (with an
+//                         occasional flush) for mixed read/write load.
 //   --chaos --server-bin ./sjos_serve
 //                         chaos-restart harness: supervises a real
 //                         sjos_serve child, SIGKILLs and restarts it
@@ -76,6 +79,7 @@ struct Config {
   double duration_s = 3.0;
   size_t connections = 4;
   double miss_fraction = 0.3;    // requests sent with use_plan_cache=false
+  double write_fraction = 0.0;   // arrivals sent as update-verb inserts
   bool deadline_spread = true;   // rotate {none, 100ms, 5ms}
   bool failpoints = false;       // self mode: arm low-probability faults
   bool saturation = false;       // stepped rate sweep after the phases
@@ -104,6 +108,7 @@ struct PhaseResult {
   uint64_t shed = 0;
   uint64_t deadline_cut = 0;
   uint64_t errors = 0;
+  uint64_t writes = 0;  // update-verb arrivals (counted inside requests)
   std::vector<double> latencies_ms;  // completed (ok) requests only
 
   double Percentile(double q) const {
@@ -151,6 +156,22 @@ std::string BuildSubmit(const std::string& id, const std::string& query,
   return out;
 }
 
+/// Mixed read/write load: one small subtree appended under the document
+/// root, or — every ~50th write — a flush folding the overlay back into
+/// the base arrays.
+std::string BuildUpdate(const std::string& id, bool flush) {
+  std::string out = "{\"verb\":\"update\",\"id\":";
+  net::AppendJsonString(id, &out);
+  if (flush) {
+    out += ",\"action\":\"flush\"}";
+  } else {
+    out += ",\"action\":\"insert\",\"parent\":0,\"xml\":";
+    net::AppendJsonString("<lgw><item>x</item></lgw>", &out);
+    out += "}";
+  }
+  return out;
+}
+
 const net::JsonValue* Field(const net::JsonValue& v, const char* key) {
   return v.is_object() ? v.Find(key) : nullptr;
 }
@@ -182,7 +203,7 @@ void Worker(const std::string& host, uint16_t port, size_t worker_index,
   const double interval_s = 1.0 / config.qps;
 
   uint64_t local_ok = 0, local_shed = 0, local_deadline = 0, local_errors = 0,
-           local_requests = 0;
+           local_requests = 0, local_writes = 0;
   std::vector<double> local_latencies;
 
   for (;;) {
@@ -196,6 +217,36 @@ void Worker(const std::string& host, uint16_t port, size_t worker_index,
 
     const std::string id =
         "lg-" + std::to_string(worker_index) + "-" + std::to_string(i);
+
+    // Bresenham-style selection: arrival i is a write when the running
+    // total floor(i * fraction) ticks up, spreading writes evenly through
+    // the arrival sequence (i % 100 style windows would front-load them).
+    if (config.write_fraction > 0.0 &&
+        static_cast<uint64_t>(static_cast<double>(i + 1) *
+                              config.write_fraction) >
+            static_cast<uint64_t>(static_cast<double>(i) *
+                                  config.write_fraction)) {
+      // Update verbs are synchronous — one round trip, no poll loop.
+      Result<net::JsonValue> done =
+          client.Call(BuildUpdate(id, (local_writes % 50) == 49));
+      ++local_writes;
+      if (!done.ok()) {
+        ++local_errors;
+        break;  // transport broken; stop this worker
+      }
+      if (FieldBool(done.value(), "ok")) {
+        ++local_ok;
+        local_latencies.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - scheduled)
+                .count());
+      } else if (FieldString(done.value(), "code") == "ResourceExhausted") {
+        ++local_shed;
+      } else {
+        ++local_errors;
+      }
+      continue;
+    }
+
     const bool use_cache =
         config.miss_fraction <= 0.0 ||
         static_cast<double>(i % 100) >= config.miss_fraction * 100.0;
@@ -259,6 +310,7 @@ void Worker(const std::string& host, uint16_t port, size_t worker_index,
   result->shed += local_shed;
   result->deadline_cut += local_deadline;
   result->errors += local_errors;
+  result->writes += local_writes;
   result->latencies_ms.insert(result->latencies_ms.end(),
                               local_latencies.begin(), local_latencies.end());
 }
@@ -296,14 +348,15 @@ PhaseResult RunPhase(const std::string& name, const std::string& host,
 void PrintPhase(const PhaseResult& r) {
   std::printf(
       "%-10s offered %7.1f qps  achieved %7.1f qps  n=%llu ok=%llu "
-      "shed=%llu deadline=%llu err=%llu\n"
+      "shed=%llu deadline=%llu err=%llu writes=%llu\n"
       "           p50=%.2fms p95=%.2fms p99=%.2fms mean=%.2fms max=%.2fms\n",
       r.name.c_str(), r.offered_qps, r.achieved_qps,
       static_cast<unsigned long long>(r.requests),
       static_cast<unsigned long long>(r.ok),
       static_cast<unsigned long long>(r.shed),
       static_cast<unsigned long long>(r.deadline_cut),
-      static_cast<unsigned long long>(r.errors), r.Percentile(0.50),
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.writes), r.Percentile(0.50),
       r.Percentile(0.95), r.Percentile(0.99), r.Mean(), r.Max());
 }
 
@@ -331,6 +384,7 @@ void AppendPhaseJson(const PhaseResult& r, std::string* out) {
       buf, sizeof(buf),
       ",\"offered_qps\":%.2f,\"achieved_qps\":%.2f,\"requests\":%llu,"
       "\"ok\":%llu,\"shed\":%llu,\"deadline_cut\":%llu,\"errors\":%llu,"
+      "\"writes\":%llu,"
       "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
       "\"mean\":%.3f,\"max\":%.3f}}",
       r.offered_qps, r.achieved_qps,
@@ -338,7 +392,8 @@ void AppendPhaseJson(const PhaseResult& r, std::string* out) {
       static_cast<unsigned long long>(r.ok),
       static_cast<unsigned long long>(r.shed),
       static_cast<unsigned long long>(r.deadline_cut),
-      static_cast<unsigned long long>(r.errors), r.Percentile(0.50),
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.writes), r.Percentile(0.50),
       r.Percentile(0.95), r.Percentile(0.99), r.Mean(), r.Max());
   *out += buf;
 }
@@ -393,7 +448,8 @@ struct SelfServer {
   net::QueryServer server;
 
   SelfServer(const std::string& dataset, const Config& config)
-      : engine(MakeEngineOptions(config)), server(&engine, MakeOptions(config)) {
+      : engine(MakeEngineOptions(config)),
+        server(&engine, MakeOptions(config)) {
     DatasetScale scale;
     scale.base_nodes = config.nodes;
     Result<Database> db = MakePaperDataset(dataset, scale);
@@ -987,6 +1043,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--miss-fraction") {
       config.miss_fraction =
           std::strtod(next("--miss-fraction").c_str(), nullptr);
+    } else if (arg == "--write-fraction") {
+      config.write_fraction =
+          std::strtod(next("--write-fraction").c_str(), nullptr);
     } else if (arg == "--no-deadline-spread") {
       config.deadline_spread = false;
     } else if (arg == "--failpoints") {
@@ -1020,6 +1079,7 @@ int main(int argc, char** argv) {
           "usage: bench_loadgen [--self | --connect host:port |\n"
           "  --chaos --server-bin BIN] [--qps N]\n"
           "  [--duration S] [--connections K] [--miss-fraction F]\n"
+          "  [--write-fraction F]\n"
           "  [--no-deadline-spread] [--failpoints] [--saturation]\n"
           "  [--nodes N] [--quota-in-flight N] [--json FILE]\n"
           "  [--query-log FILE] [--restarts N] [--metrics-out FILE]\n"

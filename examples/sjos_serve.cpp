@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   bool http_enabled = false;
   uint64_t quota_in_flight = 0;
   uint64_t quota_qps = 0;
+  uint64_t quota_write_qps = 0;
   // The paper workload's broad Pers twigs return ~100k-row results; the
   // standalone server defaults to a frame budget that carries them.
   server_options.max_frame_bytes = 16 * 1024 * 1024;
@@ -93,6 +94,8 @@ int main(int argc, char** argv) {
       quota_in_flight = ArgU64(argc, argv, &i, arg);
     } else if (std::strcmp(arg, "--quota-qps") == 0) {
       quota_qps = ArgU64(argc, argv, &i, arg);
+    } else if (std::strcmp(arg, "--quota-write-qps") == 0) {
+      quota_write_qps = ArgU64(argc, argv, &i, arg);
     } else if (std::strcmp(arg, "--max-connections") == 0) {
       server_options.max_connections =
           static_cast<size_t>(ArgU64(argc, argv, &i, arg));
@@ -120,6 +123,7 @@ int main(int argc, char** argv) {
                    "usage: sjos_serve [--port N] [--dataset Pers|DBLP|Mbench] "
                    "[--load file.xml] [--nodes N] [--max-in-flight N] "
                    "[--quota-in-flight N] [--quota-qps N] "
+                   "[--quota-write-qps N] "
                    "[--max-connections N] [--max-frame-bytes N] "
                    "[--http-port N] [--query-log file.jsonl] "
                    "[--slow-log file.jsonl] [--slow-ms N] "
@@ -131,6 +135,7 @@ int main(int argc, char** argv) {
 
   server_options.default_quota.max_in_flight = quota_in_flight;
   server_options.default_quota.qps = static_cast<double>(quota_qps);
+  server_options.default_quota.write_qps = static_cast<double>(quota_write_qps);
 
   Engine engine(engine_options);
   if (!load_path.empty()) {

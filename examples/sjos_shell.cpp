@@ -14,6 +14,9 @@
 //   xpath <xpath>                                 run an XPath query
 //   twig <pattern>                                run the holistic twig join
 //   plan <pattern>                                show the plan, don't run
+//   \insert <parent> <xml>                        insert a subtree
+//   \delete <key>                                 delete a subtree
+//   \flush                                        fold overlay into base
 //   quit
 //
 // Also usable non-interactively:  echo 'gen Pers\nquery manager[//name]' |
@@ -21,8 +24,9 @@
 //
 // Remote mode:  sjos_shell --connect 127.0.0.1:7544  talks to a running
 // sjos_serve over the wire protocol instead of an in-process Engine
-// (commands: query, xpath, plan, algo, \metrics, \top, \slow, \drain,
-// ping, quit). The connection rides on net::ResilientClient: a dropped
+// (commands: query, xpath, plan, algo, \metrics, \top, \slow, \insert,
+// \delete, \flush, \drain, ping, quit). The connection rides on
+// net::ResilientClient: a dropped
 // or restarted server is re-dialed transparently and in-flight queries
 // are replayed by id — a one-line "[reconnected]" notice marks each
 // recovery.
@@ -113,6 +117,12 @@ class Shell {
       SetLimit(words, &deadline_ms_, "deadline", "ms");
     } else if (command == "\\memlimit") {
       SetLimit(words, &mem_limit_bytes_, "memory limit", "bytes");
+    } else if (command == "\\insert") {
+      Insert(words);
+    } else if (command == "\\delete") {
+      Delete(words);
+    } else if (command == "\\flush") {
+      Flush();
     } else {
       std::printf("unknown command '%s' — try 'help'\n", command.c_str());
     }
@@ -145,6 +155,9 @@ class Shell {
         "  \\deadline <ms>      whole-query deadline, optimize + execute"
         " (0 = off)\n"
         "  \\memlimit <bytes>   executor live-bytes budget (0 = off)\n"
+        "  \\insert <parent> <xml>   insert a subtree under node <parent>\n"
+        "  \\delete <key>       delete the subtree rooted at node <key>\n"
+        "  \\flush              fold the differential overlay into the base\n"
         "  quit\n",
         OptimizerKindName(algo_));
   }
@@ -314,15 +327,74 @@ class Shell {
       std::printf("usage: fold <factor>\n");
       return;
     }
-    Status st = engine_.Fold(factor);
-    if (!st.ok()) {
-      std::printf("error: %s\n", st.ToString().c_str());
+    Result<MutationResult> r = engine_.Apply(FoldMutation{factor});
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
       return;
     }
-    std::printf("folded x%u: %zu nodes now (stats version %llu — cached "
-                "plans will re-optimize)\n",
+    std::printf("folded x%u: %zu nodes now (%llu cached plans invalidated, "
+                "scope=%s)\n",
                 factor, engine_.db().doc().NumNodes(),
-                static_cast<unsigned long long>(engine_.stats_version()));
+                static_cast<unsigned long long>(r.value().cache_invalidated),
+                r.value().scope.c_str());
+  }
+
+  void PrintMutation(const char* what, const MutationResult& mr) {
+    std::printf("%s: +%llu/-%llu nodes (%llu live), %llu histogram deltas, "
+                "%llu plans invalidated%s%s%s\n",
+                what, static_cast<unsigned long long>(mr.nodes_added),
+                static_cast<unsigned long long>(mr.nodes_removed),
+                static_cast<unsigned long long>(engine_.db().LiveNodeCount()),
+                static_cast<unsigned long long>(mr.histogram_deltas),
+                static_cast<unsigned long long>(mr.cache_invalidated),
+                mr.scope.empty() ? "" : " (scope=",
+                mr.scope.c_str(), mr.scope.empty() ? "" : ")");
+    if (mr.estimator_rebuilt) {
+      std::printf("  (estimator rebuilt from scratch)\n");
+    }
+  }
+
+  void Insert(std::istringstream* words) {
+    if (!Ready()) return;
+    NodeId parent = 0;
+    std::string xml;
+    if (!(*words >> parent) || !std::getline(*words, xml) ||
+        Trim(xml).empty()) {
+      std::printf("usage: \\insert <parent-key> <xml-fragment>\n");
+      return;
+    }
+    Result<MutationResult> r = engine_.Apply(
+        InsertSubtree{parent, static_cast<size_t>(-1), std::string(Trim(xml))});
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    PrintMutation("insert", r.value());
+  }
+
+  void Delete(std::istringstream* words) {
+    if (!Ready()) return;
+    NodeId key = 0;
+    if (!(*words >> key)) {
+      std::printf("usage: \\delete <node-key>\n");
+      return;
+    }
+    Result<MutationResult> r = engine_.Apply(DeleteSubtree{key});
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    PrintMutation("delete", r.value());
+  }
+
+  void Flush() {
+    if (!Ready()) return;
+    Result<MutationResult> r = engine_.Apply(FlushDifferential{});
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    PrintMutation("flush", r.value());
   }
 
   void Open(Database db) {
@@ -501,12 +573,19 @@ class RemoteShell {
         Slow(&words);
       } else if (command == "\\drain") {
         DrainServer();
+      } else if (command == "\\insert") {
+        Update("insert", &words);
+      } else if (command == "\\delete") {
+        Update("delete", &words);
+      } else if (command == "\\flush") {
+        Update("flush", &words);
       } else if (command == "ping") {
         Ping();
       } else {
         std::printf("remote commands: query <pattern> | xpath <x> | "
                     "plan <pattern> | algo <name> | \\metrics | \\top | "
-                    "\\slow [n] | \\drain | ping | quit\n");
+                    "\\slow [n] | \\insert <parent> <xml> | \\delete <key> | "
+                    "\\flush | \\drain | ping | quit\n");
       }
     }
     return 0;
@@ -625,6 +704,46 @@ class RemoteShell {
                 algorithm != nullptr ? algorithm->string_value().c_str() : "?",
                 cache_hit != nullptr && cache_hit->bool_value() ? ", cache hit"
                                                                 : "");
+  }
+
+  /// \insert/\delete/\flush over the wire: one update-verb round trip.
+  /// The per-process unique id makes a shell retry after a torn reply
+  /// replay instead of double-applying.
+  void Update(const std::string& action, std::istringstream* words) {
+    std::string request = "{\"verb\":\"update\",\"id\":";
+    net::AppendJsonString(NextId(), &request);
+    request += ",\"action\":\"" + action + "\"";
+    if (action == "insert") {
+      uint64_t parent = 0;
+      std::string xml;
+      if (!(*words >> parent) || !std::getline(*words, xml) ||
+          Trim(xml).empty()) {
+        std::printf("usage: \\insert <parent-key> <xml-fragment>\n");
+        return;
+      }
+      request += ",\"parent\":" + std::to_string(parent) + ",\"xml\":";
+      net::AppendJsonString(Trim(xml), &request);
+    } else if (action == "delete") {
+      uint64_t node = 0;
+      if (!(*words >> node)) {
+        std::printf("usage: \\delete <node-key>\n");
+        return;
+      }
+      request += ",\"node\":" + std::to_string(node);
+    }
+    request += "}";
+    std::optional<net::JsonValue> response = Call(request);
+    if (!response) return;
+    if (!IsOk(*response)) {
+      PrintError(*response);
+      return;
+    }
+    std::printf("%s: +%.0f/-%.0f nodes (%.0f live), %.0f plans invalidated "
+                "(scope=%s)\n",
+                action.c_str(), Num(*response, "nodes_added"),
+                Num(*response, "nodes_removed"), Num(*response, "nodes"),
+                Num(*response, "cache_invalidated"),
+                Str(*response, "scope").c_str());
   }
 
   void DrainServer() {

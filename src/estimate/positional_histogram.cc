@@ -58,6 +58,21 @@ void PositionalGrid::Add(NodeId start, NodeId end) {
   ++total_;
 }
 
+void PositionalGrid::Remove(NodeId start, NodeId end) {
+  SJOS_CHECK(grid_size_ > 0, "PositionalGrid not initialized");
+  auto bucket = [&](uint64_t pos) -> uint32_t {
+    uint64_t b = pos * grid_size_ / domain_;
+    return static_cast<uint32_t>(std::min<uint64_t>(b, grid_size_ - 1));
+  };
+  const uint32_t i = bucket(start);
+  const uint32_t j = bucket(end);
+  const size_t cell = static_cast<size_t>(i) * grid_size_ + j;
+  if (cells_[cell] > 0) --cells_[cell];
+  span_sums_[cell] -= std::min<uint64_t>(span_sums_[cell], end - start);
+  if (start_marginal_[i] > 0) --start_marginal_[i];
+  if (total_ > 0) --total_;
+}
+
 double PositionalGrid::CellAvgSpan(uint32_t i, uint32_t j) const {
   const size_t cell = static_cast<size_t>(i) * grid_size_ + j;
   if (cells_[cell] == 0) return 0.0;
@@ -77,9 +92,14 @@ PositionalHistogramEstimator PositionalHistogramEstimator::Build(
     const Document& doc, const TagIndex& index, const DocumentStats& stats,
     const PositionalHistogramConfig& config) {
   PositionalHistogramEstimator est;
-  const uint64_t domain = std::max<uint64_t>(doc.NumNodes(), 1);
+  // Grids live in order-key coordinates: for a dense document keys equal
+  // slots (the historical domain), for a spaced one the domain stretches
+  // by the spacing shift — either way (start, end] containment holds.
+  const uint64_t domain = std::max<uint64_t>(doc.KeyDomain(), 1);
   const size_t num_levels = static_cast<size_t>(stats.max_level()) + 1;
   const size_t num_tags = doc.dict().size();
+  est.grid_size_cfg_ = config.grid_size;
+  est.domain_ = domain;
   est.bucket_width_ =
       static_cast<double>(domain) / static_cast<double>(config.grid_size);
   est.level_grids_.resize(num_tags);
@@ -91,7 +111,8 @@ PositionalHistogramEstimator PositionalHistogramEstimator::Build(
   est.distinct_values_.assign(num_tags, 0);
   est.num_tags_ = num_tags;
   est.pc_counts_.assign(num_tags * num_tags, 0);
-  for (NodeId id = 1; id < doc.NumNodes(); ++id) {
+  for (NodeId slot = 1; slot < doc.NumNodes(); ++slot) {
+    const NodeId id = doc.KeyOfSlot(slot);
     est.pc_counts_[static_cast<size_t>(doc.TagOf(doc.ParentOf(id))) *
                        num_tags +
                    doc.TagOf(id)]++;
@@ -128,6 +149,79 @@ PositionalHistogramEstimator PositionalHistogramEstimator::Build(
     }
   }
   return est;
+}
+
+void PositionalHistogramEstimator::EnsureTagLevel(TagId tag, uint16_t level) {
+  if (static_cast<size_t>(tag) >= num_tags_) {
+    const size_t new_tags = static_cast<size_t>(tag) + 1;
+    // The pc matrix is row-major over the old tag count; re-layout.
+    std::vector<uint64_t> pc(new_tags * new_tags, 0);
+    for (size_t p = 0; p < num_tags_; ++p) {
+      for (size_t c = 0; c < num_tags_; ++c) {
+        pc[p * new_tags + c] = pc_counts_[p * num_tags_ + c];
+      }
+    }
+    pc_counts_ = std::move(pc);
+    level_grids_.resize(new_tags);
+    start_marginals_.resize(new_tags,
+                            std::vector<uint64_t>(grid_size_cfg_, 0));
+    totals_.resize(new_tags, 0);
+    span_totals_.resize(new_tags, 0);
+    text_counts_.resize(new_tags, 0);
+    distinct_values_.resize(new_tags, 0);
+    num_tags_ = new_tags;
+  }
+  auto& grids = level_grids_[tag];
+  if (grids.size() <= static_cast<size_t>(level)) grids.resize(level + 1);
+}
+
+void PositionalHistogramEstimator::ApplyInsert(TagId tag, TagId parent_tag,
+                                               uint16_t level,
+                                               NodeId start_key,
+                                               NodeId end_key, bool has_text) {
+  EnsureTagLevel(tag, level);
+  if (parent_tag != kInvalidTag) {
+    EnsureTagLevel(parent_tag, 0);
+    ++pc_counts_[static_cast<size_t>(parent_tag) * num_tags_ + tag];
+  }
+  PositionalGrid& grid = level_grids_[tag][level];
+  if (grid.grid_size() == 0) grid = PositionalGrid(grid_size_cfg_, domain_);
+  grid.Add(start_key, end_key);
+  uint64_t b = static_cast<uint64_t>(start_key) * grid_size_cfg_ / domain_;
+  b = std::min<uint64_t>(b, grid_size_cfg_ - 1);
+  ++start_marginals_[tag][b];
+  ++totals_[tag];
+  span_totals_[tag] += end_key - start_key;
+  if (has_text) {
+    ++text_counts_[tag];
+    constexpr uint32_t kDistinctCap = 4096;
+    if (distinct_values_[tag] < kDistinctCap) ++distinct_values_[tag];
+  }
+}
+
+void PositionalHistogramEstimator::ApplyRemove(TagId tag, TagId parent_tag,
+                                               uint16_t level,
+                                               NodeId start_key,
+                                               NodeId end_key, bool has_text) {
+  if (static_cast<size_t>(tag) >= num_tags_) return;
+  if (parent_tag != kInvalidTag &&
+      static_cast<size_t>(parent_tag) < num_tags_) {
+    uint64_t& pc =
+        pc_counts_[static_cast<size_t>(parent_tag) * num_tags_ + tag];
+    if (pc > 0) --pc;
+  }
+  auto& grids = level_grids_[tag];
+  if (static_cast<size_t>(level) < grids.size() &&
+      grids[level].grid_size() > 0) {
+    grids[level].Remove(start_key, end_key);
+  }
+  uint64_t b = static_cast<uint64_t>(start_key) * grid_size_cfg_ / domain_;
+  b = std::min<uint64_t>(b, grid_size_cfg_ - 1);
+  if (start_marginals_[tag][b] > 0) --start_marginals_[tag][b];
+  if (totals_[tag] > 0) --totals_[tag];
+  span_totals_[tag] -=
+      std::min<uint64_t>(span_totals_[tag], end_key - start_key);
+  if (has_text && text_counts_[tag] > 0) --text_counts_[tag];
 }
 
 double PositionalHistogramEstimator::TagCardinality(TagId tag) const {

@@ -38,6 +38,9 @@ class PositionalGrid {
   PositionalGrid(uint32_t grid_size, uint64_t domain);
 
   void Add(NodeId start, NodeId end);
+  /// Inverse of Add for incremental maintenance; decrements saturate at
+  /// zero so a stray remove can never corrupt the grid.
+  void Remove(NodeId start, NodeId end);
 
   uint32_t grid_size() const { return grid_size_; }
   uint64_t total() const { return total_; }
@@ -106,7 +109,22 @@ class PositionalHistogramEstimator : public CardinalityEstimator {
   }
   size_t NumLevels(TagId tag) const { return level_grids_[tag].size(); }
 
+  /// Incremental maintenance for differential-overlay mutations: folds one
+  /// inserted (removed) element into (out of) the grids, marginals, and the
+  /// exact parent-child matrix without a rebuild. Coordinates are order
+  /// keys in the same domain the estimator was built over — a respace or
+  /// flush changes the domain and requires a full rebuild instead.
+  /// `distinct_values_` is approximate under maintenance: inserts with text
+  /// increment it (capped), removes leave it alone.
+  void ApplyInsert(TagId tag, TagId parent_tag, uint16_t level,
+                   NodeId start_key, NodeId end_key, bool has_text);
+  void ApplyRemove(TagId tag, TagId parent_tag, uint16_t level,
+                   NodeId start_key, NodeId end_key, bool has_text);
+
  private:
+  /// Grows every per-tag structure (including the pc matrix re-layout) so
+  /// `tag` at `level` is addressable.
+  void EnsureTagLevel(TagId tag, uint16_t level);
   /// Expected D starts (from `d_starts`) within A's cells' intervals.
   double EstimateFromGrids(TagId a, const std::vector<uint64_t>& d_starts,
                            double width) const;
@@ -122,6 +140,8 @@ class PositionalHistogramEstimator : public CardinalityEstimator {
   std::vector<uint64_t> pc_counts_;
   size_t num_tags_ = 0;
   double bucket_width_ = 1.0;
+  uint32_t grid_size_cfg_ = 64;  // bucket count for grids made post-build
+  uint64_t domain_ = 1;          // key domain the grids were built over
 };
 
 }  // namespace sjos

@@ -292,7 +292,7 @@ Result<ColumnBatch> Executor::Evaluate(const Pattern& pattern,
       }
       JoinStats join_stats;
       Result<ColumnBatch> out = StackTreeJoinParallel(
-          db_.doc(), left.value(), static_cast<size_t>(anc_slot),
+          db_.View(), left.value(), static_cast<size_t>(anc_slot),
           right.value(), static_cast<size_t>(desc_slot), node.axis,
           /*output_by_ancestor=*/node.op == PlanOp::kStackTreeAnc, pool_.get(),
           &join_stats, options_.max_join_output_rows,

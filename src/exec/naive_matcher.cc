@@ -17,8 +17,11 @@ void Extend(const Document& doc, const Pattern& pattern, size_t next,
   }
   const PatternNode& pnode = pattern.node(static_cast<PatternNodeId>(next));
   const NodeId anchor = (*binding)[static_cast<size_t>(pnode.parent)];
-  const NodeId end = doc.EndOf(anchor);
-  for (NodeId cand = anchor + 1; cand <= end; ++cand) {
+  // Sweep the subtree in pre-order slot space, binding order keys.
+  const NodeId aslot = doc.SlotOfKey(anchor);
+  const NodeId end_slot = doc.EndSlotOf(aslot);
+  for (NodeId s = aslot + 1; s <= end_slot; ++s) {
+    const NodeId cand = doc.KeyOfSlot(s);
     if (doc.TagNameOf(cand) != pnode.tag) continue;
     if (pnode.axis == Axis::kChild &&
         doc.LevelOf(cand) != doc.LevelOf(anchor) + 1) {
@@ -43,7 +46,8 @@ Result<std::vector<std::vector<NodeId>>> NaiveMatch(const Document& doc,
   const PatternNode& root = pattern.node(0);
   std::vector<NodeId> binding(pattern.NumNodes());
   const NodeId n = static_cast<NodeId>(doc.NumNodes());
-  for (NodeId cand = 0; cand < n; ++cand) {
+  for (NodeId slot = 0; slot < n; ++slot) {
+    const NodeId cand = doc.KeyOfSlot(slot);
     if (doc.TagNameOf(cand) != root.tag) continue;
     if (!root.predicate.Empty() && !root.predicate.Matches(doc.TextOf(cand))) {
       continue;

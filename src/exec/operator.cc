@@ -17,6 +17,7 @@
 #include "exec/executor.h"
 #include "exec/governor.h"
 #include "exec/vector_kernels.h"
+#include "storage/differential_index.h"
 
 namespace sjos {
 
@@ -127,8 +128,17 @@ Status ScanOperator::Open() {
   const TagId tag = ctx_->db->doc().dict().Find(pnode_->tag);
   if (tag != kInvalidTag) {
     std::span<const NodeId> postings = ctx_->db->index().Postings(tag);
-    data_ = postings.data();
-    count_ = postings.size();
+    const DocView view = ctx_->db->View();
+    if (view.HasOverlay()) {
+      // Differential overlay: materialize the order-preserving merge once
+      // (deletes filtered, overlay inserts spliced in) and stream from it.
+      merged_ = MergedPostings(postings, view, tag);
+      data_ = merged_.data();
+      count_ = merged_.size();
+    } else {
+      data_ = postings.data();
+      count_ = postings.size();
+    }
   }
   pos_ = 0;
   return Status::OK();
@@ -137,7 +147,7 @@ Status ScanOperator::Open() {
 Status ScanOperator::NextBatch(ColumnBatch* out, bool* eos) {
   SJOS_FAILPOINT("exec.scan.next");
   const size_t cap = ctx_->batch_rows;
-  const Document& doc = ctx_->db->doc();
+  const DocView view = ctx_->db->View();
   const bool filtered = !pnode_->predicate.Empty();
   out->Reserve(cap);
   std::vector<NodeId>& col = out->Raw(0);
@@ -150,7 +160,7 @@ Status ScanOperator::NextBatch(ColumnBatch* out, bool* eos) {
   } else {
     while (pos_ < count_ && col.size() < cap) {
       const NodeId id = data_[pos_++];
-      if (!pnode_->predicate.Matches(doc.TextOf(id))) continue;
+      if (!pnode_->predicate.Matches(view.TextOf(id))) continue;
       col.push_back(id);
       ++ctx_->stats->rows_scanned;
     }
@@ -246,6 +256,7 @@ Status NavigateOperator::Open() {
 Status NavigateOperator::NextBatch(ColumnBatch* out, bool* eos) {
   const size_t cap = ctx_->batch_rows;
   const Document& doc = ctx_->db->doc();
+  const DocView view = ctx_->db->View();
   const PatternNode& tnode = ctx_->pattern->node(target_);
   const size_t in_arity = input_.arity();
   for (;;) {
@@ -270,12 +281,11 @@ Status NavigateOperator::NextBatch(ColumnBatch* out, bool* eos) {
           col.insert(col.end(), take, input_.At(input_row_, c));
         }
         std::vector<NodeId>& tcol = out->Raw(in_arity);
-        for (size_t i = 0; i < take; ++i) {
-          tcol.push_back(row_base_ + sel_[sel_pos_ + i]);
-        }
+        tcol.insert(tcol.end(), matches_.begin() + sel_pos_,
+                    matches_.begin() + sel_pos_ + take);
         out->SetRows(out->size() + take);
         sel_pos_ += take;
-        cand_off_ = sel_[sel_pos_ - 1] + 1;
+        cand_off_ = match_off_[sel_pos_ - 1] + 1;
       }
     } else if (input_row_ < input_.size()) {
       if (!tag_valid_) {
@@ -285,31 +295,59 @@ Status NavigateOperator::NextBatch(ColumnBatch* out, bool* eos) {
         continue;
       }
       const NodeId a = input_.At(input_row_, anchor_slot_);
-      const NodeId end = doc.EndOf(a);
-      ctx_->stats->nodes_navigated += end - a;
-      span_ = end - a;  // subtree = pre-order range (a, end]
-      row_base_ = a + 1;
-      sel_.resize(span_);
-      sel_count_ =
-          kernels::SelEqualsU32(doc.TagData() + a + 1, span_, tag_,
-                                sel_.data());
-      if (axis_ == Axis::kChild) {
-        const int want = doc.LevelOf(a) + 1;
-        size_t w = 0;
-        for (size_t i = 0; i < sel_count_; ++i) {
-          if (doc.LevelData()[a + 1 + sel_[i]] == want) sel_[w++] = sel_[i];
+      matches_.clear();
+      match_off_.clear();
+      if (!view.HasOverlay()) {
+        // Overlay-free fast path: the subtree is the contiguous pre-order
+        // slot range (aslot, end_slot], so the tag filter is a
+        // selection-vector column sweep (slots == keys when dense).
+        const NodeId aslot = doc.SlotOfKey(a);
+        const NodeId end_slot = doc.EndSlotOf(aslot);
+        ctx_->stats->nodes_navigated += end_slot - aslot;
+        span_ = end_slot - aslot;  // subtree = slot range (aslot, end_slot]
+        sel_.resize(span_);
+        size_t m = kernels::SelEqualsU32(doc.TagData() + aslot + 1, span_,
+                                         tag_, sel_.data());
+        if (axis_ == Axis::kChild) {
+          const int want = doc.LevelData()[aslot] + 1;
+          size_t w = 0;
+          for (size_t i = 0; i < m; ++i) {
+            if (doc.LevelData()[aslot + 1 + sel_[i]] == want) {
+              sel_[w++] = sel_[i];
+            }
+          }
+          m = w;
         }
-        sel_count_ = w;
+        matches_.reserve(m);
+        match_off_.reserve(m);
+        for (size_t i = 0; i < m; ++i) {
+          matches_.push_back(doc.KeyOfSlot(aslot + 1 + sel_[i]));
+          match_off_.push_back(sel_[i]);
+        }
+      } else {
+        // Overlay merge: shared subtree walk keeps match order (and the
+        // nodes_navigated accounting) identical to NavigateColumns.
+        CollectSubtreeMatches(view, a, tag_, axis_ == Axis::kChild, &matches_,
+                              &ctx_->stats->nodes_navigated);
+        span_ = matches_.size();
+        match_off_.resize(matches_.size());
+        for (size_t i = 0; i < matches_.size(); ++i) {
+          match_off_[i] = static_cast<uint32_t>(i);
+        }
       }
       if (!tnode.predicate.Empty()) {
         size_t w = 0;
-        for (size_t i = 0; i < sel_count_; ++i) {
-          if (tnode.predicate.Matches(doc.TextOf(a + 1 + sel_[i]))) {
-            sel_[w++] = sel_[i];
+        for (size_t i = 0; i < matches_.size(); ++i) {
+          if (tnode.predicate.Matches(view.TextOf(matches_[i]))) {
+            matches_[w] = matches_[i];
+            match_off_[w] = match_off_[i];
+            ++w;
           }
         }
-        sel_count_ = w;
+        matches_.resize(w);
+        match_off_.resize(w);
       }
+      sel_count_ = matches_.size();
       sel_pos_ = 0;
       cand_off_ = 0;
       row_active_ = true;
@@ -478,14 +516,14 @@ Status StackTreeJoinBase::RefillAncGroups(NodeId d) {
 }
 
 Status StackTreeJoinBase::AdvanceAncTo(NodeId d) {
-  const Document& doc = ctx_->db->doc();
+  const DocView view = ctx_->db->View();
   // Stack every ancestor group starting before d, retiring closed entries
   // first — the kernel's push loop, fed incrementally.
   for (;;) {
     SJOS_RETURN_IF_ERROR(RefillAncGroups(d));
     if (ready_anc_.empty() || ready_anc_.front().elem >= d) break;
     const NodeId a = ready_anc_.front().elem;
-    while (!stack_.empty() && doc.EndOf(stack_.back().group.elem) < a) {
+    while (!stack_.empty() && view.EndKeyOf(stack_.back().group.elem) < a) {
       SJOS_RETURN_IF_ERROR(PopEntry());
     }
     StackEntry entry;
@@ -498,7 +536,7 @@ Status StackTreeJoinBase::AdvanceAncTo(NodeId d) {
     ready_anc_.pop_front();
   }
   // Retire entries that closed before d.
-  while (!stack_.empty() && doc.EndOf(stack_.back().group.elem) < d) {
+  while (!stack_.empty() && view.EndKeyOf(stack_.back().group.elem) < d) {
     SJOS_RETURN_IF_ERROR(PopEntry());
   }
   match_k_ = 0;
@@ -510,8 +548,8 @@ Status StackTreeJoinBase::AdvanceAncTo(NodeId d) {
 bool StackTreeJoinBase::Matches(NodeId a, NodeId d) const {
   if (a >= d) return false;  // proper containment needs a.start < d.start
   if (axis_ == Axis::kChild) {
-    const Document& doc = ctx_->db->doc();
-    return doc.LevelOf(a) + 1 == doc.LevelOf(d);
+    const DocView view = ctx_->db->View();
+    return view.LevelOf(a) + 1 == view.LevelOf(d);
   }
   return true;  // containment established by the stack discipline
 }

@@ -171,6 +171,9 @@ class ScanOperator : public Operator {
   const NodeId* data_ = nullptr;
   size_t count_ = 0;
   size_t pos_ = 0;
+  // Overlay merge: when the database carries a differential overlay the
+  // scan materializes the merged posting list here and streams from it.
+  std::vector<NodeId> merged_;
 };
 
 /// Sort: the only blocking operator. Open() drains the child into a
@@ -220,10 +223,11 @@ class NavigateOperator : public Operator {
   size_t input_row_ = 0;
   bool child_eos_ = false;
   bool row_active_ = false;  // true while the current subtree is mid-emit
-  NodeId row_base_ = 0;      // anchor + 1: document id of subtree offset 0
   size_t span_ = 0;          // candidates in the current subtree
   size_t cand_off_ = 0;      // first unexamined subtree offset
-  std::vector<uint32_t> sel_;  // matching offsets (tag/level/predicate)
+  std::vector<uint32_t> sel_;  // scratch selection vector (tag sweep)
+  std::vector<NodeId> matches_;     // match keys (tag/level/predicate)
+  std::vector<uint32_t> match_off_;  // candidate offset of each match
   size_t sel_count_ = 0;
   size_t sel_pos_ = 0;
 };

@@ -11,15 +11,30 @@ ColumnBatch ScanCandidateColumns(const Database& db, const Pattern& pattern,
   const PatternNode& pnode = pattern.node(node);
   TagId tag = db.doc().dict().Find(pnode.tag);
   if (tag != kInvalidTag) {
+    const DocView view = db.View();
     std::span<const NodeId> postings = db.index().Postings(tag);
     std::vector<NodeId>& col = set.Raw(0);
-    if (pnode.predicate.Empty()) {
-      // No value predicate: the posting arena slice IS the column.
-      col.assign(postings.begin(), postings.end());
+    if (!view.HasOverlay()) {
+      if (pnode.predicate.Empty()) {
+        // No value predicate: the posting arena slice IS the column.
+        col.assign(postings.begin(), postings.end());
+      } else {
+        col.reserve(postings.size());
+        for (NodeId id : postings) {
+          if (pnode.predicate.Matches(db.doc().TextOf(id))) col.push_back(id);
+        }
+      }
     } else {
-      col.reserve(postings.size());
-      for (NodeId id : postings) {
-        if (pnode.predicate.Matches(db.doc().TextOf(id))) col.push_back(id);
+      // Order-preserving merge of base postings (deletes filtered) with
+      // the overlay's added keys.
+      std::vector<NodeId> merged = MergedPostings(postings, view, tag);
+      if (pnode.predicate.Empty()) {
+        col = std::move(merged);
+      } else {
+        col.reserve(merged.size());
+        for (NodeId id : merged) {
+          if (pnode.predicate.Matches(view.TextOf(id))) col.push_back(id);
+        }
       }
     }
     set.SetRows(col.size());
@@ -46,6 +61,7 @@ Result<ColumnBatch> NavigateColumns(const Database& db, const Pattern& pattern,
   }
   const PatternNode& tnode = pattern.node(target);
   const Document& doc = db.doc();
+  const DocView view = db.View();
   const TagId tag = doc.dict().Find(tnode.tag);
 
   std::vector<PatternNodeId> slots = input.slots();
@@ -56,29 +72,47 @@ Result<ColumnBatch> NavigateColumns(const Database& db, const Pattern& pattern,
 
   const size_t arity = input.arity();
   const bool filtered = !tnode.predicate.Empty();
+  const bool merged = view.HasOverlay();
   std::vector<uint32_t> sel;
+  std::vector<NodeId> matches;
   for (size_t r = 0; r < input.size(); ++r) {
     const NodeId a = input.At(r, static_cast<size_t>(anchor_slot));
-    const NodeId end = doc.EndOf(a);
-    if (nodes_visited != nullptr) *nodes_visited += end - a;
-    const size_t span = end - a;  // subtree = pre-order range (a, end]
-    if (span == 0) continue;
-    sel.resize(span);
-    size_t m =
-        kernels::SelEqualsU32(doc.TagData() + a + 1, span, tag, sel.data());
-    if (axis == Axis::kChild) {
-      const int want = doc.LevelOf(a) + 1;
-      size_t w = 0;
-      for (size_t i = 0; i < m; ++i) {
-        if (doc.LevelData()[a + 1 + sel[i]] == want) sel[w++] = sel[i];
+    size_t m = 0;
+    if (!merged) {
+      // Overlay-free fast path: the subtree is the contiguous pre-order
+      // slot range (aslot, end_slot], so the tag filter is a
+      // selection-vector column sweep (slots == keys when dense).
+      const NodeId aslot = doc.SlotOfKey(a);
+      const NodeId end_slot = doc.EndSlotOf(aslot);
+      if (nodes_visited != nullptr) *nodes_visited += end_slot - aslot;
+      const size_t span = end_slot - aslot;
+      if (span == 0) continue;
+      sel.resize(span);
+      m = kernels::SelEqualsU32(doc.TagData() + aslot + 1, span, tag,
+                                sel.data());
+      if (axis == Axis::kChild) {
+        const int want = doc.LevelData()[aslot] + 1;
+        size_t w = 0;
+        for (size_t i = 0; i < m; ++i) {
+          if (doc.LevelData()[aslot + 1 + sel[i]] == want) sel[w++] = sel[i];
+        }
+        m = w;
       }
-      m = w;
+      matches.resize(m);
+      for (size_t i = 0; i < m; ++i) {
+        matches[i] = doc.KeyOfSlot(aslot + 1 + sel[i]);
+      }
+    } else {
+      matches.clear();
+      CollectSubtreeMatches(view, a, tag, axis == Axis::kChild, &matches,
+                            nodes_visited);
+      m = matches.size();
     }
     if (filtered) {
       size_t w = 0;
       for (size_t i = 0; i < m; ++i) {
-        if (tnode.predicate.Matches(doc.TextOf(a + 1 + sel[i]))) {
-          sel[w++] = sel[i];
+        if (tnode.predicate.Matches(view.TextOf(matches[i]))) {
+          matches[w++] = matches[i];
         }
       }
       m = w;
@@ -91,7 +125,7 @@ Result<ColumnBatch> NavigateColumns(const Database& db, const Pattern& pattern,
       col.insert(col.end(), m, input.At(r, c));
     }
     std::vector<NodeId>& tcol = out.Raw(arity);
-    for (size_t i = 0; i < m; ++i) tcol.push_back(a + 1 + sel[i]);
+    tcol.insert(tcol.end(), matches.begin(), matches.begin() + m);
     out.SetRows(out.size() + m);
   }
   return out;

@@ -112,7 +112,7 @@ ColumnBatch MakeOutputSet(const ColumnBatch& anc, size_t anc_slot,
 /// descendant group so sibling partitions stop early after one of them
 /// overflowed; a cancelled run returns OK with partial output, which the
 /// caller discards.
-Status RunStackTree(const Document& doc, const ColumnBatch& anc,
+Status RunStackTree(DocView view, const ColumnBatch& anc,
                     const ColumnBatch& desc,
                     const std::vector<Group>& anc_groups,
                     const std::vector<Group>& desc_groups, size_t anc_lo,
@@ -191,8 +191,8 @@ Status RunStackTree(const Document& doc, const ColumnBatch& anc,
       const NodeId a = anc_groups[ai].elem;
       while (!stack_ag.empty() && stack_end.back() < a) pop_entry();
       stack_ag.push_back(static_cast<uint32_t>(ai));
-      stack_end.push_back(doc.EndOf(a));
-      stack_level.push_back(doc.LevelOf(a));
+      stack_end.push_back(view.EndKeyOf(a));
+      stack_level.push_back(view.LevelOf(a));
       buffers.emplace_back();
       if (stats != nullptr) {
         ++stats->stack_pushes;
@@ -212,7 +212,7 @@ Status RunStackTree(const Document& doc, const ColumnBatch& anc,
     size_t nmatch = 0;
     if (axis == Axis::kChild) {
       sel.resize(depth);
-      const uint16_t dl = doc.LevelOf(d);
+      const uint16_t dl = view.LevelOf(d);
       nmatch = dl == 0 ? 0
                        : kernels::SelEqualsU16(
                              stack_level.data(), depth,
@@ -265,16 +265,16 @@ struct JoinPartition {
 /// Descendant groups outside every region match nothing and are dropped,
 /// exactly as the serial merge would discard them against an empty stack.
 std::vector<JoinPartition> PartitionAtTopLevel(
-    const Document& doc, const std::vector<Group>& anc_groups,
+    DocView view, const std::vector<Group>& anc_groups,
     const std::vector<Group>& desc_groups, size_t target_partitions) {
   // Pass 1: maximal regions of overlapping ancestor intervals.
   std::vector<JoinPartition> regions;
   size_t i = 0;
   while (i < anc_groups.size()) {
-    NodeId max_end = doc.EndOf(anc_groups[i].elem);
+    NodeId max_end = view.EndKeyOf(anc_groups[i].elem);
     size_t j = i + 1;
     while (j < anc_groups.size() && anc_groups[j].elem <= max_end) {
-      max_end = std::max(max_end, doc.EndOf(anc_groups[j].elem));
+      max_end = std::max(max_end, view.EndKeyOf(anc_groups[j].elem));
       ++j;
     }
     // Descendants matchable here: first_elem < d <= max_end.
@@ -331,7 +331,7 @@ std::vector<JoinPartition> PartitionAtTopLevel(
 
 }  // namespace
 
-Result<ColumnBatch> StackTreeJoin(const Document& doc, const ColumnBatch& anc,
+Result<ColumnBatch> StackTreeJoin(DocView view, const ColumnBatch& anc,
                                   size_t anc_slot, const ColumnBatch& desc,
                                   size_t desc_slot, Axis axis,
                                   bool output_by_ancestor, JoinStats* stats,
@@ -344,34 +344,34 @@ Result<ColumnBatch> StackTreeJoin(const Document& doc, const ColumnBatch& anc,
   const std::vector<Group> desc_groups = BuildGroups(desc, desc_slot);
   if (anc_groups.empty() || desc_groups.empty()) return out;
   SJOS_RETURN_IF_ERROR(RunStackTree(
-      doc, anc, desc, anc_groups, desc_groups, 0, anc_groups.size(), 0,
+      view, anc, desc, anc_groups, desc_groups, 0, anc_groups.size(), 0,
       desc_groups.size(), axis, output_by_ancestor, max_output_rows, &out,
       stats, /*cancel=*/nullptr, governor));
   return out;
 }
 
-Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
+Result<TupleSet> StackTreeJoin(DocView view, const TupleSet& anc,
                                size_t anc_slot, const TupleSet& desc,
                                size_t desc_slot, Axis axis,
                                bool output_by_ancestor, JoinStats* stats,
                                uint64_t max_output_rows,
                                QueryGovernor* governor) {
   Result<ColumnBatch> out = StackTreeJoin(
-      doc, ColumnBatch::FromRows(anc), anc_slot, ColumnBatch::FromRows(desc),
+      view, ColumnBatch::FromRows(anc), anc_slot, ColumnBatch::FromRows(desc),
       desc_slot, axis, output_by_ancestor, stats, max_output_rows, governor);
   if (!out.ok()) return out.status();
   return std::move(out).value().ToRows();
 }
 
 Result<ColumnBatch> StackTreeJoinParallel(
-    const Document& doc, const ColumnBatch& anc, size_t anc_slot,
+    DocView view, const ColumnBatch& anc, size_t anc_slot,
     const ColumnBatch& desc, size_t desc_slot, Axis axis,
     bool output_by_ancestor, ThreadPool* pool, JoinStats* stats,
     uint64_t max_output_rows, size_t min_parallel_input_rows,
     QueryGovernor* governor) {
   if (pool == nullptr || pool->num_workers() <= 1 ||
       anc.size() + desc.size() < min_parallel_input_rows) {
-    return StackTreeJoin(doc, anc, anc_slot, desc, desc_slot, axis,
+    return StackTreeJoin(view, anc, anc_slot, desc, desc_slot, axis,
                          output_by_ancestor, stats, max_output_rows, governor);
   }
   SJOS_RETURN_IF_ERROR(ValidateJoinInputs(anc, anc_slot, desc, desc_slot));
@@ -382,12 +382,12 @@ Result<ColumnBatch> StackTreeJoinParallel(
   if (anc_groups.empty() || desc_groups.empty()) return out;
 
   const std::vector<JoinPartition> parts = PartitionAtTopLevel(
-      doc, anc_groups, desc_groups, pool->num_workers());
+      view, anc_groups, desc_groups, pool->num_workers());
   if (parts.size() <= 1) {
     // One top-level region (e.g. a single document root candidate):
     // nothing to split, run the serial kernel in place.
     SJOS_RETURN_IF_ERROR(RunStackTree(
-        doc, anc, desc, anc_groups, desc_groups, 0, anc_groups.size(), 0,
+        view, anc, desc, anc_groups, desc_groups, 0, anc_groups.size(), 0,
         desc_groups.size(), axis, output_by_ancestor, max_output_rows, &out,
         stats, /*cancel=*/nullptr, governor));
     return out;
@@ -423,7 +423,7 @@ Result<ColumnBatch> StackTreeJoinParallel(
       // Each worker enforces the full global budget locally (a partition
       // alone may exceed it); the post-merge sum check below catches the
       // case where only the partitions' total does.
-      Status st = RunStackTree(doc, anc, desc, anc_groups, desc_groups,
+      Status st = RunStackTree(view, anc, desc, anc_groups, desc_groups,
                                part.anc_lo, part.anc_hi, part.desc_lo,
                                part.desc_hi, axis, output_by_ancestor,
                                max_output_rows, &part_out[p], &part_stats[p],
@@ -457,12 +457,12 @@ Result<ColumnBatch> StackTreeJoinParallel(
 }
 
 Result<TupleSet> StackTreeJoinParallel(
-    const Document& doc, const TupleSet& anc, size_t anc_slot,
+    DocView view, const TupleSet& anc, size_t anc_slot,
     const TupleSet& desc, size_t desc_slot, Axis axis, bool output_by_ancestor,
     ThreadPool* pool, JoinStats* stats, uint64_t max_output_rows,
     size_t min_parallel_input_rows, QueryGovernor* governor) {
   Result<ColumnBatch> out = StackTreeJoinParallel(
-      doc, ColumnBatch::FromRows(anc), anc_slot, ColumnBatch::FromRows(desc),
+      view, ColumnBatch::FromRows(anc), anc_slot, ColumnBatch::FromRows(desc),
       desc_slot, axis, output_by_ancestor, pool, stats, max_output_rows,
       min_parallel_input_rows, governor);
   if (!out.ok()) return out.status();

@@ -30,6 +30,7 @@
 #include "exec/column_batch.h"
 #include "exec/tuple_set.h"
 #include "query/pattern.h"
+#include "storage/differential_index.h"
 #include "xml/document.h"
 
 namespace sjos {
@@ -63,7 +64,7 @@ struct JoinStats {
 ///
 /// `governor`, when non-null, is polled for the query deadline every 64
 /// descendant groups; a breach aborts the join with DeadlineExceeded.
-Result<ColumnBatch> StackTreeJoin(const Document& doc, const ColumnBatch& anc,
+Result<ColumnBatch> StackTreeJoin(DocView view, const ColumnBatch& anc,
                                   size_t anc_slot, const ColumnBatch& desc,
                                   size_t desc_slot, Axis axis,
                                   bool output_by_ancestor,
@@ -72,7 +73,7 @@ Result<ColumnBatch> StackTreeJoin(const Document& doc, const ColumnBatch& anc,
                                   QueryGovernor* governor = nullptr);
 
 /// Row-major shim: converts at the boundary and runs the columnar kernel.
-Result<TupleSet> StackTreeJoin(const Document& doc, const TupleSet& anc,
+Result<TupleSet> StackTreeJoin(DocView view, const TupleSet& anc,
                                size_t anc_slot, const TupleSet& desc,
                                size_t desc_slot, Axis axis,
                                bool output_by_ancestor,
@@ -106,7 +107,7 @@ inline constexpr size_t kParallelJoinMinInputRows = 8192;
 /// sibling partitions stop early, and surfaces through WaitAll's
 /// earliest-error-wins semantics — no task is leaked.
 Result<ColumnBatch> StackTreeJoinParallel(
-    const Document& doc, const ColumnBatch& anc, size_t anc_slot,
+    DocView view, const ColumnBatch& anc, size_t anc_slot,
     const ColumnBatch& desc, size_t desc_slot, Axis axis,
     bool output_by_ancestor, ThreadPool* pool, JoinStats* stats = nullptr,
     uint64_t max_output_rows = 0,
@@ -115,7 +116,7 @@ Result<ColumnBatch> StackTreeJoinParallel(
 
 /// Row-major shim over the columnar partitioned join.
 Result<TupleSet> StackTreeJoinParallel(
-    const Document& doc, const TupleSet& anc, size_t anc_slot,
+    DocView view, const TupleSet& anc, size_t anc_slot,
     const TupleSet& desc, size_t desc_slot, Axis axis, bool output_by_ancestor,
     ThreadPool* pool, JoinStats* stats = nullptr, uint64_t max_output_rows = 0,
     size_t min_parallel_input_rows = kParallelJoinMinInputRows,

@@ -34,7 +34,8 @@ class PathStackRun {
  public:
   PathStackRun(const Database& db, const Pattern& pattern,
                const std::vector<PatternNodeId>& path, TwigJoinStats* stats)
-      : db_(db), pattern_(pattern), path_(path), stats_(stats) {
+      : db_(db), view_(db.View()), pattern_(pattern), path_(path),
+        stats_(stats) {
     streams_.reserve(path.size());
     for (PatternNodeId q : path) {
       // Candidate streams stay columnar: the merge only ever reads the
@@ -75,7 +76,7 @@ class PathStackRun {
       // Retire stack entries that end before emin starts: they can never
       // contain it or anything after it.
       for (auto& stack : stacks_) {
-        while (!stack.empty() && db_.doc().EndOf(stack.back().elem) < emin) {
+        while (!stack.empty() && view_.EndKeyOf(stack.back().elem) < emin) {
           stack.pop_back();
         }
       }
@@ -122,7 +123,7 @@ class PathStackRun {
   /// guaranteed by the stack discipline; only parent-child needs a check).
   bool EdgeOk(size_t q, NodeId a, NodeId d) const {
     if (pattern_.node(path_[q]).axis != Axis::kChild) return true;
-    return db_.doc().LevelOf(a) + 1 == db_.doc().LevelOf(d);
+    return view_.LevelOf(a) + 1 == view_.LevelOf(d);
   }
 
   /// Emits every root-to-leaf chain ending at the just-pushed leaf entry.
@@ -155,6 +156,7 @@ class PathStackRun {
   }
 
   const Database& db_;
+  const DocView view_;
   const Pattern& pattern_;
   const std::vector<PatternNodeId>& path_;
   TwigJoinStats* stats_;

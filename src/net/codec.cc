@@ -17,9 +17,10 @@ Result<Verb> ParseVerb(std::string_view name) {
   if (name == "explain") return Verb::kExplain;
   if (name == "stats") return Verb::kStats;
   if (name == "drain") return Verb::kDrain;
+  if (name == "update") return Verb::kUpdate;
   return Status::InvalidArgument(
       "unknown verb '" + std::string(name) +
-      "' (expected ping|submit|poll|cancel|explain|stats|drain)");
+      "' (expected ping|submit|poll|cancel|explain|stats|drain|update)");
 }
 
 }  // namespace
@@ -33,6 +34,7 @@ const char* VerbName(Verb verb) {
     case Verb::kExplain: return "explain";
     case Verb::kStats: return "stats";
     case Verb::kDrain: return "drain";
+    case Verb::kUpdate: return "update";
   }
   return "?";
 }
@@ -93,6 +95,11 @@ Result<WireRequest> DecodeRequest(std::string_view payload) {
                   root.GetUint("max_join_output_rows", 0));
   SJOS_NET_ASSIGN(req.use_plan_cache, root.GetBool("use_plan_cache", true));
   SJOS_NET_ASSIGN(req.wait_ms, root.GetUint("wait_ms", 0));
+  SJOS_NET_ASSIGN(req.action, root.GetString("action", ""));
+  SJOS_NET_ASSIGN(req.parent, root.GetUint("parent", 0));
+  SJOS_NET_ASSIGN(req.position, root.GetUint("position", ~0ull));
+  SJOS_NET_ASSIGN(req.xml, root.GetString("xml", ""));
+  SJOS_NET_ASSIGN(req.node, root.GetUint("node", 0));
 #undef SJOS_NET_ASSIGN
 
   if (req.id.size() > kMaxIdBytes) {
@@ -125,6 +132,20 @@ Result<WireRequest> DecodeRequest(std::string_view payload) {
       if (req.id.empty()) {
         return Status::InvalidArgument(std::string(VerbName(req.verb)) +
                                        " requires a non-empty 'id'");
+      }
+      break;
+    case Verb::kUpdate:
+      if (req.id.empty()) {
+        return Status::InvalidArgument("update requires a non-empty 'id'");
+      }
+      if (req.action != "insert" && req.action != "delete" &&
+          req.action != "flush") {
+        return Status::InvalidArgument(
+            "update requires 'action' of insert|delete|flush");
+      }
+      if (req.action == "insert" && req.xml.empty()) {
+        return Status::InvalidArgument(
+            "update action 'insert' requires a non-empty 'xml'");
       }
       break;
     case Verb::kPing:

@@ -7,6 +7,8 @@
 //   {"verb":"poll","id":"q1","wait_ms":50}
 //   {"verb":"cancel","id":"q1"}
 //   {"verb":"explain","id":"e1","query":"a[//b]","optimizer":"dp"}
+//   {"verb":"update","id":"u1","action":"insert","parent":0,
+//    "xml":"<x/>"}           (actions: insert | delete | flush)
 //   {"verb":"stats"}        {"verb":"ping"}
 //
 // Responses always carry "id" (echoed, possibly empty) and "ok". Errors
@@ -40,6 +42,7 @@ enum class Verb : uint8_t {
   kExplain,
   kStats,
   kDrain,
+  kUpdate,
 };
 
 const char* VerbName(Verb verb);
@@ -57,6 +60,13 @@ struct WireRequest {
   uint64_t max_join_output_rows = 0;
   bool use_plan_cache = true;
   uint64_t wait_ms = 0;  // poll: block up to this long for completion
+
+  // Update-verb fields.
+  std::string action;  // "insert" | "delete" | "flush"
+  uint64_t parent = 0;       // insert: order key of the parent node
+  uint64_t position = ~0ull; // insert: child index (default = append)
+  std::string xml;           // insert: the fragment to parse
+  uint64_t node = 0;         // delete: order key of the subtree root
 
   /// Service-layer options derived from the wire fields (tenant label
   /// included). The server clamps max_live_bytes against the tenant quota

@@ -36,6 +36,8 @@ void TenantQuotaTable::SetQuota(const std::string& tenant, TenantQuota quota) {
   state.quota = quota;
   state.bucket_started = false;
   state.tokens = 0.0;
+  state.write_bucket_started = false;
+  state.write_tokens = 0.0;
 }
 
 TenantQuotaTable::Decision TenantQuotaTable::Admit(const std::string& tenant,
@@ -83,6 +85,46 @@ TenantQuotaTable::Decision TenantQuotaTable::Admit(const std::string& tenant,
   }
 
   state.in_flight += 1;
+  decision.admitted = true;
+  return decision;
+}
+
+TenantQuotaTable::Decision TenantQuotaTable::AdmitWrite(
+    const std::string& tenant, uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = GetLocked(tenant);
+  Decision decision;
+
+  if (state.quota.write_qps > 0) {
+    const double burst = state.quota.write_burst > 0
+                             ? state.quota.write_burst
+                             : std::max(1.0, state.quota.write_qps);
+    if (!state.write_bucket_started) {
+      // Like the read bucket: start full so the first burst is admitted.
+      state.write_tokens = burst;
+      state.write_last_refill_us = now_us;
+      state.write_bucket_started = true;
+    } else if (now_us > state.write_last_refill_us) {
+      const double elapsed_s =
+          static_cast<double>(now_us - state.write_last_refill_us) / 1e6;
+      state.write_tokens = std::min(
+          burst, state.write_tokens + elapsed_s * state.quota.write_qps);
+      state.write_last_refill_us = now_us;
+    }
+    if (state.write_tokens < 1.0) {
+      decision.reason = "write_qps";
+      const double deficit_s =
+          (1.0 - state.write_tokens) / state.quota.write_qps;
+      decision.retry_after_ms = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::ceil(deficit_s * 1e3)));
+      MetricsRegistry::Global()
+          .GetCounter("sjos_server_shed_total", {{"reason", "write_qps"}})
+          .Add();
+      return decision;
+    }
+    state.write_tokens -= 1.0;
+  }
+
   decision.admitted = true;
   return decision;
 }

@@ -34,6 +34,13 @@ struct TenantQuota {
   /// Per-query live-bytes clamp: a submitted query runs with
   /// min(requested, this) as its governor max_live_bytes budget.
   uint64_t max_live_bytes = 0;
+
+  /// Sustained update (insert/delete/flush) submissions per second,
+  /// enforced by a separate write token bucket. 0 = unlimited writes.
+  double write_qps = 0.0;
+
+  /// Write bucket capacity; 0 → max(1, write_qps).
+  double write_burst = 0.0;
 };
 
 /// Thread-safe quota table. Tenants not explicitly configured get the
@@ -60,6 +67,10 @@ class TenantQuotaTable {
   /// one Release per admitted query.
   Decision Admit(const std::string& tenant, uint64_t now_us);
 
+  /// Charges one update against the tenant's write token bucket. Writes
+  /// are synchronous (no in-flight slot); admission only spends a token.
+  Decision AdmitWrite(const std::string& tenant, uint64_t now_us);
+
   /// Releases one in-flight slot (no-op at zero — tolerates double
   /// release rather than underflowing).
   void Release(const std::string& tenant);
@@ -80,6 +91,9 @@ class TenantQuotaTable {
     double tokens = 0.0;
     uint64_t last_refill_us = 0;
     bool bucket_started = false;
+    double write_tokens = 0.0;
+    uint64_t write_last_refill_us = 0;
+    bool write_bucket_started = false;
   };
 
   TenantState& GetLocked(const std::string& tenant);

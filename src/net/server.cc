@@ -510,6 +510,7 @@ std::string QueryServer::HandleRequest(Connection* conn,
     case Verb::kExplain: return HandleExplain(req);
     case Verb::kStats: return HandleStats(req);
     case Verb::kDrain: return HandleDrain(req);
+    case Verb::kUpdate: return HandleUpdate(req);
   }
   return EncodeErrorResponse(req.id, Status::Internal("unreachable verb"));
 }
@@ -804,9 +805,106 @@ std::string QueryServer::HandlePing(const WireRequest& req) {
     out += ",\"db\":";
     AppendJsonString(engine_->db().name(), &out);
     out += ",\"nodes\":";
-    AppendJsonUint(engine_->db().doc().NumNodes(), &out);
+    AppendJsonUint(engine_->db().LiveNodeCount(), &out);
   }
   out += "}";
+  return out;
+}
+
+std::string QueryServer::HandleUpdate(const WireRequest& req) {
+  // Writes obey the same drain gate as submits: a draining server only
+  // finishes what it already accepted.
+  if (draining_.load(std::memory_order_relaxed)) {
+    ServerMetrics::Get().drain_shed.Add();
+    return EncodeErrorResponse(
+        req.id, Status::Unavailable("server is draining — no new updates"),
+        options_.drain_retry_after_ms);
+  }
+
+  // Idempotency: a mutation id that already completed replays its stored
+  // response byte for byte instead of mutating again — a resilient client
+  // retrying after a torn reply must not double-insert. Checked before
+  // the write quota so replays cost no tokens.
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    if (const CompletedEntry* done = FindCompletedLocked(req.id)) {
+      if (!done->disconnect_cancelled) {
+        ServerMetrics::Get().replays.Add();
+        return done->response;
+      }
+    }
+  }
+
+  const std::string tenant = req.tenant.empty() ? "default" : req.tenant;
+  const TenantQuotaTable::Decision decision =
+      quotas_.AdmitWrite(tenant, NowUs());
+  if (!decision.admitted) {
+    return EncodeErrorResponse(
+        req.id,
+        Status::ResourceExhausted("tenant '" + tenant + "' over its " +
+                                  decision.reason + " quota — retry later"),
+        decision.retry_after_ms);
+  }
+
+  // One write at a time: apply-then-record must be atomic per id, or a
+  // concurrent retry of the same id could slip past the replay check
+  // above and mutate twice.
+  std::lock_guard<std::mutex> write_lock(update_mu_);
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    if (const CompletedEntry* done = FindCompletedLocked(req.id)) {
+      if (!done->disconnect_cancelled) {
+        ServerMetrics::Get().replays.Add();
+        return done->response;
+      }
+    }
+  }
+
+  Mutation mutation;
+  if (req.action == "insert") {
+    mutation = InsertSubtree{static_cast<NodeId>(req.parent),
+                             req.position == ~0ull
+                                 ? static_cast<size_t>(-1)
+                                 : static_cast<size_t>(req.position),
+                             req.xml};
+  } else if (req.action == "delete") {
+    mutation = DeleteSubtree{static_cast<NodeId>(req.node)};
+  } else {
+    mutation = FlushDifferential{};
+  }
+
+  Result<MutationResult> result = engine_->Apply(std::move(mutation));
+  if (!result.ok()) {
+    // Failed mutations changed nothing and are not recorded: the client
+    // may retry the same id after fixing the request.
+    return EncodeErrorResponse(req.id, result.status());
+  }
+  const MutationResult& mr = result.value();
+
+  std::string out;
+  AppendOkHead(req.id, &out);
+  out += ",\"update\":";
+  AppendJsonString(req.action, &out);
+  out += ",\"nodes_added\":";
+  AppendJsonUint(mr.nodes_added, &out);
+  out += ",\"nodes_removed\":";
+  AppendJsonUint(mr.nodes_removed, &out);
+  out += ",\"histogram_deltas\":";
+  AppendJsonUint(mr.histogram_deltas, &out);
+  out += ",\"estimator_rebuilt\":";
+  out += mr.estimator_rebuilt ? "true" : "false";
+  out += ",\"cache_invalidated\":";
+  AppendJsonUint(mr.cache_invalidated, &out);
+  out += ",\"scope\":";
+  AppendJsonString(mr.scope, &out);
+  out += ",\"nodes\":";
+  AppendJsonUint(engine_->has_database() ? engine_->db().LiveNodeCount() : 0,
+                 &out);
+  out += "}";
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    PushCompletedLocked(req.id, out, /*disconnect_cancelled=*/false);
+  }
   return out;
 }
 

@@ -6,6 +6,8 @@
 //   poll    → QueryHandle::Done/WaitFor + result serialization
 //   cancel  → QueryHandle::Cancel
 //   explain → Engine::Plan (plan text, no execution)
+//   update  → Engine::Apply (insert/delete/flush; serialized writes,
+//             idempotent replay through the completed ring)
 //   stats   → MetricsRegistry Prometheus text export
 //   ping    → liveness + database identity
 //   drain   → BeginDrain (graceful shutdown; see below)
@@ -204,6 +206,7 @@ class QueryServer {
   std::string HandleStats(const WireRequest& req);
   std::string HandlePing(const WireRequest& req);
   std::string HandleDrain(const WireRequest& req);
+  std::string HandleUpdate(const WireRequest& req);
 
   Engine* engine_;
   const ServerOptions options_;
@@ -224,6 +227,11 @@ class QueryServer {
   std::unordered_map<std::string, LiveQuery> queries_;
   std::deque<CompletedEntry> completed_;
   uint64_t next_generation_ = 1;
+
+  /// Serializes update-verb mutations server-wide: Engine::Apply holds the
+  /// database write lock anyway, so admitting writes one at a time keeps
+  /// the replay ring's store-then-respond step atomic per id.
+  std::mutex update_mu_;
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> drained_{false};

@@ -11,6 +11,7 @@
 #include "common/timer.h"
 #include "common/trace.h"
 #include "xml/fold.h"
+#include "xml/parser.h"
 
 namespace sjos {
 
@@ -147,43 +148,182 @@ Engine::~Engine() {
   pool_.reset();
 }
 
-Status Engine::InstallDatabase(Database db) {
-  std::unique_lock<std::shared_mutex> lock(db_mu_);
-  db_.emplace(std::move(db));
+void Engine::RebuildEstimatorLocked() {
   estimator_.emplace(PositionalHistogramEstimator::Build(
       db_->doc(), db_->index(), db_->stats()));
+}
+
+void Engine::InstallDatabaseLocked(Database db) {
+  db_.emplace(std::move(db));
+  RebuildEstimatorLocked();
   doc_id_.fetch_add(1, std::memory_order_relaxed);
   stats_version_.fetch_add(1, std::memory_order_relaxed);
-  // The new document gets a fresh id, so old entries could never be hit
-  // again — drop them eagerly instead of letting them squat in the LRU.
+}
+
+void Engine::ApplyDeltaLocked(const Database::MutationDelta& delta,
+                              MutationResult* result) {
+  result->nodes_added = delta.added.size();
+  result->nodes_removed = delta.removed.size();
+  if (delta.respaced) {
+    // First insert into a dense document: keys were respaced, so every
+    // grid coordinate the estimator holds is stale — rebuild from the
+    // base, then fold the mutation itself in incrementally below.
+    RebuildEstimatorLocked();
+    result->estimator_rebuilt = true;
+  }
+  for (const DifferentialIndex::InsertedNode& n : delta.added) {
+    estimator_->ApplyInsert(n.tag, n.parent_tag, n.level, n.key, n.end_key,
+                            !n.text.empty());
+    ++result->histogram_deltas;
+  }
+  for (const DifferentialIndex::InsertedNode& n : delta.removed) {
+    estimator_->ApplyRemove(n.tag, n.parent_tag, n.level, n.key, n.end_key,
+                            !n.text.empty());
+    ++result->histogram_deltas;
+  }
+  if (!delta.touched_tags.empty()) {
+    std::vector<std::string> names;
+    names.reserve(delta.touched_tags.size());
+    for (TagId t : delta.touched_tags) {
+      names.emplace_back(db_->doc().dict().Name(t));
+    }
+    std::sort(names.begin(), names.end());
+    result->cache_invalidated = cache_.InvalidateTags(names);
+    result->scope = "tagset";
+  }
+}
+
+Result<MutationResult> Engine::ApplyFoldLocked(const FoldMutation& fold) {
+  // FoldDocument wants a dense document; materialize the live merged tree
+  // first (this also folds pending overlay edits in, and is an identity
+  // rebuild for a dense overlay-free base).
+  Result<Document> dense = db_->MaterializeMerged();
+  if (!dense.ok()) return dense.status();
+  Result<Document> folded = FoldDocument(dense.value(), fold.factor);
+  if (!folded.ok()) return folded.status();
+  const uint64_t before = db_->LiveNodeCount();
+  std::string name = db_->name();
+  db_.emplace(Database::Open(std::move(folded).value(), std::move(name)));
+  RebuildEstimatorLocked();
+  MutationResult result;
+  result.estimator_rebuilt = true;
+  const uint64_t after = db_->LiveNodeCount();
+  result.nodes_added = after > before ? after - before : 0;
+  result.nodes_removed = before > after ? before - after : 0;
+  // Same logical document (id and stats version are kept): every tag in
+  // the dictionary was rescaled, so invalidate by the full tag set — the
+  // fine-grained path — rather than the old lazy version-bump sweep.
+  const TagDictionary& dict = db_->doc().dict();
+  std::vector<std::string> names;
+  names.reserve(dict.size());
+  for (TagId t = 0; t < dict.size(); ++t) names.emplace_back(dict.Name(t));
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  result.cache_invalidated = cache_.InvalidateTags(names);
+  result.scope = "tagset";
+  return result;
+}
+
+Result<MutationResult> Engine::ApplyInsertLocked(const InsertSubtree& insert) {
+  Result<Document> fragment = ParseXml(insert.xml);
+  if (!fragment.ok()) return fragment.status();
+  Database::MutationDelta delta;
+  NodeId parent = insert.parent;
+  Status st = db_->InsertSubtree(parent, insert.position, fragment.value(),
+                                 &delta);
+  bool flushed = false;
+  if (st.code() == StatusCode::kResourceExhausted) {
+    // The parent's key gap is exhausted. Flush the overlay (respacing all
+    // keys) and retry once; the parent's key is remapped through its
+    // pre-order rank, which the flush preserves.
+    const std::vector<NodeId> order = db_->MergedOrder();
+    const auto it = std::find(order.begin(), order.end(), parent);
+    if (it == order.end()) {
+      return Status::NotFound("insert parent vanished during gap flush");
+    }
+    const size_t rank = static_cast<size_t>(it - order.begin());
+    SJOS_RETURN_IF_ERROR(db_->FlushDifferential());
+    parent = db_->doc().KeyOfSlot(static_cast<NodeId>(rank));
+    RebuildEstimatorLocked();
+    flushed = true;
+    delta = Database::MutationDelta{};
+    st = db_->InsertSubtree(parent, insert.position, fragment.value(), &delta);
+  }
+  if (!st.ok()) return st;
+  MutationResult result;
+  ApplyDeltaLocked(delta, &result);
+  if (flushed) result.estimator_rebuilt = true;
+  return result;
+}
+
+Result<MutationResult> Engine::ApplyDeleteLocked(const DeleteSubtree& del) {
+  Database::MutationDelta delta;
+  SJOS_RETURN_IF_ERROR(db_->DeleteSubtreeAt(del.node, &delta));
+  MutationResult result;
+  ApplyDeltaLocked(delta, &result);
+  return result;
+}
+
+Result<MutationResult> Engine::ApplyFlushLocked() {
+  MutationResult result;
+  if (!db_->HasOverlay()) return result;  // nothing to fold in
+  SJOS_RETURN_IF_ERROR(db_->FlushDifferential());
+  // The flush preserves every logical statistic (counts, levels, texts);
+  // only the physical key layout changed, and plans are cached in
+  // canonical pattern space — so no plan-cache invalidation at all. The
+  // estimator grids live in key coordinates, though: rebuild them.
+  RebuildEstimatorLocked();
+  result.estimator_rebuilt = true;
+  return result;
+}
+
+Result<MutationResult> Engine::Apply(Mutation mutation) {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  if (LoadDocument* load = std::get_if<LoadDocument>(&mutation)) {
+    MutationResult result;
+    result.nodes_added = load->doc.NumNodes();
+    InstallDatabaseLocked(
+        Database::Open(std::move(load->doc), std::move(load->name)));
+    result.estimator_rebuilt = true;
+    // The new document gets a fresh id, so old entries could never be hit
+    // again — drop them eagerly instead of letting them squat in the LRU.
+    result.cache_invalidated = cache_.Clear();
+    result.scope = "global";
+    return result;
+  }
+  if (!db_.has_value()) {
+    return Status::NotFound("no database loaded — call Engine::Load first");
+  }
+  if (const FoldMutation* fold = std::get_if<FoldMutation>(&mutation)) {
+    return ApplyFoldLocked(*fold);
+  }
+  if (const InsertSubtree* insert = std::get_if<InsertSubtree>(&mutation)) {
+    return ApplyInsertLocked(*insert);
+  }
+  if (const DeleteSubtree* del = std::get_if<DeleteSubtree>(&mutation)) {
+    return ApplyDeleteLocked(*del);
+  }
+  return ApplyFlushLocked();
+}
+
+Status Engine::Load(Document doc, std::string name) {
+  // Deprecated shim: one Apply(LoadDocument) without the result report.
+  Result<MutationResult> applied =
+      Apply(LoadDocument{std::move(doc), std::move(name)});
+  return applied.ok() ? Status::OK() : applied.status();
+}
+
+Status Engine::OpenDatabase(Database db) {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  InstallDatabaseLocked(std::move(db));
   cache_.Clear();
   return Status::OK();
 }
 
-Status Engine::Load(Document doc, std::string name) {
-  return InstallDatabase(Database::Open(std::move(doc), std::move(name)));
-}
-
-Status Engine::OpenDatabase(Database db) {
-  return InstallDatabase(std::move(db));
-}
-
 Status Engine::Fold(uint32_t factor) {
-  std::unique_lock<std::shared_mutex> lock(db_mu_);
-  if (!db_.has_value()) {
-    return Status::NotFound("no database loaded — call Engine::Load first");
-  }
-  Result<Document> folded = FoldDocument(db_->doc(), factor);
-  if (!folded.ok()) return folded.status();
-  std::string name = db_->name();
-  db_.emplace(Database::Open(std::move(folded).value(), std::move(name)));
-  estimator_.emplace(PositionalHistogramEstimator::Build(
-      db_->doc(), db_->index(), db_->stats()));
-  // Same logical document (the id is kept), new statistics: bump the
-  // version and let Get() invalidate entries lazily — this is the path
-  // plan_cache_test pins.
-  stats_version_.fetch_add(1, std::memory_order_relaxed);
-  return Status::OK();
+  // Deprecated shim: one Apply(FoldMutation) without the result report.
+  Result<MutationResult> applied = Apply(FoldMutation{factor});
+  return applied.ok() ? Status::OK() : applied.status();
 }
 
 bool Engine::has_database() const {
@@ -260,6 +400,15 @@ Result<PlannedQuery> Engine::PlanLocked(const Pattern& pattern,
     entry.search_cost = planned.search_cost;
     entry.modelled_cost = planned.modelled_cost;
     entry.stats_version = version;
+    // Tag set for fine-grained invalidation: a mutation touching none of
+    // these tags cannot change this plan's costs.
+    entry.tags.reserve(pattern.NumNodes());
+    for (size_t i = 0; i < pattern.NumNodes(); ++i) {
+      entry.tags.push_back(pattern.node(static_cast<PatternNodeId>(i)).tag);
+    }
+    std::sort(entry.tags.begin(), entry.tags.end());
+    entry.tags.erase(std::unique(entry.tags.begin(), entry.tags.end()),
+                     entry.tags.end());
     cache_.Put(planned.cache_key, std::move(entry));
   }
   return planned;

@@ -10,8 +10,9 @@
 // Planning: Engine::Plan resolves QueryOptions::optimizer to one of the
 // paper's five algorithms and consults the plan cache first — key =
 // canonical pattern fingerprint + document id + optimizer kind, entries
-// invalidated by the stats version bumped on every Load/Fold, plans stored
-// in canonical node-id space and remapped per concrete pattern. A hit
+// invalidated globally by the stats version bumped on every load and
+// fine-grained (by touched tag set) on folds and subtree mutations, plans
+// stored in canonical node-id space and remapped per concrete pattern. A hit
 // skips estimation and search entirely (no optimize:<ALGO> span appears in
 // a trace); plans that came from a deadline-triggered FP fallback are
 // never cached. After execution, a plan whose measured max_q_error
@@ -22,7 +23,8 @@
 // returns a future-style QueryHandle; at most EngineOptions::max_in_flight
 // queries execute concurrently (the admission gate — later submissions
 // queue in FIFO order), each under its own governor with the handle's
-// cancel token. Load/Fold are writer-exclusive against running queries.
+// cancel token. Mutations (Engine::Apply — loads, folds, subtree
+// inserts/deletes, flushes) are writer-exclusive against running queries.
 
 #ifndef SJOS_SERVICE_ENGINE_H_
 #define SJOS_SERVICE_ENGINE_H_
@@ -46,6 +48,7 @@
 #include "exec/executor.h"
 #include "plan/cost_model.h"
 #include "service/admission.h"
+#include "service/mutation.h"
 #include "service/plan_cache.h"
 #include "service/query_log.h"
 #include "service/query_options.h"
@@ -227,17 +230,21 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Opens `doc` as the Engine's database (builds tag index, statistics,
-  /// and the estimator), replacing any previous one. Bumps the stats
-  /// version and clears the plan cache.
+  /// Applies one mutation (see service/mutation.h) writer-exclusively
+  /// against running queries, and reports what changed. Inserts and
+  /// deletes maintain the estimator incrementally and invalidate only the
+  /// plan-cache entries whose tag sets the mutation touched; loads clear
+  /// the cache globally. An insert that exhausts its key gap automatically
+  /// flushes the overlay and retries once.
+  Result<MutationResult> Apply(Mutation mutation);
+
+  /// Deprecated: thin shim over Apply(LoadDocument{...}). Prefer Apply.
   Status Load(Document doc, std::string name = "db");
 
-  /// Adopts an already-opened Database. Same invalidation as Load.
+  /// Adopts an already-opened Database. Same invalidation as a load.
   Status OpenDatabase(Database db);
 
-  /// Replaces the document with its `factor`-folded version (Sec. 4.3
-  /// data scaling): same document identity, different statistics — so the
-  /// stats version bumps and cached plans re-optimize on next use.
+  /// Deprecated: thin shim over Apply(FoldMutation{...}). Prefer Apply.
   Status Fold(uint32_t factor);
 
   bool has_database() const;
@@ -275,7 +282,9 @@ class Engine {
   PlanCache& plan_cache() { return cache_; }
   const PlanCache& plan_cache() const { return cache_; }
 
-  /// Monotonic statistics version; bumped by Load/OpenDatabase/Fold.
+  /// Monotonic statistics version; bumped when the document identity
+  /// changes (load / OpenDatabase). Folds and differential mutations keep
+  /// the version and invalidate by tag set instead.
   uint64_t stats_version() const {
     return stats_version_.load(std::memory_order_relaxed);
   }
@@ -296,7 +305,22 @@ class Engine {
   std::vector<InFlightInfo> InFlightQueries() const;
 
  private:
-  Status InstallDatabase(Database db);
+  /// Replaces db_/estimator_ under an already-held exclusive db_mu_; bumps
+  /// the document id and stats version (a global invalidation event).
+  void InstallDatabaseLocked(Database db);
+
+  /// Apply() branches, all under exclusive db_mu_.
+  Result<MutationResult> ApplyFoldLocked(const FoldMutation& fold);
+  Result<MutationResult> ApplyInsertLocked(const InsertSubtree& insert);
+  Result<MutationResult> ApplyDeleteLocked(const DeleteSubtree& del);
+  Result<MutationResult> ApplyFlushLocked();
+
+  /// Folds a mutation delta into the estimator (incremental) and the plan
+  /// cache (tag-set scoped), filling `result`.
+  void ApplyDeltaLocked(const Database::MutationDelta& delta,
+                        MutationResult* result);
+
+  void RebuildEstimatorLocked();
 
   /// Plan + execute under an already-held reader lock.
   Result<QueryResult> RunQuery(const Pattern& pattern,

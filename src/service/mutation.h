@@ -1,0 +1,81 @@
+// The unified mutation API: every way the Engine's corpus can change is
+// one alternative of sjos::Mutation, applied atomically (writer-exclusive
+// against running queries) by Engine::Apply. Subtree inserts and deletes
+// land in the differential overlay (storage/differential_index.h) without
+// rebuilding the base index; FlushDifferential folds the overlay into a
+// freshly respaced base document. Apply reports what changed — node
+// deltas, how the estimator was maintained, and which plan-cache entries
+// were dropped at what scope — so callers (the wire service, the shell,
+// tests) can assert invalidation granularity instead of trusting it.
+
+#ifndef SJOS_SERVICE_MUTATION_H_
+#define SJOS_SERVICE_MUTATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "xml/document.h"
+
+namespace sjos {
+
+/// Replace the corpus with `doc` (new document identity; global
+/// invalidation).
+struct LoadDocument {
+  Document doc;
+  std::string name = "db";
+};
+
+/// Replace the document with its `factor`-folded version (Sec. 4.3 data
+/// scaling). Same document identity; invalidates by tag set.
+struct FoldMutation {
+  uint32_t factor = 2;
+};
+
+/// Parse `xml` as a fragment and insert it as child number `position` of
+/// the node with order key `parent` (SIZE_MAX = append after the last
+/// child). The insert lands in the differential overlay; the base index is
+/// untouched until the next flush.
+struct InsertSubtree {
+  NodeId parent = 0;
+  size_t position = static_cast<size_t>(-1);
+  std::string xml;
+};
+
+/// Delete the subtree rooted at the node with order key `node` (base or
+/// overlay; the root itself cannot be deleted).
+struct DeleteSubtree {
+  NodeId node = 0;
+};
+
+/// Fold the differential overlay into the base: materialize the merged
+/// tree, respace its keys, rebuild index and statistics, drop the overlay.
+/// A no-op when no overlay exists.
+struct FlushDifferential {};
+
+using Mutation = std::variant<LoadDocument, FoldMutation, InsertSubtree,
+                              DeleteSubtree, FlushDifferential>;
+
+/// What one Engine::Apply changed.
+struct MutationResult {
+  /// Nodes added / removed from the live tree (for Load/Fold: the net
+  /// growth or shrinkage of the corpus).
+  uint64_t nodes_added = 0;
+  uint64_t nodes_removed = 0;
+  /// Incremental estimator updates applied (one per inserted/removed
+  /// node); 0 when the estimator was rebuilt instead.
+  uint64_t histogram_deltas = 0;
+  /// True when the mutation forced a full estimator rebuild (load, fold,
+  /// flush, or the spacing respace triggered by a first insert).
+  bool estimator_rebuilt = false;
+  /// Plan-cache entries dropped by this mutation, and at which scope:
+  /// "global" (whole cache), "tagset" (entries intersecting the touched
+  /// tags), or "" when nothing needed invalidating.
+  uint64_t cache_invalidated = 0;
+  std::string scope;
+};
+
+}  // namespace sjos
+
+#endif  // SJOS_SERVICE_MUTATION_H_

@@ -15,21 +15,46 @@ struct CacheMetrics {
   Counter& misses;
   Counter& evictions;
   Counter& invalidations;
+  Counter& invalidations_global;
+  Counter& invalidations_tagset;
   Counter& qerror_evictions;
 
   static CacheMetrics& Get() {
     static CacheMetrics* m = [] {
       MetricsRegistry& reg = MetricsRegistry::Global();
+      // The unlabeled invalidations series stays the all-scope total; the
+      // scope-labeled series split it into global (version bump / Clear)
+      // versus tagset (fine-grained mutation) drops.
       return new CacheMetrics{
           reg.GetCounter("sjos_plan_cache_hits_total"),
           reg.GetCounter("sjos_plan_cache_misses_total"),
           reg.GetCounter("sjos_plan_cache_evictions_total"),
           reg.GetCounter("sjos_plan_cache_invalidations_total"),
+          reg.GetCounter("sjos_plan_cache_invalidations_total",
+                         {{"scope", "global"}}),
+          reg.GetCounter("sjos_plan_cache_invalidations_total",
+                         {{"scope", "tagset"}}),
           reg.GetCounter("sjos_plan_cache_qerror_evictions_total")};
     }();
     return *m;
   }
 };
+
+/// True when the sorted ranges `a` and `b` share at least one element.
+bool SortedIntersects(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -72,8 +97,9 @@ bool PlanCache::Get(const std::string& key, uint64_t stats_version,
         // Optimized under different statistics: stale, not reusable.
         shard.lru.erase(it->second);
         shard.index.erase(it);
-        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        invalidations_global_.fetch_add(1, std::memory_order_relaxed);
         CacheMetrics::Get().invalidations.Add();
+        CacheMetrics::Get().invalidations_global.Add();
       } else {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         *out = it->second->plan;
@@ -116,17 +142,44 @@ void PlanCache::EvictForQError(const std::string& key) {
   }
 }
 
-void PlanCache::Clear() {
+size_t PlanCache::InvalidateTags(const std::vector<std::string>& tags) {
+  if (tags.empty()) return 0;
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (SortedIntersects(it->plan.tags, tags)) {
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) {
+    invalidations_tagset_.fetch_add(dropped, std::memory_order_relaxed);
+    CacheMetrics::Get().invalidations.Add(dropped);
+    CacheMetrics::Get().invalidations_tagset.Add(dropped);
+  }
+  return dropped;
+}
+
+size_t PlanCache::Clear() {
+  size_t total = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     size_t dropped = shard.lru.size();
     shard.lru.clear();
     shard.index.clear();
     if (dropped > 0) {
-      invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+      invalidations_global_.fetch_add(dropped, std::memory_order_relaxed);
       CacheMetrics::Get().invalidations.Add(dropped);
+      CacheMetrics::Get().invalidations_global.Add(dropped);
+      total += dropped;
     }
   }
+  return total;
 }
 
 size_t PlanCache::Size() const {
@@ -143,7 +196,11 @@ PlanCacheCounters PlanCache::Counters() const {
   c.hits = hits_.load(std::memory_order_relaxed);
   c.misses = misses_.load(std::memory_order_relaxed);
   c.evictions = evictions_.load(std::memory_order_relaxed);
-  c.invalidations = invalidations_.load(std::memory_order_relaxed);
+  c.invalidations_global =
+      invalidations_global_.load(std::memory_order_relaxed);
+  c.invalidations_tagset =
+      invalidations_tagset_.load(std::memory_order_relaxed);
+  c.invalidations = c.invalidations_global + c.invalidations_tagset;
   c.qerror_evictions = qerror_evictions_.load(std::memory_order_relaxed);
   return c;
 }

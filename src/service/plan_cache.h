@@ -54,6 +54,10 @@ struct CachedPlan {
   double modelled_cost = 0.0;
   /// Engine stats version the plan was optimized under.
   uint64_t stats_version = 0;
+  /// Sorted, unique tag names the plan's pattern touches. Fine-grained
+  /// invalidation (InvalidateTags) drops exactly the entries whose tag set
+  /// intersects a mutation's touched tags.
+  std::vector<std::string> tags;
 };
 
 /// Monotonic event counters for one cache instance (the global metrics
@@ -61,9 +65,11 @@ struct CachedPlan {
 struct PlanCacheCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
-  uint64_t evictions = 0;        // capacity (LRU) evictions
-  uint64_t invalidations = 0;    // stats-version drops + Clear()ed entries
-  uint64_t qerror_evictions = 0; // EvictForQError drops
+  uint64_t evictions = 0;         // capacity (LRU) evictions
+  uint64_t invalidations = 0;     // all invalidations (global + tagset)
+  uint64_t invalidations_global = 0;  // stats-version drops + Clear()
+  uint64_t invalidations_tagset = 0;  // InvalidateTags drops
+  uint64_t qerror_evictions = 0;  // EvictForQError drops
 };
 
 class PlanCache {
@@ -89,8 +95,14 @@ class PlanCache {
   /// Drops `key` because its plan mis-estimated badly at execution time.
   void EvictForQError(const std::string& key);
 
-  /// Drops every entry (each counted as an invalidation).
-  void Clear();
+  /// Fine-grained invalidation: drops every entry whose tag set intersects
+  /// `tags` (which must be sorted). Returns the number of entries dropped;
+  /// each counts as a scope=tagset invalidation.
+  size_t InvalidateTags(const std::vector<std::string>& tags);
+
+  /// Drops every entry (each counted as a scope=global invalidation).
+  /// Returns the number of entries dropped.
+  size_t Clear();
 
   size_t Size() const;
   size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
@@ -116,7 +128,8 @@ class PlanCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> invalidations_global_{0};
+  std::atomic<uint64_t> invalidations_tagset_{0};
   std::atomic<uint64_t> qerror_evictions_{0};
 };
 

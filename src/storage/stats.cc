@@ -30,14 +30,50 @@ DocumentStats DocumentStats::Collect(const Document& doc, const TagIndex& index)
   }
   uint64_t level_sum = 0;
   const NodeId n = static_cast<NodeId>(doc.NumNodes());
+  const TagId* tags = doc.TagData();
+  const uint16_t* levels = doc.LevelData();
   for (NodeId id = 0; id < n; ++id) {
-    uint16_t lv = doc.LevelOf(id);
+    uint16_t lv = levels[id];
     level_sum += lv;
-    ++stats.tag_levels_[doc.TagOf(id)].counts[lv];
+    ++stats.tag_levels_[tags[id]].counts[lv];
   }
+  stats.level_sum_ = level_sum;
   stats.avg_level_ =
       n == 0 ? 0.0 : static_cast<double>(level_sum) / static_cast<double>(n);
   return stats;
+}
+
+void DocumentStats::EnsureTagLevel(TagId tag, uint16_t level) {
+  if (tag >= tag_counts_.size()) {
+    tag_counts_.resize(tag + 1, 0);
+    tag_levels_.resize(tag + 1);
+  }
+  if (level > max_level_) max_level_ = level;
+  for (TagLevelHistogram& h : tag_levels_) {
+    if (h.counts.size() <= max_level_) h.counts.resize(max_level_ + 1, 0);
+  }
+}
+
+void DocumentStats::ApplyInsert(TagId tag, uint16_t level) {
+  EnsureTagLevel(tag, level);
+  ++num_nodes_;
+  ++tag_counts_[tag];
+  ++tag_levels_[tag].counts[level];
+  level_sum_ += level;
+  avg_level_ = num_nodes_ == 0 ? 0.0
+                               : static_cast<double>(level_sum_) /
+                                     static_cast<double>(num_nodes_);
+}
+
+void DocumentStats::ApplyRemove(TagId tag, uint16_t level) {
+  EnsureTagLevel(tag, level);
+  if (num_nodes_ > 0) --num_nodes_;
+  if (tag_counts_[tag] > 0) --tag_counts_[tag];
+  if (tag_levels_[tag].counts[level] > 0) --tag_levels_[tag].counts[level];
+  if (level_sum_ >= level) level_sum_ -= level;
+  avg_level_ = num_nodes_ == 0 ? 0.0
+                               : static_cast<double>(level_sum_) /
+                                     static_cast<double>(num_nodes_);
 }
 
 uint64_t DocumentStats::TagCount(TagId tag) const {

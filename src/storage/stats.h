@@ -34,13 +34,23 @@ class DocumentStats {
   uint64_t TagCount(TagId tag) const;
   const TagLevelHistogram& LevelsOf(TagId tag) const;
 
+  /// Incremental maintenance for differential mutations (DESIGN.md §14):
+  /// account one node carrying `tag` at depth `level` in (ApplyInsert) or
+  /// out of (ApplyRemove) the document. Growth-only for max_level_; the
+  /// per-tag structures are resized on demand for newly interned tags.
+  void ApplyInsert(TagId tag, uint16_t level);
+  void ApplyRemove(TagId tag, uint16_t level);
+
   /// Human-readable summary (tag cardinalities, depth) for examples/tools.
   std::string ToString(const Document& doc, size_t max_tags = 16) const;
 
  private:
+  void EnsureTagLevel(TagId tag, uint16_t level);
+
   uint64_t num_nodes_ = 0;
   uint16_t max_level_ = 0;
   double avg_level_ = 0;
+  uint64_t level_sum_ = 0;
   std::vector<uint64_t> tag_counts_;
   std::vector<TagLevelHistogram> tag_levels_;
   TagLevelHistogram empty_;

@@ -9,16 +9,19 @@ TagIndex TagIndex::Build(const Document& doc) {
   // Counting sort into the arena: count per tag, prefix-sum into offsets,
   // then place every node at its tag's write cursor. Document order is
   // preserved because nodes are visited in pre-order.
+  const TagId* tags = doc.TagData();
   index.offsets_.assign(num_tags + 1, 0);
-  for (NodeId id = 0; id < n; ++id) ++index.offsets_[doc.TagOf(id) + 1];
+  for (NodeId id = 0; id < n; ++id) ++index.offsets_[tags[id] + 1];
   for (size_t t = 1; t <= num_tags; ++t) {
     index.offsets_[t] += index.offsets_[t - 1];
   }
   index.arena_.resize(n);
   std::vector<uint32_t> cursor(index.offsets_.begin(),
                                index.offsets_.end() - 1);
+  // The arena stores order keys (== slots for a dense document) so scans
+  // can slice it straight into result columns regardless of spacing.
   for (NodeId id = 0; id < n; ++id) {
-    index.arena_[cursor[doc.TagOf(id)]++] = id;
+    index.arena_[cursor[tags[id]]++] = doc.KeyOfSlot(id);
   }
   return index;
 }

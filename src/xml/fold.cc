@@ -5,6 +5,10 @@ namespace sjos {
 Result<Document> FoldDocument(const Document& doc, uint32_t factor) {
   if (factor == 0) return Status::InvalidArgument("folding factor must be >= 1");
   if (doc.Empty()) return Status::InvalidArgument("cannot fold empty document");
+  if (doc.Spaced()) {
+    return Status::InvalidArgument(
+        "cannot fold a spaced document; materialize it dense first");
+  }
 
   const NodeId n = static_cast<NodeId>(doc.NumNodes());
   const NodeId body = n - 1;  // nodes under the root, per copy

@@ -1,0 +1,216 @@
+// Storage-level tests for the differential overlay (DESIGN.md §14): key
+// spacing on first insert, order-preserving merge of overlay nodes into
+// reads, delete filtering, gap exhaustion, the flush contract (idempotent,
+// atomic under the diff.flush failpoint), and equality of the merged view
+// with a reload-from-scratch oracle.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "storage/catalog.h"
+#include "storage/differential_index.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace sjos {
+namespace {
+
+Database FromXml(const std::string& xml, std::string name = "db") {
+  Result<Document> doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return Database::Open(std::move(doc).value(), std::move(name));
+}
+
+Document Fragment(const std::string& xml) {
+  Result<Document> doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+/// The live tree as canonical XML — the comparison key against oracles.
+std::string MergedXml(const Database& db) {
+  Result<Document> merged = db.MaterializeMerged();
+  EXPECT_TRUE(merged.ok()) << merged.status().ToString();
+  return SerializeXml(merged.value());
+}
+
+std::string CanonicalXml(const std::string& xml) {
+  return SerializeXml(Fragment(xml));
+}
+
+TEST(DifferentialIndexTest, FirstInsertSpacesKeysAndMergesInOrder) {
+  Database db = FromXml("<a><b/><c/></a>");
+  ASSERT_FALSE(db.doc().Spaced());
+
+  Database::MutationDelta delta;
+  ASSERT_TRUE(
+      db.InsertSubtree(db.doc().Root(), 1, Fragment("<b><d/></b>"), &delta)
+          .ok());
+
+  // The first insert on a dense document renumbers base keys into a
+  // spaced domain and reports it, so callers rebuild derived state.
+  EXPECT_TRUE(delta.respaced);
+  EXPECT_TRUE(db.doc().Spaced());
+  EXPECT_TRUE(db.HasOverlay());
+  ASSERT_EQ(delta.added.size(), 2u);
+  EXPECT_EQ(db.LiveNodeCount(), 5u);
+
+  // Overlay keys are non-base and nest strictly inside their parent's
+  // interval — containment stays pure key comparison.
+  DocView view = db.View();
+  for (const auto& [key, node] : db.diff()->nodes()) {
+    EXPECT_FALSE(view.IsBase(key));
+    EXPECT_TRUE(view.IsAncestorKey(node.parent_key, key));
+    EXPECT_LE(node.end_key, view.EndKeyOf(node.parent_key));
+  }
+
+  // position=1 lands between <b/> and <c/>.
+  EXPECT_EQ(MergedXml(db), CanonicalXml("<a><b/><b><d/></b><c/></a>"));
+  EXPECT_EQ(db.MergedOrder().size(), db.LiveNodeCount());
+  EXPECT_EQ(db.CardinalityOf("b"), 2u);
+  EXPECT_EQ(db.CardinalityOf("d"), 1u);
+}
+
+TEST(DifferentialIndexTest, DeleteFiltersBaseAndOverlayNodes) {
+  Database db = FromXml("<a><b/><c/><b/></a>");
+  Database::MutationDelta delta;
+  ASSERT_TRUE(db.InsertSubtree(db.doc().Root(), 1, Fragment("<b/>"), &delta)
+                  .ok());
+  // Base slot 3 is the trailing <b/>; its key survived the respace as
+  // slot << shift.
+  ASSERT_TRUE(db.DeleteSubtreeAt(db.doc().KeyOfSlot(3), &delta).ok());
+  EXPECT_EQ(db.LiveNodeCount(), 4u);
+  EXPECT_EQ(db.CardinalityOf("b"), 2u);  // 2 base + 1 overlay - 1 deleted
+  EXPECT_EQ(MergedXml(db), CanonicalXml("<a><b/><b/><c/></a>"));
+
+  // Deleting an inserted subtree erases it from the overlay entirely.
+  Database fresh = FromXml("<a><b/></a>");
+  Database::MutationDelta d2;
+  ASSERT_TRUE(
+      fresh.InsertSubtree(fresh.doc().Root(), SIZE_MAX, Fragment("<x/>"), &d2)
+          .ok());
+  ASSERT_EQ(d2.added.size(), 1u);
+  Database::MutationDelta d3;
+  ASSERT_TRUE(fresh.DeleteSubtreeAt(d2.added[0].key, &d3).ok());
+  ASSERT_EQ(d3.removed.size(), 1u);
+  EXPECT_FALSE(fresh.HasOverlay());
+  EXPECT_EQ(fresh.LiveNodeCount(), 2u);
+  EXPECT_EQ(MergedXml(fresh), CanonicalXml("<a><b/></a>"));
+}
+
+TEST(DifferentialIndexTest, DeleteErrors) {
+  Database db = FromXml("<a><b/></a>");
+  Database::MutationDelta delta;
+  // The root cannot be deleted.
+  EXPECT_EQ(db.DeleteSubtreeAt(db.doc().Root(), &delta).code(),
+            StatusCode::kInvalidArgument);
+  // Unknown keys and double deletes answer NotFound.
+  EXPECT_EQ(db.DeleteSubtreeAt(999, &delta).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(db.DeleteSubtreeAt(db.doc().KeyOfSlot(1), &delta).ok());
+  EXPECT_EQ(db.DeleteSubtreeAt(db.doc().KeyOfSlot(1), &delta).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DifferentialIndexTest, FlushFoldsOverlayAndIsIdempotent) {
+  Database db = FromXml("<a><b>x</b><c/></a>");
+  Database::MutationDelta delta;
+  ASSERT_TRUE(
+      db.InsertSubtree(db.doc().Root(), SIZE_MAX, Fragment("<d>t</d>"), &delta)
+          .ok());
+  ASSERT_TRUE(db.DeleteSubtreeAt(db.doc().KeyOfSlot(2), &delta).ok());
+
+  const std::string before = MergedXml(db);
+  const size_t live_before = db.LiveNodeCount();
+  ASSERT_TRUE(db.FlushDifferential().ok());
+  EXPECT_FALSE(db.HasOverlay());
+  EXPECT_TRUE(db.doc().Spaced());
+  EXPECT_EQ(db.LiveNodeCount(), live_before);
+  EXPECT_EQ(MergedXml(db), before);
+
+  // Byte-identical to the reload-from-scratch oracle.
+  Database oracle = FromXml(before);
+  EXPECT_EQ(oracle.LiveNodeCount(), db.LiveNodeCount());
+  EXPECT_EQ(MergedXml(oracle), before);
+
+  // A second flush with a clean overlay is a no-op.
+  ASSERT_TRUE(db.FlushDifferential().ok());
+  EXPECT_EQ(MergedXml(db), before);
+}
+
+TEST(DifferentialIndexTest, FlushFailpointLeavesOldStateIntact) {
+  Database db = FromXml("<a><b/></a>");
+  Database::MutationDelta delta;
+  ASSERT_TRUE(db.InsertSubtree(db.doc().Root(), SIZE_MAX, Fragment("<c/>"),
+                               &delta)
+                  .ok());
+  const std::string before = MergedXml(db);
+
+  ASSERT_TRUE(FailpointRegistry::Global().Enable("diff.flush", "error").ok());
+  Status st = db.FlushDifferential();
+  FailpointRegistry::Global().Disable("diff.flush");
+  EXPECT_FALSE(st.ok());
+
+  // Build-then-swap: the failed flush left overlay and base untouched.
+  EXPECT_TRUE(db.HasOverlay());
+  EXPECT_EQ(MergedXml(db), before);
+  ASSERT_TRUE(db.FlushDifferential().ok());
+  EXPECT_FALSE(db.HasOverlay());
+  EXPECT_EQ(MergedXml(db), before);
+}
+
+TEST(DifferentialIndexTest, GapExhaustionIsResourceExhausted) {
+  Database db = FromXml("<a><b/></a>");
+  // Hammer one insertion point: the bracketing key gap is finite, so the
+  // overlay must eventually refuse with ResourceExhausted (the signal the
+  // Engine turns into flush-and-retry) instead of corrupting key order.
+  Status last = Status::OK();
+  for (int i = 0; i < 512 && last.ok(); ++i) {
+    Database::MutationDelta delta;
+    last = db.InsertSubtree(db.doc().Root(), 0, Fragment("<c/>"), &delta);
+  }
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+
+  // The refused insert changed nothing: the merged view still serializes
+  // and reparses cleanly, and a flush recovers insert capacity.
+  const std::string merged = MergedXml(db);
+  Database reparsed = FromXml(merged);
+  EXPECT_EQ(reparsed.LiveNodeCount(), db.LiveNodeCount());
+  ASSERT_TRUE(db.FlushDifferential().ok());
+  Database::MutationDelta delta;
+  EXPECT_TRUE(db.InsertSubtree(db.doc().Root(), 0, Fragment("<c/>"), &delta)
+                  .ok());
+}
+
+TEST(DifferentialIndexTest, InsertPositionsAndParentValidation) {
+  Database db = FromXml("<a><b/><c/></a>");
+  Database::MutationDelta delta;
+  // Unknown parent key.
+  EXPECT_FALSE(db.InsertSubtree(777, 0, Fragment("<x/>"), &delta).ok());
+
+  // Append (SIZE_MAX) vs prepend (0) under a non-root parent.
+  ASSERT_TRUE(db.InsertSubtree(db.doc().KeyOfSlot(1), SIZE_MAX,
+                               Fragment("<y/>"), &delta)
+                  .ok());
+  ASSERT_TRUE(
+      db.InsertSubtree(db.doc().KeyOfSlot(1), 0, Fragment("<x/>"), &delta)
+          .ok());
+  EXPECT_EQ(MergedXml(db), CanonicalXml("<a><b><x/><y/></b><c/></a>"));
+
+  // Inserting under an overlay node nests a second overlay generation.
+  Database::MutationDelta d2;
+  ASSERT_TRUE(db.InsertSubtree(db.doc().KeyOfSlot(1), SIZE_MAX,
+                               Fragment("<z/>"), &d2)
+                  .ok());
+  NodeId z = d2.added[0].key;
+  Database::MutationDelta d3;
+  ASSERT_TRUE(db.InsertSubtree(z, SIZE_MAX, Fragment("<w/>"), &d3).ok());
+  EXPECT_EQ(MergedXml(db),
+            CanonicalXml("<a><b><x/><y/><z><w/></z></b><c/></a>"));
+}
+
+}  // namespace
+}  // namespace sjos

@@ -7,14 +7,22 @@
 // each of those under both the vectorized and the forced-scalar kernel
 // dispatch; all executions must be byte-identical with identical stats
 // counters, so the oracle pins every engine, thread count and kernel ISA
-// at once.
+// at once. A mutation schedule (inserts, deletes, flushes, with reader
+// threads live throughout) additionally pins the differential overlay
+// against a reparse-from-serialization oracle after every step.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/optimizer.h"
@@ -29,6 +37,8 @@
 #include "xml/generators/dblp_gen.h"
 #include "xml/generators/mbench_gen.h"
 #include "xml/generators/pers_gen.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
 
 namespace sjos {
 namespace {
@@ -233,6 +243,129 @@ TEST(DifferentialTest, PlanCacheWarmMatchesCold) {
       }
     }
   }
+}
+
+// A live Engine under a schedule of subtree inserts, deletes, and flushes
+// must stay equivalent to reloading the serialized merged tree from
+// scratch. After every mutation the merged view's serialization must
+// round-trip byte-identically, and all five optimizers must produce the
+// reparse oracle's exact result set for every Pers workload query —
+// tuples compared in pre-order-rank space, since the live document's
+// spaced keys and the oracle's dense keys differ physically but must
+// agree on document order. Four reader threads hammer the Engine for the
+// duration so TSan sees the reader/writer interleaving.
+TEST(DifferentialTest, MutationScheduleMatchesReparseOracle) {
+  PersGenConfig config;
+  config.target_nodes = 600;
+  config.seed = 7;
+  EngineOptions engine_opts;
+  engine_opts.cache_max_q_error = 0;
+  Engine engine(engine_opts);
+  ASSERT_TRUE(engine.Load(GeneratePers(config).value(), "Pers").ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reader_failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&engine, &stop, &reader_failures, t] {
+      std::vector<Pattern> patterns;
+      for (const BenchQuery& query : PaperWorkload()) {
+        if (query.dataset == "Pers") patterns.push_back(query.pattern);
+      }
+      for (size_t i = static_cast<size_t>(t);
+           !stop.load(std::memory_order_relaxed); ++i) {
+        if (!engine.Query(patterns[i % patterns.size()]).ok()) {
+          reader_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  const auto append = [](const std::string& xml) {
+    return InsertSubtree{0, static_cast<size_t>(-1), xml};
+  };
+  // The schedule hits every mutation kind: root append/prepend, nested
+  // insert, delete of base and overlay nodes, and mid-schedule flushes
+  // (so later steps mutate an already-respaced base).
+  std::vector<std::function<Mutation()>> schedule;
+  schedule.push_back(
+      [&] { return append("<employee><name>m1</name></employee>"); });
+  schedule.push_back([&]() -> Mutation {
+    return InsertSubtree{0, 0, "<department><name>m2</name></department>"};
+  });
+  schedule.push_back([&]() -> Mutation {
+    return DeleteSubtree{engine.db().MergedOrder().back()};
+  });
+  schedule.push_back([&] {
+    return append(
+        "<manager><employee><name>m3</name></employee>"
+        "<department><name>m4</name></department></manager>");
+  });
+  schedule.push_back([&]() -> Mutation { return FlushDifferential{}; });
+  schedule.push_back([&]() -> Mutation {
+    return DeleteSubtree{engine.db().MergedOrder().back()};
+  });
+  schedule.push_back([&]() -> Mutation {
+    return InsertSubtree{engine.db().doc().KeyOfSlot(1), 0, "<name>m5</name>"};
+  });
+  schedule.push_back([&]() -> Mutation { return FlushDifferential{}; });
+
+  for (size_t step = 0; step < schedule.size(); ++step) {
+    SCOPED_TRACE("step=" + std::to_string(step));
+    Result<MutationResult> applied = engine.Apply(schedule[step]());
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+    // Reload-from-scratch oracle: serialize the live merged view, reparse,
+    // and demand a byte-identical round trip.
+    Result<Document> merged = engine.db().MaterializeMerged();
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    const std::string merged_xml = SerializeXml(merged.value());
+    Result<Document> reparsed = ParseXml(merged_xml);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    Database oracle = Database::Open(std::move(reparsed).value(), "oracle");
+    ASSERT_EQ(SerializeXml(oracle.doc()), merged_xml);
+    ASSERT_EQ(oracle.LiveNodeCount(), engine.db().LiveNodeCount());
+
+    // Live keys → pre-order ranks; the oracle's dense keys ARE its ranks.
+    const std::vector<NodeId> order = engine.db().MergedOrder();
+    std::unordered_map<NodeId, NodeId> rank;
+    rank.reserve(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      rank.emplace(order[i], static_cast<NodeId>(i));
+    }
+
+    for (const BenchQuery& query : PaperWorkload()) {
+      if (query.dataset != "Pers") continue;
+      SCOPED_TRACE(query.id);
+      auto expected =
+          std::move(NaiveMatch(oracle.doc(), query.pattern)).value();
+
+      for (OptimizerKind kind : kAllOptimizerKinds) {
+        SCOPED_TRACE(OptimizerKindName(kind));
+        QueryOptions options;
+        options.optimizer = kind;
+        Result<QueryResult> result = engine.Query(query.pattern, options);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ASSERT_EQ(result.value().stats.result_rows, expected.size());
+
+        std::vector<std::vector<NodeId>> rows =
+            result.value().tuples.Canonical();
+        for (std::vector<NodeId>& row : rows) {
+          for (NodeId& key : row) {
+            const auto it = rank.find(key);
+            ASSERT_NE(it, rank.end()) << "result key not in merged order";
+            key = it->second;
+          }
+        }
+        std::sort(rows.begin(), rows.end());
+        EXPECT_EQ(rows, expected);
+      }
+    }
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(reader_failures.load(), 0u);
 }
 
 TEST(DifferentialTest, MbenchOptimizersMatchOracle) {

@@ -1,8 +1,8 @@
 // Plan-cache unit tests: the canonical pattern fingerprint (what must and
 // must not collide), the sharded LRU's eviction/recency behavior, and the
-// Engine-level invalidation paths — stats-version bumps after Fold forcing
-// re-optimization, and q-error self-eviction after a badly mis-estimated
-// execution.
+// Engine-level invalidation paths — tag-set invalidation after Fold
+// forcing re-optimization, and q-error self-eviction after a badly
+// mis-estimated execution.
 
 #include <gtest/gtest.h>
 
@@ -185,7 +185,7 @@ TEST(PlanCacheTest, EngineHitsAcrossSiblingReorder) {
   EXPECT_EQ(hit.value().stats.result_rows, fresh.value().stats.result_rows);
 }
 
-TEST(PlanCacheTest, FoldBumpsStatsVersionAndForcesReoptimize) {
+TEST(PlanCacheTest, FoldInvalidatesByTagSetAndForcesReoptimize) {
   EngineOptions opts;
   opts.cache_max_q_error = 0;
   Engine engine(opts);
@@ -198,18 +198,25 @@ TEST(PlanCacheTest, FoldBumpsStatsVersionAndForcesReoptimize) {
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm.value().planned.cache_hit);
 
+  // Fold rescales every tag, so it invalidates by the full tag set — the
+  // fine-grained path — without bumping the global stats version.
+  const uint64_t tagset_before =
+      engine.plan_cache().Counters().invalidations_tagset;
+  const uint64_t global_before =
+      engine.plan_cache().Counters().invalidations_global;
   ASSERT_TRUE(engine.Fold(2).ok());
-  EXPECT_GT(engine.stats_version(), loaded_version);
+  EXPECT_EQ(engine.stats_version(), loaded_version);
+  EXPECT_GT(engine.plan_cache().Counters().invalidations_tagset,
+            tagset_before);
+  EXPECT_EQ(engine.plan_cache().Counters().invalidations_global,
+            global_before);
 
-  // The entry is still resident but stale; the next query must re-optimize
-  // against the folded statistics and repopulate the cache.
-  const uint64_t invalidations_before = engine.plan_cache().Counters().invalidations;
+  // The entry was dropped; the next query must re-optimize against the
+  // folded statistics and repopulate the cache.
   Result<QueryResult> after_fold = engine.Query(pattern);
   ASSERT_TRUE(after_fold.ok()) << after_fold.status().ToString();
   EXPECT_FALSE(after_fold.value().planned.cache_hit);
   EXPECT_GT(after_fold.value().planned.opt_stats.plans_considered, 0u);
-  EXPECT_EQ(engine.plan_cache().Counters().invalidations,
-            invalidations_before + 1);
 
   Result<QueryResult> rewarmed = engine.Query(pattern);
   ASSERT_TRUE(rewarmed.ok());
